@@ -1,0 +1,299 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section VI) at laptop scale. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigN corresponds to one figure of the paper; the reported
+// metrics (ns/op for runtime figures, B/op for the memory figure,
+// cores/query and R-edges/query as custom metrics for the count figures)
+// are the series the paper plots. cmd/tkcbench renders the same experiments
+// as human-readable tables, and EXPERIMENTS.md records paper-vs-measured.
+package temporalkcore_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"temporalkcore/internal/bench"
+	"temporalkcore/internal/core"
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/gen"
+	"temporalkcore/internal/otcd"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// benchEdges is the replica scale for benchmarks: small enough that the
+// whole suite finishes in minutes, large enough that the asymptotic gaps
+// between the algorithms show.
+const benchEdges = 6000
+
+var (
+	dsCache   = map[string]*bench.Dataset{}
+	dsCacheMu sync.Mutex
+)
+
+func dataset(b *testing.B, code string) *bench.Dataset {
+	b.Helper()
+	dsCacheMu.Lock()
+	defer dsCacheMu.Unlock()
+	if d, ok := dsCache[code]; ok {
+		return d
+	}
+	d, err := bench.LoadDataset(code, benchEdges, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsCache[code] = d
+	return d
+}
+
+func queriesFor(b *testing.B, d *bench.Dataset, kPct, rangePct int) (int, []tgraph.Window) {
+	b.Helper()
+	k := d.K(kPct)
+	qs := d.Queries(k, rangePct, 2, 7)
+	if len(qs) == 0 {
+		b.Skipf("no non-empty query ranges for %s k=%d range=%d%%", d.Code, k, rangePct)
+	}
+	return k, qs
+}
+
+func runAlgo(b *testing.B, d *bench.Dataset, k int, qs []tgraph.Window, algo core.Algorithm) {
+	b.Helper()
+	var cores, redges int64
+	for i := 0; i < b.N; i++ {
+		// The quadratic baselines can exceed any reasonable budget on the
+		// largest sweep points (the paper's own figures show them timing
+		// out); cap each query so those sub-benchmarks skip cleanly.
+		m, err := bench.Run(d, k, qs, algo, bench.RunOptions{Timeout: 20 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.TimedOut {
+			b.Skipf("%v hit the time limit at bench scale", algo)
+		}
+		cores, redges = m.Cores, m.REdges
+	}
+	b.ReportMetric(float64(cores)/float64(len(qs)), "cores/query")
+	b.ReportMetric(float64(redges)/float64(len(qs)), "R-edges/query")
+}
+
+// BenchmarkTable3Replicas measures dataset replica generation (the
+// substrate substituted for the paper's SNAP/KONECT downloads).
+func BenchmarkTable3Replicas(b *testing.B) {
+	for _, code := range []string{"FB", "CM", "WT", "PL"} {
+		b.Run(code, func(b *testing.B) {
+			rep, err := gen.ReplicaByCode(code)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := rep.Generate(benchEdges, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4Sizes measures the CoreTime phase and reports |VCT|, |ECS|
+// and |R| — the quantities of Figure 4.
+func BenchmarkFig4Sizes(b *testing.B) {
+	for _, code := range bench.Fig4Datasets {
+		b.Run(code, func(b *testing.B) {
+			d := dataset(b, code)
+			k, qs := queriesFor(b, d, bench.DefaultKPct, bench.DefaultRangePct)
+			var vctSize, ecsSize, redges int64
+			for i := 0; i < b.N; i++ {
+				vctSize, ecsSize, redges = 0, 0, 0
+				for _, w := range qs {
+					ix, ecs, err := vct.Build(d.G, k, w)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var sink enum.CountSink
+					enum.Enumerate(d.G, ecs, &sink)
+					vctSize += int64(ix.Size())
+					ecsSize += int64(ecs.Size())
+					redges += sink.EdgeTotal
+				}
+			}
+			n := float64(len(qs))
+			b.ReportMetric(float64(vctSize)/n, "VCT/query")
+			b.ReportMetric(float64(ecsSize)/n, "ECS/query")
+			b.ReportMetric(float64(redges)/n, "R-edges/query")
+		})
+	}
+}
+
+// BenchmarkFig6 is the headline comparison: every dataset, every algorithm,
+// default parameters.
+func BenchmarkFig6(b *testing.B) {
+	for _, code := range bench.AllDatasets {
+		for _, algo := range []core.Algorithm{core.AlgoOTCD, core.AlgoEnumBase, core.AlgoEnum} {
+			b.Run(fmt.Sprintf("%s/%v", code, algo), func(b *testing.B) {
+				d := dataset(b, code)
+				k, qs := queriesFor(b, d, bench.DefaultKPct, bench.DefaultRangePct)
+				runAlgo(b, d, k, qs, algo)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 varies k between 10% and 40% of kmax (Figure 7).
+func BenchmarkFig7(b *testing.B) {
+	for _, code := range bench.SweepDatasets {
+		for _, kPct := range []int{10, 20, 30, 40} {
+			for _, algo := range []core.Algorithm{core.AlgoEnum, core.AlgoEnumBase, core.AlgoOTCD} {
+				b.Run(fmt.Sprintf("%s/k=%d%%/%v", code, kPct, algo), func(b *testing.B) {
+					d := dataset(b, code)
+					k, qs := queriesFor(b, d, kPct, bench.DefaultRangePct)
+					runAlgo(b, d, k, qs, algo)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig8 varies the query range between 5% and 40% of tmax
+// (Figure 8).
+func BenchmarkFig8(b *testing.B) {
+	for _, code := range bench.SweepDatasets {
+		for _, rangePct := range []int{5, 10, 20, 40} {
+			for _, algo := range []core.Algorithm{core.AlgoEnum, core.AlgoEnumBase, core.AlgoOTCD} {
+				b.Run(fmt.Sprintf("%s/range=%d%%/%v", code, rangePct, algo), func(b *testing.B) {
+					d := dataset(b, code)
+					k, qs := queriesFor(b, d, bench.DefaultKPct, rangePct)
+					runAlgo(b, d, k, qs, algo)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig9Counts reports the number of temporal k-cores per dataset
+// (Figure 9) via the cores/query metric.
+func BenchmarkFig9Counts(b *testing.B) {
+	for _, code := range bench.AllDatasets {
+		b.Run(code, func(b *testing.B) {
+			d := dataset(b, code)
+			k, qs := queriesFor(b, d, bench.DefaultKPct, bench.DefaultRangePct)
+			runAlgo(b, d, k, qs, core.AlgoEnum)
+		})
+	}
+}
+
+// BenchmarkFig10Counts / BenchmarkFig11Counts report result counts under
+// the k and range sweeps (Figures 10 and 11).
+func BenchmarkFig10Counts(b *testing.B) {
+	for _, code := range bench.SweepDatasets {
+		for _, kPct := range []int{10, 20, 30, 40} {
+			b.Run(fmt.Sprintf("%s/k=%d%%", code, kPct), func(b *testing.B) {
+				d := dataset(b, code)
+				k, qs := queriesFor(b, d, kPct, bench.DefaultRangePct)
+				runAlgo(b, d, k, qs, core.AlgoEnum)
+			})
+		}
+	}
+}
+
+func BenchmarkFig11Counts(b *testing.B) {
+	for _, code := range bench.SweepDatasets {
+		for _, rangePct := range []int{5, 10, 20, 40} {
+			b.Run(fmt.Sprintf("%s/range=%d%%", code, rangePct), func(b *testing.B) {
+				d := dataset(b, code)
+				k, qs := queriesFor(b, d, bench.DefaultKPct, rangePct)
+				runAlgo(b, d, k, qs, core.AlgoEnum)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12Memory mirrors Figure 12: with -benchmem, B/op is the
+// allocation footprint of each algorithm per query batch.
+func BenchmarkFig12Memory(b *testing.B) {
+	for _, code := range []string{"FB", "CM", "EM", "PL"} {
+		for _, algo := range []core.Algorithm{core.AlgoOTCD, core.AlgoEnumBase, core.AlgoEnum} {
+			b.Run(fmt.Sprintf("%s/%v", code, algo), func(b *testing.B) {
+				d := dataset(b, code)
+				k, qs := queriesFor(b, d, bench.DefaultKPct, bench.DefaultRangePct)
+				b.ReportAllocs()
+				runAlgo(b, d, k, qs, algo)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationOTCDJumps quantifies the two pruning rules of the OTCD
+// baseline (DESIGN.md: TTI jump = PoR, row jump = PoU/PoL).
+func BenchmarkAblationOTCDJumps(b *testing.B) {
+	variants := []struct {
+		name string
+		opts otcd.Options
+	}{
+		{"full", otcd.Options{}},
+		{"noTTIJump", otcd.Options{DisableTTIJump: true}},
+		{"noRowJump", otcd.Options{DisableRowJump: true}},
+		{"none", otcd.Options{DisableTTIJump: true, DisableRowJump: true}},
+	}
+	d := dataset(b, "FB")
+	k, qs := queriesFor(b, d, bench.DefaultKPct, bench.DefaultRangePct)
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, w := range qs {
+					var sink enum.CountSink
+					if !otcd.Enumerate(d.G, k, w, &sink, v.opts) {
+						b.Fatal("stopped")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEnumBaseDedup compares the baseline's exact duplicate
+// store with hash-only dedup.
+func BenchmarkAblationEnumBaseDedup(b *testing.B) {
+	d := dataset(b, "FB")
+	k, qs := queriesFor(b, d, bench.DefaultKPct, bench.DefaultRangePct)
+	for _, hashOnly := range []bool{false, true} {
+		name := "exactStore"
+		if hashOnly {
+			name = "hashOnly"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, w := range qs {
+					_, ecs, err := vct.Build(d.G, k, w)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var sink enum.CountSink
+					enum.EnumerateBase(d.G, ecs, &sink, enum.BaseOptions{HashOnlyDedup: hashOnly})
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoreTimePhase isolates the shared VCT+ECS construction cost (the
+// blue bars of Figure 6).
+func BenchmarkCoreTimePhase(b *testing.B) {
+	for _, code := range []string{"CM", "EM", "PL"} {
+		b.Run(code, func(b *testing.B) {
+			d := dataset(b, code)
+			k, qs := queriesFor(b, d, bench.DefaultKPct, bench.DefaultRangePct)
+			for i := 0; i < b.N; i++ {
+				for _, w := range qs {
+					if _, _, err := vct.Build(d.G, k, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

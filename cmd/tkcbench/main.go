@@ -1,0 +1,74 @@
+// Command tkcbench regenerates the tables and figures of the paper's
+// evaluation section on scaled synthetic dataset replicas.
+//
+// Usage:
+//
+//	tkcbench -fig all                      # every table/figure
+//	tkcbench -fig 6 -edges 20000 -queries 3
+//	tkcbench -fig 7 -datasets CM,PL -timeout 10s
+//
+// Figure ids: table3, 4, 6, 7, 8, 9, 10, 11, 12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"temporalkcore/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tkcbench: ")
+
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate (table3, 4, 6-12, or all)")
+		edges    = flag.Int("edges", 20000, "target edges per dataset replica")
+		queries  = flag.Int("queries", 3, "random query ranges per data point (paper: 100)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-query time limit for EnumBase/OTCD (paper: 6h)")
+		seed     = flag.Int64("seed", 1, "replica and workload seed")
+		datasets = flag.String("datasets", "", "comma-separated dataset codes (default: figure's own set)")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	s := &bench.Suite{
+		TargetEdges:     *edges,
+		QueriesPerPoint: *queries,
+		Timeout:         *timeout,
+		Seed:            *seed,
+	}
+	if *datasets != "" {
+		s.Datasets = strings.Split(*datasets, ",")
+	}
+
+	figs := s.Figures()
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = bench.FigureOrder
+	}
+	for _, id := range ids {
+		run, ok := figs[id]
+		if !ok {
+			log.Fatalf("unknown figure %q (want one of %v)", id, bench.FigureOrder)
+		}
+		started := time.Now()
+		tbl, err := run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddNote("wall time for this table: %.1fs", time.Since(started).Seconds())
+		render := tbl.Render
+		if *asCSV {
+			render = tbl.RenderCSV
+		}
+		if err := render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "done (edges=%d queries=%d timeout=%v seed=%d)\n", *edges, *queries, *timeout, *seed)
+}

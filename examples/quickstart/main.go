@@ -1,0 +1,67 @@
+// Quickstart: build a small temporal graph, enumerate all temporal 2-cores
+// in a time range, and inspect a vertex's core times.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tkc "temporalkcore"
+)
+
+func main() {
+	// The running example of the paper (Figure 1): nine vertices, fourteen
+	// timestamped interactions.
+	edges := []tkc.Edge{
+		{U: 2, V: 9, Time: 1}, {U: 1, V: 4, Time: 2}, {U: 2, V: 3, Time: 2},
+		{U: 1, V: 2, Time: 3}, {U: 2, V: 4, Time: 3}, {U: 3, V: 9, Time: 4},
+		{U: 4, V: 8, Time: 4}, {U: 1, V: 6, Time: 5}, {U: 1, V: 7, Time: 5},
+		{U: 2, V: 8, Time: 5}, {U: 6, V: 7, Time: 5}, {U: 1, V: 3, Time: 6},
+		{U: 3, V: 5, Time: 6}, {U: 1, V: 5, Time: 7},
+	}
+	g, err := tkc.NewGraph(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, %d timestamps, kmax=%d\n\n",
+		g.NumVertices(), g.NumEdges(), g.TimestampCount(), g.KMax())
+
+	// Every distinct temporal 2-core of any window within [1, 4] — this is
+	// exactly Figure 2 of the paper: two cores.
+	cores, err := g.Cores(2, 1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("temporal 2-cores in range [1,4]: %d\n", len(cores))
+	for _, c := range cores {
+		fmt.Printf("  TTI=[%d,%d]: %v\n", c.Start, c.End, c.Edges)
+	}
+
+	// Streaming over a wider range without materialising results.
+	fmt.Println("\ntemporal 2-cores in range [1,7]:")
+	stats, err := g.CoresFunc(2, 1, 7, func(c tkc.Core) bool {
+		fmt.Printf("  TTI=[%d,%d] with %d edges\n", c.Start, c.End, len(c.Edges))
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total: %d cores, |R|=%d edges, |VCT|=%d, |ECS|=%d\n",
+		stats.Cores, stats.Edges, stats.VCTSize, stats.ECSSize)
+
+	// Core times answer "from when is this vertex part of dense activity".
+	ents, err := g.CoreTimes(1, 2, 1, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncore times of vertex 1 (start time -> earliest core end time):")
+	for _, e := range ents {
+		if e.Infinite {
+			fmt.Printf("  from start %d: never in a 2-core again\n", e.Start)
+		} else {
+			fmt.Printf("  from start %d: in a 2-core once the window reaches %d\n", e.Start, e.CoreTime)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package temporalkcore
+
+import (
+	"fmt"
+	"io"
+
+	"temporalkcore/internal/phc"
+	"temporalkcore/internal/tgraph"
+)
+
+// HistoricalIndex answers historical k-core queries — "which vertices form
+// the k-core of the snapshot over [ts, te]?" — for every k at once, after a
+// one-off construction. It reproduces the PHC index of Yu et al. (VLDB
+// 2021), the foundation the enumeration algorithm of this library builds
+// on. The index is immutable and safe for concurrent use.
+type HistoricalIndex struct {
+	g  *Graph
+	ix *phc.Index
+}
+
+// BuildHistoricalIndex constructs the index over the raw time range
+// [start, end].
+func (g *Graph) BuildHistoricalIndex(start, end int64) (*HistoricalIndex, error) {
+	w, ok := g.g.CompressRange(start, end)
+	if !ok {
+		return nil, ErrNoTimestamps
+	}
+	ix, err := phc.Build(g.g, w)
+	if err != nil {
+		return nil, err
+	}
+	return &HistoricalIndex{g: g, ix: ix}, nil
+}
+
+// KMax returns the largest k for which any historical k-core exists in the
+// indexed range.
+func (h *HistoricalIndex) KMax() int { return h.ix.KMax }
+
+// Size returns the total number of index labels (the |PHC| of [13]).
+func (h *HistoricalIndex) Size() int { return h.ix.Size() }
+
+// window converts a raw query range, requiring it inside the index range.
+func (h *HistoricalIndex) window(start, end int64) (tgraph.Window, error) {
+	w, ok := h.g.g.CompressRange(start, end)
+	if !ok {
+		return tgraph.Window{}, ErrNoTimestamps
+	}
+	if !h.ix.Range.Contains(w) {
+		return tgraph.Window{}, fmt.Errorf("temporalkcore: query window outside indexed range")
+	}
+	return w, nil
+}
+
+// Contains reports whether a vertex label is in the k-core of the snapshot
+// over [start, end].
+func (h *HistoricalIndex) Contains(label int64, k int, start, end int64) (bool, error) {
+	v, ok := h.g.g.VertexOf(label)
+	if !ok {
+		return false, fmt.Errorf("temporalkcore: unknown vertex %d", label)
+	}
+	w, err := h.window(start, end)
+	if err != nil {
+		return false, err
+	}
+	return h.ix.InCore(v, k, w), nil
+}
+
+// CoreMembers returns the vertex labels of the k-core of the snapshot over
+// [start, end].
+func (h *HistoricalIndex) CoreMembers(k int, start, end int64) ([]int64, error) {
+	w, err := h.window(start, end)
+	if err != nil {
+		return nil, err
+	}
+	vids := h.ix.CoreVertices(h.g.g, k, w, nil)
+	out := make([]int64, len(vids))
+	for i, v := range vids {
+		out[i] = h.g.g.Label(v)
+	}
+	return out, nil
+}
+
+// CoreEdges returns the temporal edges of the k-core of the snapshot over
+// [start, end].
+func (h *HistoricalIndex) CoreEdges(k int, start, end int64) ([]Edge, error) {
+	w, err := h.window(start, end)
+	if err != nil {
+		return nil, err
+	}
+	eids := h.ix.CoreEdges(h.g.g, k, w, nil)
+	out := make([]Edge, len(eids))
+	for i, e := range eids {
+		te := h.g.g.Edge(e)
+		out[i] = Edge{U: h.g.g.Label(te.U), V: h.g.g.Label(te.V), Time: h.g.g.RawTime(te.T)}
+	}
+	return out, nil
+}
+
+// CoreNumber returns the largest k such that the vertex is in the k-core
+// of the snapshot over [start, end] (0 when it is isolated there).
+func (h *HistoricalIndex) CoreNumber(label int64, start, end int64) (int, error) {
+	v, ok := h.g.g.VertexOf(label)
+	if !ok {
+		return 0, fmt.Errorf("temporalkcore: unknown vertex %d", label)
+	}
+	w, err := h.window(start, end)
+	if err != nil {
+		return 0, err
+	}
+	return h.ix.CoreNumber(v, w), nil
+}
+
+// Save writes the index in a compact binary form readable by
+// Graph.LoadHistoricalIndex. The graph itself is not stored.
+func (h *HistoricalIndex) Save(w io.Writer) error { return h.ix.Encode(w) }
+
+// LoadHistoricalIndex reads an index written by Save. It must be loaded
+// against the same graph it was built from.
+func (g *Graph) LoadHistoricalIndex(r io.Reader) (*HistoricalIndex, error) {
+	ix, err := phc.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if ix.Range.End > g.g.TMax() {
+		return nil, fmt.Errorf("temporalkcore: index range [%d,%d] exceeds graph (different graph?)",
+			ix.Range.Start, ix.Range.End)
+	}
+	return &HistoricalIndex{g: g, ix: ix}, nil
+}

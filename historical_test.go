@@ -1,0 +1,121 @@
+package temporalkcore_test
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	tkc "temporalkcore"
+)
+
+func TestHistoricalIndexPaper(t *testing.T) {
+	g, err := tkc.NewGraph(paperEdges(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := g.BuildHistoricalIndex(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.KMax() != 2 {
+		t.Fatalf("KMax = %d, want 2", h.KMax())
+	}
+	if h.Size() <= 0 {
+		t.Error("empty index")
+	}
+
+	// The 2-core of [1,4] (Figure 2's larger core): {1,2,3,4,9}.
+	members, err := h.CoreMembers(2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	want := []int64{1, 2, 3, 4, 9}
+	if len(members) != len(want) {
+		t.Fatalf("members = %v, want %v", members, want)
+	}
+	for i := range want {
+		if members[i] != want[i] {
+			t.Fatalf("members = %v, want %v", members, want)
+		}
+	}
+
+	edges, err := h.CoreEdges(2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 6 {
+		t.Errorf("core edges = %d, want 6", len(edges))
+	}
+
+	in, err := h.Contains(1, 2, 1, 4)
+	if err != nil || !in {
+		t.Errorf("Contains(1) = %v,%v, want true", in, err)
+	}
+	in, err = h.Contains(5, 2, 1, 4)
+	if err != nil || in {
+		t.Errorf("Contains(5) = %v,%v, want false", in, err)
+	}
+	if _, err := h.Contains(99, 2, 1, 4); err == nil {
+		t.Error("unknown vertex accepted")
+	}
+
+	cn, err := h.CoreNumber(1, 1, 4)
+	if err != nil || cn != 2 {
+		t.Errorf("CoreNumber(1, [1,4]) = %d,%v, want 2", cn, err)
+	}
+	cn, err = h.CoreNumber(5, 1, 4)
+	if err != nil || cn != 0 {
+		t.Errorf("CoreNumber(5, [1,4]) = %d,%v, want 0", cn, err)
+	}
+	// v5 joins the 2-core only in windows reaching t=7.
+	cn, err = h.CoreNumber(5, 6, 7)
+	if err != nil || cn != 2 {
+		t.Errorf("CoreNumber(5, [6,7]) = %d,%v, want 2", cn, err)
+	}
+}
+
+func TestHistoricalIndexSaveLoad(t *testing.T) {
+	g, err := tkc.NewGraph(paperEdges(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := g.BuildHistoricalIndex(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := g.LoadHistoricalIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := h.CoreMembers(2, 1, 4)
+	b, _ := back.CoreMembers(2, 1, 4)
+	if len(a) != len(b) {
+		t.Fatalf("loaded index answers differently: %v vs %v", a, b)
+	}
+	if _, err := g.LoadHistoricalIndex(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("junk index accepted")
+	}
+}
+
+func TestHistoricalIndexErrors(t *testing.T) {
+	g, err := tkc.NewGraph(paperEdges(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.BuildHistoricalIndex(50, 60); err != tkc.ErrNoTimestamps {
+		t.Errorf("empty range: %v", err)
+	}
+	h, err := g.BuildHistoricalIndex(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries outside the indexed range must fail loudly, not silently.
+	if _, err := h.CoreMembers(2, 1, 7); err == nil {
+		t.Error("query outside indexed range accepted")
+	}
+}

@@ -1,0 +1,191 @@
+package bench_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"temporalkcore/internal/bench"
+	"temporalkcore/internal/core"
+	"temporalkcore/internal/tgraph"
+)
+
+func smallSuite() *bench.Suite {
+	return &bench.Suite{
+		TargetEdges:     1500,
+		QueriesPerPoint: 2,
+		Timeout:         20 * time.Second,
+		Seed:            1,
+	}
+}
+
+func TestLoadDataset(t *testing.T) {
+	d, err := bench.LoadDataset("CM", 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.G.NumEdges() < 1500 {
+		t.Errorf("replica too small: %d edges", d.G.NumEdges())
+	}
+	if d.KMax < 4 {
+		t.Errorf("kmax = %d, too small for percentage queries", d.KMax)
+	}
+	if d.K(10) < 2 {
+		t.Errorf("K(10) = %d", d.K(10))
+	}
+	if _, err := bench.LoadDataset("nope", 2000, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestQueriesContainCores(t *testing.T) {
+	d, err := bench.LoadDataset("CM", 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := d.K(bench.DefaultKPct)
+	qs := d.Queries(k, bench.DefaultRangePct, 4, 99)
+	if len(qs) == 0 {
+		t.Fatal("no valid queries found")
+	}
+	for _, w := range qs {
+		m, err := bench.Run(d, k, []tgraph.Window{w}, core.AlgoEnum, bench.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Cores == 0 {
+			t.Errorf("query %v guaranteed a core but produced none", w)
+		}
+		wantLen := int(d.G.TMax()) * bench.DefaultRangePct / 100
+		if w.Len() != wantLen {
+			t.Errorf("query %v has length %d, want %d", w, w.Len(), wantLen)
+		}
+	}
+}
+
+func TestRunAgreement(t *testing.T) {
+	d, err := bench.LoadDataset("FB", 1200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := d.K(bench.DefaultKPct)
+	qs := d.Queries(k, 20, 2, 7)
+	if len(qs) == 0 {
+		t.Skip("no valid queries at this scale")
+	}
+	var results []bench.Measurement
+	for _, algo := range []core.Algorithm{core.AlgoEnum, core.AlgoEnumBase, core.AlgoOTCD} {
+		m, err := bench.Run(d, k, qs, algo, bench.RunOptions{Timeout: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.TimedOut {
+			t.Fatalf("%v timed out at test scale", algo)
+		}
+		results = append(results, m)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Cores != results[0].Cores || results[i].REdges != results[0].REdges {
+			t.Errorf("%v found %d cores / %d edges, %v found %d / %d",
+				results[i].Algo, results[i].Cores, results[i].REdges,
+				results[0].Algo, results[0].Cores, results[0].REdges)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &bench.Table{Title: "T", Header: []string{"a", "bb"}}
+	tbl.AddRow("x", "y")
+	tbl.AddNote("hello %d", 42)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T\n", "a", "bb", "x", "y", "hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := bench.FmtDur(0); got != "0" {
+		t.Errorf("FmtDur(0) = %q", got)
+	}
+	if got := bench.FmtDur(1500 * time.Millisecond); got != "1.500" {
+		t.Errorf("FmtDur(1.5s) = %q", got)
+	}
+	if got := bench.FmtDurTL(time.Second, true); got != "TL" {
+		t.Errorf("FmtDurTL = %q", got)
+	}
+	if got := bench.FmtCount(1234); got != "1234" {
+		t.Errorf("FmtCount(1234) = %q", got)
+	}
+	if got := bench.FmtCount(2_500_000); got != "2.50M" {
+		t.Errorf("FmtCount(2.5M) = %q", got)
+	}
+	if got := bench.FmtBytes(1 << 20); got != "1.00" {
+		t.Errorf("FmtBytes(1MB) = %q", got)
+	}
+}
+
+// TestFigure4Small smoke-tests a figure runner end to end at tiny scale.
+func TestFigure4Small(t *testing.T) {
+	s := smallSuite()
+	s.Datasets = []string{"CM"}
+	tbl, err := s.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure6Small smoke-tests the headline comparison on two datasets.
+func TestFigure6Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := smallSuite()
+	s.Datasets = []string{"FB", "PL"}
+	tbl, err := s.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+// TestFigure12Small smoke-tests memory tracking.
+func TestFigure12Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := smallSuite()
+	s.Datasets = []string{"FB"}
+	tbl, err := s.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0]) != 4 {
+		t.Fatalf("unexpected table shape: %+v", tbl.Rows)
+	}
+}
+
+func TestFigureRegistry(t *testing.T) {
+	s := smallSuite()
+	figs := s.Figures()
+	for _, id := range bench.FigureOrder {
+		if _, ok := figs[id]; !ok {
+			t.Errorf("figure %q missing from registry", id)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"encoding/csv"
+	"io"
+	"strings"
+)
+
+// RenderCSV writes the table as CSV (header row first, notes as trailing
+// comment-style rows prefixed with "#"), so figure data can be fed to
+// external plotting tools.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	title := []string{"# " + t.Title}
+	if err := cw.Write(title); err != nil {
+		return err
+	}
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"# " + n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVString renders the table to a CSV string (convenience for tests and
+// small tools).
+func (t *Table) CSVString() (string, error) {
+	var b strings.Builder
+	if err := t.RenderCSV(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,31 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"temporalkcore/internal/bench"
+)
+
+func TestRenderCSV(t *testing.T) {
+	tbl := &bench.Table{Title: "T", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "x,y") // comma must be quoted
+	tbl.AddNote("n1")
+	s, err := tbl.CSVString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), s)
+	}
+	if lines[0] != "# T" || lines[1] != "a,b" {
+		t.Errorf("header lines: %q", lines[:2])
+	}
+	if lines[2] != `1,"x,y"` {
+		t.Errorf("data line = %q", lines[2])
+	}
+	if lines[3] != "# n1" {
+		t.Errorf("note line = %q", lines[3])
+	}
+}

@@ -1,0 +1,353 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"temporalkcore/internal/core"
+)
+
+// Suite holds shared configuration for regenerating the paper's figures.
+type Suite struct {
+	// TargetEdges scales every dataset replica (edges capped at the
+	// paper's real size).
+	TargetEdges int
+	// QueriesPerPoint is the number of random query ranges averaged per
+	// data point (the paper uses 100).
+	QueriesPerPoint int
+	// Timeout is the per-query time limit for EnumBase and OTCD (the paper
+	// uses 6 hours).
+	Timeout time.Duration
+	// Seed drives replica generation and query sampling.
+	Seed int64
+	// Datasets restricts which dataset codes run (nil = figure defaults).
+	Datasets []string
+
+	cache map[string]*Dataset
+}
+
+// DefaultSuite returns a laptop-scale configuration.
+func DefaultSuite() *Suite {
+	return &Suite{
+		TargetEdges:     20000,
+		QueriesPerPoint: 3,
+		Timeout:         30 * time.Second,
+		Seed:            1,
+	}
+}
+
+// DefaultK and DefaultRange are the paper's default parameters.
+const (
+	DefaultKPct     = 30 // k = 30% of kmax
+	DefaultRangePct = 10 // range = 10% of tmax
+)
+
+// Figure 6/9/12 use all fourteen datasets; Figure 4 uses the seven
+// representative ones; Figures 7/8/10/11 use the four highlighted ones.
+var (
+	AllDatasets   = []string{"FB", "BO", "CM", "EM", "MC", "MO", "AU", "LR", "EN", "SU", "WT", "WK", "PL", "YT"}
+	Fig4Datasets  = []string{"CM", "EM", "MC", "LR", "EN", "SU", "WT"}
+	SweepDatasets = []string{"CM", "EM", "WT", "PL"}
+)
+
+func (s *Suite) datasets(def []string) []string {
+	if len(s.Datasets) > 0 {
+		return s.Datasets
+	}
+	return def
+}
+
+// Dataset loads (and caches) one replica.
+func (s *Suite) Dataset(code string) (*Dataset, error) {
+	if s.cache == nil {
+		s.cache = make(map[string]*Dataset)
+	}
+	if d, ok := s.cache[code]; ok {
+		return d, nil
+	}
+	d, err := LoadDataset(code, s.TargetEdges, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[code] = d
+	return d, nil
+}
+
+// Table3 reproduces Table III: dataset statistics, paper versus replica.
+func (s *Suite) Table3() (*Table, error) {
+	t := &Table{
+		Title:  "Table III — datasets (paper statistics vs generated replica)",
+		Header: []string{"name", "|V|", "|E|", "tmax", "kmax", "repl|V|", "repl|E|", "repl tmax", "repl kmax"},
+	}
+	for _, code := range s.datasets(AllDatasets) {
+		d, err := s.Dataset(code)
+		if err != nil {
+			return nil, err
+		}
+		p := d.Replica.Paper
+		t.AddRow(code,
+			FmtCount(int64(p.Vertices)), FmtCount(int64(p.Edges)), FmtCount(int64(p.Timestamps)), fmt.Sprintf("%d", p.KMax),
+			FmtCount(int64(d.Stats.NumVertices)), FmtCount(int64(d.Stats.NumEdges)), FmtCount(int64(d.Stats.TMax)), fmt.Sprintf("%d", d.KMax))
+	}
+	t.AddNote("replicas are synthetic stand-ins scaled to ~%d edges (see internal/gen)", s.TargetEdges)
+	return t, nil
+}
+
+// Figure4 reproduces Figure 4: |VCT|, |VCT|*deg_avg and |R| under default
+// parameters for the seven representative datasets.
+func (s *Suite) Figure4() (*Table, error) {
+	t := &Table{
+		Title:  "Figure 4 — |VCT|, |VCT|*deg_avg, |R| (defaults: k=30% kmax, range=10% tmax)",
+		Header: []string{"dataset", "|VCT|", "|VCT|*degavg", "|R|", "|R| / |VCT|*degavg"},
+	}
+	for _, code := range s.datasets(Fig4Datasets) {
+		d, err := s.Dataset(code)
+		if err != nil {
+			return nil, err
+		}
+		k := d.K(DefaultKPct)
+		queries := d.Queries(k, DefaultRangePct, s.QueriesPerPoint, s.Seed)
+		if len(queries) == 0 {
+			t.AddRow(code, "-", "-", "-", "-")
+			continue
+		}
+		m, err := Run(d, k, queries, core.AlgoEnum, RunOptions{})
+		if err != nil {
+			return nil, err
+		}
+		vct := int64(m.VCTSize) / int64(len(queries))
+		vctDeg := float64(vct) * d.Stats.AvgDegree
+		r := m.REdges / int64(len(queries))
+		ratio := "-"
+		if vctDeg > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(r)/vctDeg)
+		}
+		t.AddRow(code, FmtCount(vct), FmtCount(int64(vctDeg)), FmtCount(r), ratio)
+	}
+	t.AddNote("the paper reports |R| 2-4 orders of magnitude above |VCT|*deg_avg")
+	return t, nil
+}
+
+// Figure6 reproduces Figure 6: average per-query running time of OTCD, the
+// CoreTime phase, EnumBase and Enum on every dataset under defaults.
+func (s *Suite) Figure6() (*Table, error) {
+	t := &Table{
+		Title:  "Figure 6 — average running time in seconds (k=30% kmax, range=10% tmax)",
+		Header: []string{"dataset", "OTCD", "CoreTime", "EnumBase", "Enum", "cores/query"},
+	}
+	for _, code := range s.datasets(AllDatasets) {
+		d, err := s.Dataset(code)
+		if err != nil {
+			return nil, err
+		}
+		k := d.K(DefaultKPct)
+		queries := d.Queries(k, DefaultRangePct, s.QueriesPerPoint, s.Seed)
+		if len(queries) == 0 {
+			t.AddRow(code, "-", "-", "-", "-", "0")
+			continue
+		}
+		n := time.Duration(len(queries))
+		mEnum, err := Run(d, k, queries, core.AlgoEnum, RunOptions{Timeout: s.Timeout})
+		if err != nil {
+			return nil, err
+		}
+		mBase, err := Run(d, k, queries, core.AlgoEnumBase, RunOptions{Timeout: s.Timeout})
+		if err != nil {
+			return nil, err
+		}
+		mOTCD, err := Run(d, k, queries, core.AlgoOTCD, RunOptions{Timeout: s.Timeout})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(code,
+			FmtDurTL(mOTCD.Total/n, mOTCD.TimedOut),
+			FmtDur(mEnum.CoreTime/n),
+			FmtDurTL(mBase.Total/n, mBase.TimedOut),
+			FmtDur(mEnum.Total/n),
+			FmtCount(int64(mEnum.AvgCores())))
+	}
+	t.AddNote("TL marks runs that hit the %v per-query time limit", s.Timeout)
+	t.AddNote("CoreTime is the shared VCT+ECS phase, included in both EnumBase and Enum totals")
+	return t, nil
+}
+
+// sweep runs Enum+CoreTime / EnumBase+CoreTime / OTCD over one varying
+// parameter, reproducing the layout of Figures 7 and 8.
+func (s *Suite) sweep(title string, points []int, setup func(d *Dataset, point int) (k int, rangePct int)) (*Table, error) {
+	t := &Table{Title: title, Header: []string{"dataset", "point", "Enum+CoreTime", "EnumBase+CoreTime", "OTCD", "cores/query"}}
+	for _, code := range s.datasets(SweepDatasets) {
+		d, err := s.Dataset(code)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range points {
+			k, rangePct := setup(d, pt)
+			queries := d.Queries(k, rangePct, s.QueriesPerPoint, s.Seed+int64(pt))
+			if len(queries) == 0 {
+				t.AddRow(code, fmt.Sprintf("%d%%", pt), "-", "-", "-", "0")
+				continue
+			}
+			n := time.Duration(len(queries))
+			mEnum, err := Run(d, k, queries, core.AlgoEnum, RunOptions{Timeout: s.Timeout})
+			if err != nil {
+				return nil, err
+			}
+			mBase, err := Run(d, k, queries, core.AlgoEnumBase, RunOptions{Timeout: s.Timeout})
+			if err != nil {
+				return nil, err
+			}
+			mOTCD, err := Run(d, k, queries, core.AlgoOTCD, RunOptions{Timeout: s.Timeout})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(code, fmt.Sprintf("%d%%", pt),
+				FmtDur(mEnum.Total/n),
+				FmtDurTL(mBase.Total/n, mBase.TimedOut),
+				FmtDurTL(mOTCD.Total/n, mOTCD.TimedOut),
+				FmtCount(int64(mEnum.AvgCores())))
+		}
+	}
+	return t, nil
+}
+
+// Figure7 varies k between 10% and 40% of kmax at the default range.
+func (s *Suite) Figure7() (*Table, error) {
+	return s.sweep(
+		"Figure 7 — average running time (s) varying k (10-40% of kmax), range=10% tmax",
+		[]int{10, 20, 30, 40},
+		func(d *Dataset, pt int) (int, int) { return d.K(pt), DefaultRangePct },
+	)
+}
+
+// Figure8 varies the query range between 5% and 40% of tmax at default k.
+func (s *Suite) Figure8() (*Table, error) {
+	return s.sweep(
+		"Figure 8 — average running time (s) varying range (5-40% of tmax), k=30% kmax",
+		[]int{5, 10, 20, 40},
+		func(d *Dataset, pt int) (int, int) { return d.K(DefaultKPct), pt },
+	)
+}
+
+// Figure9 reproduces Figure 9: the average number of temporal k-cores per
+// dataset under defaults.
+func (s *Suite) Figure9() (*Table, error) {
+	t := &Table{
+		Title:  "Figure 9 — average number of temporal k-cores (defaults)",
+		Header: []string{"dataset", "cores/query", "|R|/query"},
+	}
+	for _, code := range s.datasets(AllDatasets) {
+		d, err := s.Dataset(code)
+		if err != nil {
+			return nil, err
+		}
+		k := d.K(DefaultKPct)
+		queries := d.Queries(k, DefaultRangePct, s.QueriesPerPoint, s.Seed)
+		if len(queries) == 0 {
+			t.AddRow(code, "0", "0")
+			continue
+		}
+		m, err := Run(d, k, queries, core.AlgoEnum, RunOptions{})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(code, FmtCount(int64(m.AvgCores())), FmtCount(m.REdges/int64(len(queries))))
+	}
+	return t, nil
+}
+
+// countSweep renders Figures 10 and 11 (result counts under a sweep).
+func (s *Suite) countSweep(title string, points []int, setup func(d *Dataset, point int) (k int, rangePct int)) (*Table, error) {
+	t := &Table{Title: title, Header: []string{"dataset", "point", "cores/query", "|R|/query"}}
+	for _, code := range s.datasets(SweepDatasets) {
+		d, err := s.Dataset(code)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range points {
+			k, rangePct := setup(d, pt)
+			queries := d.Queries(k, rangePct, s.QueriesPerPoint, s.Seed+int64(pt))
+			if len(queries) == 0 {
+				t.AddRow(code, fmt.Sprintf("%d%%", pt), "0", "0")
+				continue
+			}
+			m, err := Run(d, k, queries, core.AlgoEnum, RunOptions{})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(code, fmt.Sprintf("%d%%", pt), FmtCount(int64(m.AvgCores())), FmtCount(m.REdges/int64(len(queries))))
+		}
+	}
+	return t, nil
+}
+
+// Figure10 counts results varying k.
+func (s *Suite) Figure10() (*Table, error) {
+	return s.countSweep(
+		"Figure 10 — average number of temporal k-cores varying k (10-40% kmax)",
+		[]int{10, 20, 30, 40},
+		func(d *Dataset, pt int) (int, int) { return d.K(pt), DefaultRangePct },
+	)
+}
+
+// Figure11 counts results varying the time range.
+func (s *Suite) Figure11() (*Table, error) {
+	return s.countSweep(
+		"Figure 11 — average number of temporal k-cores varying range (5-40% tmax)",
+		[]int{5, 10, 20, 40},
+		func(d *Dataset, pt int) (int, int) { return d.K(DefaultKPct), pt },
+	)
+}
+
+// Figure12 reproduces Figure 12: the peak memory of each algorithm under
+// defaults.
+func (s *Suite) Figure12() (*Table, error) {
+	t := &Table{
+		Title:  "Figure 12 — peak heap above baseline in MB (defaults)",
+		Header: []string{"dataset", "OTCD", "EnumBase", "Enum"},
+	}
+	for _, code := range s.datasets(AllDatasets) {
+		d, err := s.Dataset(code)
+		if err != nil {
+			return nil, err
+		}
+		k := d.K(DefaultKPct)
+		queries := d.Queries(k, DefaultRangePct, s.QueriesPerPoint, s.Seed)
+		if len(queries) == 0 {
+			t.AddRow(code, "-", "-", "-")
+			continue
+		}
+		cells := make([]string, 0, 3)
+		for _, algo := range []core.Algorithm{core.AlgoOTCD, core.AlgoEnumBase, core.AlgoEnum} {
+			m, err := Run(d, k, queries, algo, RunOptions{Timeout: s.Timeout, TrackMemory: true})
+			if err != nil {
+				return nil, err
+			}
+			if m.TimedOut {
+				cells = append(cells, "TL")
+			} else {
+				cells = append(cells, FmtBytes(m.PeakHeap))
+			}
+		}
+		t.AddRow(append([]string{code}, cells...)...)
+	}
+	t.AddNote("paper: OTCD ~7GB, EnumBase more, Enum <2GB at full scale; compare relative order")
+	return t, nil
+}
+
+// Figures maps figure ids to their runners.
+func (s *Suite) Figures() map[string]func() (*Table, error) {
+	return map[string]func() (*Table, error){
+		"table3": s.Table3,
+		"4":      s.Figure4,
+		"6":      s.Figure6,
+		"7":      s.Figure7,
+		"8":      s.Figure8,
+		"9":      s.Figure9,
+		"10":     s.Figure10,
+		"11":     s.Figure11,
+		"12":     s.Figure12,
+	}
+}
+
+// FigureOrder is the canonical rendering order.
+var FigureOrder = []string{"table3", "4", "6", "7", "8", "9", "10", "11", "12"}

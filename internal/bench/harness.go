@@ -1,0 +1,226 @@
+// Package bench is the measurement harness for the paper's evaluation
+// (Section VI): it loads scaled dataset replicas, draws random query
+// workloads with the paper's parameterisation (k as a percentage of kmax,
+// range length as a percentage of tmax, every range guaranteed to contain a
+// temporal k-core), runs the algorithms under a time limit, and renders the
+// series of every figure and table.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"temporalkcore/internal/core"
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/gen"
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/tgraph"
+)
+
+// Dataset is a loaded replica ready for experiments.
+type Dataset struct {
+	Code    string
+	Replica gen.Replica
+	G       *tgraph.Graph
+	KMax    int
+	Stats   tgraph.Stats
+}
+
+// LoadDataset generates the scaled replica for a dataset code and computes
+// its statistics.
+func LoadDataset(code string, targetEdges int, seed int64) (*Dataset, error) {
+	rep, err := gen.ReplicaByCode(code)
+	if err != nil {
+		return nil, err
+	}
+	g, err := rep.Generate(targetEdges, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Code:    code,
+		Replica: rep,
+		G:       g,
+		KMax:    kcore.KMax(g),
+		Stats:   g.ComputeStats(),
+	}, nil
+}
+
+// K returns the query k for a percentage of kmax (at least 2, as k=1 cores
+// are degenerate).
+func (d *Dataset) K(pct int) int {
+	k := d.KMax * pct / 100
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// Queries draws count random query ranges of length pct% of tmax, each
+// guaranteed to contain at least one temporal k-core (the paper's setup).
+// Ranges may overlap. When fewer than count valid ranges can be found the
+// returned slice is shorter.
+func (d *Dataset) Queries(k, pct, count int, seed int64) []tgraph.Window {
+	r := rand.New(rand.NewSource(seed))
+	tmax := int(d.G.TMax())
+	length := tmax * pct / 100
+	if length < 1 {
+		length = 1
+	}
+	if length > tmax {
+		length = tmax
+	}
+	p := kcore.NewPeeler(d.G)
+	var out []tgraph.Window
+	attempts := 0
+	for len(out) < count && attempts < 200*count {
+		attempts++
+		start := 1 + r.Intn(tmax-length+1)
+		w := tgraph.Window{Start: tgraph.TS(start), End: tgraph.TS(start + length - 1)}
+		// A range contains a temporal k-core iff its widest window does
+		// (k-cores are monotone under edge insertion).
+		if p.HasCoreInWindow(k, w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Measurement is the outcome of running one algorithm over one workload.
+type Measurement struct {
+	Algo     core.Algorithm
+	CoreTime time.Duration // VCT+ECS construction (zero for OTCD)
+	EnumTime time.Duration // enumeration phase
+	Total    time.Duration
+	Cores    int64
+	REdges   int64 // |R|
+	VCTSize  int
+	ECSSize  int
+	PeakHeap uint64 // peak heap during the run, minus the baseline
+	TimedOut bool
+	Queries  int
+}
+
+// RunOptions tunes a measurement run.
+type RunOptions struct {
+	Timeout     time.Duration // per query; 0 = none
+	TrackMemory bool          // sample the heap to estimate the peak
+}
+
+// Run executes one algorithm over all query windows and accumulates the
+// measurements. Results are counted, not materialised, matching the paper's
+// |R| metric.
+func Run(d *Dataset, k int, queries []tgraph.Window, algo core.Algorithm, opts RunOptions) (Measurement, error) {
+	m := Measurement{Algo: algo, Queries: len(queries)}
+
+	var sampler *heapSampler
+	if opts.TrackMemory {
+		sampler = startHeapSampler()
+		defer sampler.stop()
+	}
+
+	for _, w := range queries {
+		var deadline time.Time
+		var stop func() bool
+		if opts.Timeout > 0 {
+			deadline = time.Now().Add(opts.Timeout)
+			stop = func() bool { return time.Now().After(deadline) }
+		}
+		sink := &enum.CountSink{}
+		st, err := core.Query(d.G, k, w, sink, core.Options{Algorithm: algo, Stop: stop})
+		if err != nil {
+			return m, fmt.Errorf("bench: %s on %s: %w", algo, d.Code, err)
+		}
+		m.CoreTime += st.CoreTime
+		m.EnumTime += st.EnumTime
+		m.Cores += sink.Cores
+		m.REdges += sink.EdgeTotal
+		m.VCTSize += st.VCTSize
+		m.ECSSize += st.ECSSize
+		if st.Stopped {
+			m.TimedOut = true
+		}
+	}
+	m.Total = m.CoreTime + m.EnumTime
+	if sampler != nil {
+		m.PeakHeap = sampler.peak()
+	}
+	return m, nil
+}
+
+// AvgTotal is the average wall time per query.
+func (m Measurement) AvgTotal() time.Duration {
+	if m.Queries == 0 {
+		return 0
+	}
+	return m.Total / time.Duration(m.Queries)
+}
+
+// AvgCores is the average number of results per query.
+func (m Measurement) AvgCores() float64 {
+	if m.Queries == 0 {
+		return 0
+	}
+	return float64(m.Cores) / float64(m.Queries)
+}
+
+// heapSampler estimates the peak heap occupancy during a run by polling
+// runtime.ReadMemStats from a background goroutine. The baseline before the
+// run is subtracted so the number approximates the algorithm's footprint.
+type heapSampler struct {
+	baseline uint64
+	max      atomic.Uint64
+	done     chan struct{}
+	finished chan struct{}
+}
+
+func startHeapSampler() *heapSampler {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := &heapSampler{baseline: ms.HeapAlloc, done: make(chan struct{}), finished: make(chan struct{})}
+	go func() {
+		defer close(s.finished)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-tick.C:
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if cur := ms.HeapAlloc; cur > s.max.Load() {
+					s.max.Store(cur)
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) stop() {
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+	<-s.finished
+}
+
+func (s *heapSampler) peak() uint64 {
+	// One final synchronous sample so short runs are not missed.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if cur := ms.HeapAlloc; cur > s.max.Load() {
+		s.max.Store(cur)
+	}
+	p := s.max.Load()
+	if p < s.baseline {
+		return 0
+	}
+	return p - s.baseline
+}

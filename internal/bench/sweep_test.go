@@ -1,0 +1,75 @@
+package bench_test
+
+import (
+	"testing"
+	"time"
+
+	"temporalkcore/internal/bench"
+)
+
+// tinySuite keeps sweep smoke tests fast.
+func tinySuite() *bench.Suite {
+	return &bench.Suite{
+		TargetEdges:     900,
+		QueriesPerPoint: 1,
+		Timeout:         20 * time.Second,
+		Seed:            2,
+		Datasets:        []string{"FB"},
+	}
+}
+
+func TestSweepFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := tinySuite()
+	for name, run := range map[string]func() (*bench.Table, error){
+		"fig7":  s.Figure7,
+		"fig8":  s.Figure8,
+		"fig10": s.Figure10,
+		"fig11": s.Figure11,
+	} {
+		tbl, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tbl.Rows) != 4 { // one dataset, four points
+			t.Errorf("%s: %d rows, want 4", name, len(tbl.Rows))
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Errorf("%s: ragged row %v", name, row)
+			}
+		}
+	}
+}
+
+func TestFigure9Small(t *testing.T) {
+	s := tinySuite()
+	tbl, err := s.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTable3Small(t *testing.T) {
+	s := tinySuite()
+	tbl, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0]) != 9 {
+		t.Fatalf("unexpected shape: %+v", tbl.Rows)
+	}
+}
+
+func TestSuiteUnknownDataset(t *testing.T) {
+	s := tinySuite()
+	s.Datasets = []string{"??"}
+	if _, err := s.Figure9(); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment result: one header row plus data rows,
+// printed with aligned columns in the shape of the paper's tables/series.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("  note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FmtDur renders a duration in seconds with adaptive precision, matching
+// the paper's log-scale second-based plots.
+func FmtDur(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s == 0:
+		return "0"
+	case s < 0.001:
+		return fmt.Sprintf("%.2e", s)
+	case s < 1:
+		return fmt.Sprintf("%.4f", s)
+	default:
+		return fmt.Sprintf("%.3f", s)
+	}
+}
+
+// FmtDurTL renders a duration, or "TL" when the time limit was hit
+// (matching the paper's missing bars for OTCD/EnumBase runs that did not
+// finish).
+func FmtDurTL(d time.Duration, timedOut bool) string {
+	if timedOut {
+		return "TL"
+	}
+	return FmtDur(d)
+}
+
+// FmtCount renders large counts compactly.
+func FmtCount(c int64) string {
+	switch {
+	case c >= 1_000_000_000:
+		return fmt.Sprintf("%.2fG", float64(c)/1e9)
+	case c >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(c)/1e6)
+	case c >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(c)/1e3)
+	default:
+		return fmt.Sprintf("%d", c)
+	}
+}
+
+// FmtBytes renders a byte count in MB, the unit of Figure 12.
+func FmtBytes(b uint64) string {
+	return fmt.Sprintf("%.2f", float64(b)/(1<<20))
+}

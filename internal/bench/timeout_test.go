@@ -1,0 +1,57 @@
+package bench_test
+
+import (
+	"testing"
+	"time"
+
+	"temporalkcore/internal/bench"
+	"temporalkcore/internal/core"
+)
+
+// TestRunTimeoutFlag: an absurdly small time limit must mark the
+// measurement as timed out for the quadratic algorithms instead of hanging
+// or erroring.
+func TestRunTimeoutFlag(t *testing.T) {
+	d, err := bench.LoadDataset("CM", 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := d.K(bench.DefaultKPct)
+	qs := d.Queries(k, 40, 1, 3)
+	if len(qs) == 0 {
+		t.Skip("no queries at this scale")
+	}
+	for _, algo := range []core.Algorithm{core.AlgoEnumBase, core.AlgoOTCD} {
+		m, err := bench.Run(d, k, qs, algo, bench.RunOptions{Timeout: time.Nanosecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.TimedOut {
+			t.Errorf("%v with 1ns budget did not report a timeout", algo)
+		}
+	}
+	// Enum has no Stop hook (it is the output-optimal algorithm); the
+	// harness must still complete it correctly.
+	m, err := bench.Run(d, k, qs, core.AlgoEnum, bench.RunOptions{Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cores == 0 {
+		t.Error("Enum produced nothing")
+	}
+}
+
+// TestMeasurementAverages covers the per-query averaging helpers.
+func TestMeasurementAverages(t *testing.T) {
+	m := bench.Measurement{Total: 4 * time.Second, Cores: 10, Queries: 2}
+	if m.AvgTotal() != 2*time.Second {
+		t.Errorf("AvgTotal = %v", m.AvgTotal())
+	}
+	if m.AvgCores() != 5 {
+		t.Errorf("AvgCores = %f", m.AvgCores())
+	}
+	var zero bench.Measurement
+	if zero.AvgTotal() != 0 || zero.AvgCores() != 0 {
+		t.Error("zero-query averages should be zero")
+	}
+}

@@ -1,0 +1,116 @@
+// Package core wires the paper's framework together (Figure 3): it runs the
+// CoreTime phase (vertex core times + edge core window skylines, package
+// vct) and then one of the three enumeration algorithms — the optimal Enum,
+// the straightforward EnumBase, or the OTCD baseline — over a query
+// (k, [Ts, Te]), reporting the intermediate sizes the paper analyses
+// (|VCT|, |ECS|, |R|).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/otcd"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// Algorithm selects the enumeration strategy.
+type Algorithm int
+
+const (
+	// AlgoEnum is the paper's optimal algorithm (Algorithms 2+4+5),
+	// O(|VCT|·deg_avg + |R|).
+	AlgoEnum Algorithm = iota
+	// AlgoEnumBase is the straightforward method (Algorithms 2+3),
+	// O(|VCT|·deg_avg + tmax² + dedup).
+	AlgoEnumBase
+	// AlgoOTCD is the decremental state-of-the-art baseline.
+	AlgoOTCD
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoEnum:
+		return "Enum"
+	case AlgoEnumBase:
+		return "EnumBase"
+	case AlgoOTCD:
+		return "OTCD"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures a query run.
+type Options struct {
+	Algorithm Algorithm
+	// EnumBase options.
+	HashOnlyDedup bool
+	// OTCD options.
+	OTCD otcd.Options
+	// Stop, when non-nil, imposes a time limit on the quadratic algorithms
+	// (EnumBase, OTCD); it is polled once per start time.
+	Stop func() bool
+}
+
+// Stats reports per-phase measurements of one query run.
+type Stats struct {
+	VCTSize  int // |VCT|: vertex core time index entries
+	ECSSize  int // |ECS|: minimal core windows over all edges
+	CoreTime time.Duration
+	EnumTime time.Duration
+	Stopped  bool // the sink ended the enumeration early
+}
+
+// Query validates and runs a time-range k-core query, streaming every
+// distinct temporal k-core to sink.
+func Query(g *tgraph.Graph, k int, w tgraph.Window, sink enum.Sink, opts Options) (Stats, error) {
+	var st Stats
+	if g == nil {
+		return st, fmt.Errorf("core: nil graph")
+	}
+	if k < 1 {
+		return st, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if !w.Valid() || w.End > g.TMax() {
+		return st, fmt.Errorf("core: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, g.TMax())
+	}
+
+	if opts.Algorithm == AlgoOTCD {
+		oo := opts.OTCD
+		if oo.Stop == nil {
+			oo.Stop = opts.Stop
+		}
+		start := time.Now()
+		ok := otcd.Enumerate(g, k, w, sink, oo)
+		st.EnumTime = time.Since(start)
+		st.Stopped = !ok
+		return st, nil
+	}
+
+	start := time.Now()
+	ix, ecs, err := vct.Build(g, k, w)
+	if err != nil {
+		return st, err
+	}
+	st.CoreTime = time.Since(start)
+	st.VCTSize = ix.Size()
+	st.ECSSize = ecs.Size()
+
+	start = time.Now()
+	var ok bool
+	switch opts.Algorithm {
+	case AlgoEnum:
+		ok = enum.Enumerate(g, ecs, sink)
+	case AlgoEnumBase:
+		ok = enum.EnumerateBase(g, ecs, sink, enum.BaseOptions{HashOnlyDedup: opts.HashOnlyDedup, Stop: opts.Stop})
+	default:
+		return st, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
+	}
+	st.EnumTime = time.Since(start)
+	st.Stopped = !ok
+	return st, nil
+}

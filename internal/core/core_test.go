@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/core"
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/tgraph"
+)
+
+func TestQueryAllAlgorithmsAgree(t *testing.T) {
+	g := paperex.Graph()
+	w := g.FullWindow()
+	var ref []enum.Core
+	for _, algo := range []core.Algorithm{core.AlgoEnum, core.AlgoEnumBase, core.AlgoOTCD} {
+		var sink enum.CollectSink
+		st, err := core.Query(g, 2, w, &sink, core.Options{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if st.Stopped {
+			t.Fatalf("%v stopped", algo)
+		}
+		enum.SortCores(sink.Cores)
+		if ref == nil {
+			ref = sink.Cores
+			continue
+		}
+		if !enum.EqualCoreSets(ref, sink.Cores) {
+			t.Errorf("%v disagrees with Enum: %d vs %d cores", algo, len(sink.Cores), len(ref))
+		}
+	}
+}
+
+func TestQueryStats(t *testing.T) {
+	g := paperex.Graph()
+	var sink enum.CountSink
+	st, err := core.Query(g, 2, g.FullWindow(), &sink, core.Options{Algorithm: core.AlgoEnum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sizes of the paper example: Table I has 24 entries (corrected), and
+	// Table II has 18 windows.
+	if st.VCTSize != 24 {
+		t.Errorf("|VCT| = %d, want 24", st.VCTSize)
+	}
+	if st.ECSSize != 18 {
+		t.Errorf("|ECS| = %d, want 18", st.ECSSize)
+	}
+	if sink.Cores == 0 || sink.EdgeTotal == 0 {
+		t.Errorf("no results counted: %+v", sink)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	g := paperex.Graph()
+	var sink enum.CountSink
+	if _, err := core.Query(nil, 2, g.FullWindow(), &sink, core.Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := core.Query(g, 0, g.FullWindow(), &sink, core.Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := core.Query(g, 2, tgraph.Window{Start: 0, End: 3}, &sink, core.Options{}); err == nil {
+		t.Error("start 0 accepted")
+	}
+	if _, err := core.Query(g, 2, tgraph.Window{Start: 1, End: 100}, &sink, core.Options{}); err == nil {
+		t.Error("end beyond tmax accepted")
+	}
+	if _, err := core.Query(g, 2, g.FullWindow(), &sink, core.Options{Algorithm: core.Algorithm(99)}); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}
+
+func TestStopPropagates(t *testing.T) {
+	g := paperex.Graph()
+	var sink enum.CountSink
+	stop := func() bool { return true }
+	for _, algo := range []core.Algorithm{core.AlgoEnumBase, core.AlgoOTCD} {
+		st, err := core.Query(g, 2, g.FullWindow(), &sink, core.Options{Algorithm: algo, Stop: stop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Stopped {
+			t.Errorf("%v ignored Stop", algo)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for algo, want := range map[core.Algorithm]string{
+		core.AlgoEnum:      "Enum",
+		core.AlgoEnumBase:  "EnumBase",
+		core.AlgoOTCD:      "OTCD",
+		core.Algorithm(42): "Algorithm(42)",
+	} {
+		if got := algo.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(algo), got, want)
+		}
+	}
+}

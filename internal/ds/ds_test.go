@@ -1,0 +1,157 @@
+package ds_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"temporalkcore/internal/ds"
+)
+
+func TestSigToggleInverse(t *testing.T) {
+	var s ds.Sig128
+	s.Toggle(42)
+	if s.Zero() {
+		t.Error("signature of {42} is zero")
+	}
+	s.Toggle(42)
+	if !s.Zero() {
+		t.Error("toggle twice did not cancel")
+	}
+}
+
+func TestSigOrderIndependent(t *testing.T) {
+	a := ds.SigOf([]int32{1, 2, 3, 100})
+	b := ds.SigOf([]int32{100, 3, 2, 1})
+	if a != b {
+		t.Error("signature depends on order")
+	}
+	c := ds.SigOf([]int32{1, 2, 3})
+	if a == c {
+		t.Error("different sets collide")
+	}
+}
+
+func TestQuickSigIncremental(t *testing.T) {
+	f := func(items []int32) bool {
+		seen := map[int32]bool{}
+		var uniq []int32
+		for _, it := range items {
+			if !seen[it] {
+				seen[it] = true
+				uniq = append(uniq, it)
+			}
+		}
+		var inc ds.Sig128
+		for _, it := range uniq {
+			inc.Toggle(it)
+		}
+		return inc == ds.SigOf(uniq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSigDistinctSets(t *testing.T) {
+	// Random distinct small sets should essentially never collide.
+	r := rand.New(rand.NewSource(5))
+	seen := map[ds.Sig128][]int32{}
+	for i := 0; i < 5000; i++ {
+		n := 1 + r.Intn(8)
+		set := map[int32]bool{}
+		for len(set) < n {
+			set[int32(r.Intn(1<<20))] = true
+		}
+		var items []int32
+		for it := range set {
+			items = append(items, it)
+		}
+		sig := ds.SigOf(items)
+		if prev, ok := seen[sig]; ok && !sameSet(prev, items) {
+			t.Fatalf("collision between %v and %v", prev, items)
+		}
+		seen[sig] = items
+	}
+}
+
+func sameSet(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[int32]bool{}
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQueueFIFO(t *testing.T) {
+	var q ds.Queue
+	for i := int32(0); i < 100; i++ {
+		q.Push(i)
+	}
+	for i := int32(0); i < 100; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("pop %d, want %d", got, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("len = %d", q.Len())
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	var q ds.Queue
+	// Interleave pushes and pops to force compaction.
+	next, expect := int32(0), int32(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 100; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 99; i++ {
+			if got := q.Pop(); got != expect {
+				t.Fatalf("pop %d, want %d", got, expect)
+			}
+			expect++
+		}
+	}
+	for q.Len() > 0 {
+		if got := q.Pop(); got != expect {
+			t.Fatalf("drain pop %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Errorf("drained %d items, pushed %d", expect, next)
+	}
+}
+
+func TestQueueReset(t *testing.T) {
+	var q ds.Queue
+	q.Push(1)
+	q.Push(2)
+	q.Reset()
+	if q.Len() != 0 {
+		t.Errorf("len after reset = %d", q.Len())
+	}
+	q.Push(7)
+	if q.Pop() != 7 {
+		t.Error("queue broken after reset")
+	}
+}
+
+func TestMix64NotIdentity(t *testing.T) {
+	if ds.Mix64(0) == 0 && ds.Mix64(1) == 1 {
+		t.Error("Mix64 looks like identity")
+	}
+	if ds.Mix64(12345) == ds.Mix64(12346) {
+		t.Error("adjacent inputs collide")
+	}
+}

@@ -1,0 +1,140 @@
+package enum
+
+import (
+	"sort"
+
+	"temporalkcore/internal/ds"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// BaseOptions configures EnumerateBase.
+type BaseOptions struct {
+	// HashOnlyDedup replaces the exact duplicate check (which stores every
+	// distinct core, as the paper's baseline does and as its Figure 12
+	// memory numbers reflect) with a 128-bit signature set.
+	HashOnlyDedup bool
+	// Stop, when non-nil, is polled once per start time; returning true
+	// aborts the enumeration (used to impose the experiments' time limit).
+	Stop func() bool
+}
+
+// EnumerateBase is the straightforward method of Section V-A (Algorithm 3):
+// for every start time it buckets each edge's first minimal core window not
+// starting earlier by end time, accumulates buckets over ascending end
+// times, and deduplicates the resulting cores against everything emitted so
+// far. It visits O(tmax^2) windows in the worst case. It returns false when
+// the sink stopped the enumeration early.
+func EnumerateBase(g *tgraph.Graph, ecs *vct.ECS, sink Sink, opts BaseOptions) bool {
+	w := ecs.Range
+	tlen := int(w.End-w.Start) + 1
+	lo, hi := ecs.EdgeRange()
+
+	ptr := make([]int32, hi-lo) // per edge: first window with start >= ts
+	buckets := make([][]tgraph.EID, tlen)
+	used := make([]int32, 0, tlen)
+
+	seenSigs := make(map[ds.Sig128]struct{})
+	var stored map[ds.Sig128][][]tgraph.EID
+	if !opts.HashOnlyDedup {
+		stored = make(map[ds.Sig128][][]tgraph.EID)
+	}
+
+	c := make([]tgraph.EID, 0, 1024)
+	sortedBuf := make([]tgraph.EID, 0, 1024)
+
+	for off := 0; off < tlen; off++ {
+		ts := w.Start + tgraph.TS(off)
+		if opts.Stop != nil && opts.Stop() {
+			return false
+		}
+
+		// Fill the buckets (Algorithm 3 lines 3-6).
+		used = used[:0]
+		anyBucket := false
+		for e := lo; e < hi; e++ {
+			wins := ecs.Windows(e)
+			p := ptr[e-lo]
+			for int(p) < len(wins) && wins[p].Start < ts {
+				p++
+			}
+			ptr[e-lo] = p
+			if int(p) == len(wins) {
+				continue
+			}
+			bi := wins[p].End - w.Start
+			if len(buckets[bi]) == 0 {
+				used = append(used, int32(bi))
+			}
+			buckets[bi] = append(buckets[bi], e)
+			anyBucket = true
+		}
+		if !anyBucket {
+			continue
+		}
+
+		// Accumulate over ascending end times (lines 7-12). The TTI of the
+		// accumulated core is the min/max edge time, maintained on the fly.
+		c = c[:0]
+		var sig ds.Sig128
+		minT, maxT := tgraph.TS(0), tgraph.TS(0)
+		for bi := 0; bi < tlen; bi++ {
+			b := buckets[bi]
+			if len(b) == 0 {
+				continue
+			}
+			for _, e := range b {
+				c = append(c, e)
+				sig.Toggle(int32(e))
+				t := g.Edge(e).T
+				if minT == 0 || t < minT {
+					minT = t
+				}
+				if t > maxT {
+					maxT = t
+				}
+			}
+			if opts.HashOnlyDedup {
+				if _, ok := seenSigs[sig]; ok {
+					continue
+				}
+				seenSigs[sig] = struct{}{}
+			} else {
+				// Exact duplicate check: store every distinct core, as the
+				// paper's baseline does (signatures only narrow the search).
+				sortedBuf = append(sortedBuf[:0], c...)
+				sort.Slice(sortedBuf, func(i, j int) bool { return sortedBuf[i] < sortedBuf[j] })
+				if containsEdgeSet(stored[sig], sortedBuf) {
+					continue
+				}
+				cp := make([]tgraph.EID, len(sortedBuf))
+				copy(cp, sortedBuf)
+				stored[sig] = append(stored[sig], cp)
+			}
+			if !sink.Emit(tgraph.Window{Start: minT, End: maxT}, c) {
+				return false
+			}
+		}
+
+		for _, bi := range used {
+			buckets[bi] = buckets[bi][:0]
+		}
+	}
+	return true
+}
+
+func containsEdgeSet(sets [][]tgraph.EID, s []tgraph.EID) bool {
+outer:
+	for _, st := range sets {
+		if len(st) != len(s) {
+			continue
+		}
+		for i := range st {
+			if st[i] != s[i] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

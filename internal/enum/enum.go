@@ -1,0 +1,138 @@
+package enum
+
+import (
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// node is one minimal core window in the per-start-time order L_ts. Nodes
+// live in a flat arena and link to each other by index; -1 terminates.
+type node struct {
+	start, end tgraph.TS
+	active     tgraph.TS
+	eid        tgraph.EID
+	prev, next int32
+}
+
+const nilNode = int32(-1)
+
+// Enumerate runs the paper's optimal algorithm (Algorithm 5 with AS-Output,
+// Algorithm 4): it emits every distinct temporal k-core of the skyline's
+// query range exactly once, identified by its tightest time interval, in
+// time bounded by the total result size O(|R|). It returns false when the
+// sink stopped the enumeration early.
+func Enumerate(g *tgraph.Graph, ecs *vct.ECS, sink Sink) bool {
+	w := ecs.Range
+	tlen := int(w.End-w.Start) + 1
+	lo, hi := ecs.EdgeRange()
+
+	// Materialise window nodes with their active times (Definition 6:
+	// the first window of an edge activates at Ts, each later window one
+	// step after the preceding window's start).
+	nodes := make([]node, 0, ecs.Size())
+	for e := lo; e < hi; e++ {
+		wins := ecs.Windows(e)
+		for i, win := range wins {
+			act := w.Start
+			if i > 0 {
+				act = wins[i-1].Start + 1
+			}
+			nodes = append(nodes, node{start: win.Start, end: win.End, active: act, eid: e})
+		}
+	}
+
+	// Bucket nodes: Ba[t] holds the windows activating at t in ascending
+	// end order (so the merge insertion below is a single forward scan);
+	// Bs[t] holds the windows starting at t (deleted when ts passes t).
+	// Ascending-end order is obtained with a counting sort by end.
+	endCnt := make([]int32, tlen+1)
+	for i := range nodes {
+		endCnt[nodes[i].end-w.Start+1]++
+	}
+	for t := 0; t < tlen; t++ {
+		endCnt[t+1] += endCnt[t]
+	}
+	byEnd := make([]int32, len(nodes))
+	for i := range nodes {
+		pos := nodes[i].end - w.Start
+		byEnd[endCnt[pos]] = int32(i)
+		endCnt[pos]++
+	}
+
+	ba := make([][]int32, tlen)
+	bs := make([][]int32, tlen)
+	for _, ni := range byEnd {
+		a := nodes[ni].active - w.Start
+		ba[a] = append(ba[a], ni)
+	}
+	for i := range nodes {
+		s := nodes[i].start - w.Start
+		bs[s] = append(bs[s], int32(i))
+	}
+
+	// Doubly linked list with a dummy head stored as head/first pointers.
+	head := int32(len(nodes))
+	nodes = append(nodes, node{next: nilNode, prev: nilNode})
+
+	edgeBuf := make([]tgraph.EID, 0, 1024)
+
+	for off := 0; off < tlen; off++ {
+		t := w.Start + tgraph.TS(off)
+
+		// Remove windows whose start time has passed (lines 14-16).
+		if off > 0 {
+			for _, ni := range bs[off-1] {
+				p, nx := nodes[ni].prev, nodes[ni].next
+				nodes[p].next = nx
+				if nx != nilNode {
+					nodes[nx].prev = p
+				}
+			}
+		}
+
+		// Insert newly active windows with a single merge scan (lines
+		// 17-22); ba[off] ascends by end, so h never moves backwards.
+		h := head
+		for _, ni := range ba[off] {
+			for nodes[h].next != nilNode && nodes[nodes[h].next].end < nodes[ni].end {
+				h = nodes[h].next
+			}
+			nx := nodes[h].next
+			nodes[ni].prev = h
+			nodes[ni].next = nx
+			nodes[h].next = ni
+			if nx != nilNode {
+				nodes[nx].prev = ni
+			}
+			h = ni
+		}
+
+		// No minimal core window starts at t: no temporal k-core has this
+		// start time (Lemma 4).
+		if len(bs[off]) == 0 {
+			continue
+		}
+
+		// AS-Output (Algorithm 4): walk L_t in ascending end order,
+		// accumulating edges; once a window starting exactly at t has been
+		// seen (Lemma 6) every equal-end run boundary is the TTI end of a
+		// distinct temporal k-core.
+		edgeBuf = edgeBuf[:0]
+		valid := false
+		for cur := nodes[head].next; cur != nilNode; {
+			n := &nodes[cur]
+			edgeBuf = append(edgeBuf, n.eid)
+			if n.start == t {
+				valid = true
+			}
+			nx := n.next
+			if valid && (nx == nilNode || nodes[nx].end != n.end) {
+				if !sink.Emit(tgraph.Window{Start: t, End: n.end}, edgeBuf) {
+					return false
+				}
+			}
+			cur = nx
+		}
+	}
+	return true
+}

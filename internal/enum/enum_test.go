@@ -1,0 +1,287 @@
+package enum_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+func runEnum(t *testing.T, g *tgraph.Graph, k int, w tgraph.Window) []enum.Core {
+	t.Helper()
+	_, ecs, err := vct.Build(g, k, w)
+	if err != nil {
+		t.Fatalf("vct.Build: %v", err)
+	}
+	var sink enum.CollectSink
+	if !enum.Enumerate(g, ecs, &sink) {
+		t.Fatal("Enumerate stopped early")
+	}
+	enum.SortCores(sink.Cores)
+	return sink.Cores
+}
+
+func runBase(t *testing.T, g *tgraph.Graph, k int, w tgraph.Window, hashOnly bool) []enum.Core {
+	t.Helper()
+	_, ecs, err := vct.Build(g, k, w)
+	if err != nil {
+		t.Fatalf("vct.Build: %v", err)
+	}
+	var sink enum.CollectSink
+	if !enum.EnumerateBase(g, ecs, &sink, enum.BaseOptions{HashOnlyDedup: hashOnly}) {
+		t.Fatal("EnumerateBase stopped early")
+	}
+	enum.SortCores(sink.Cores)
+	return sink.Cores
+}
+
+// TestPaperFigure2 reproduces Figure 2: exactly two temporal 2-cores for
+// the query range [1,4], with the published TTIs and edge sets.
+func TestPaperFigure2(t *testing.T) {
+	g := paperex.Graph()
+	w := tgraph.Window{Start: 1, End: 4}
+	cores := runEnum(t, g, paperex.K, w)
+	if len(cores) != len(paperex.Figure2) {
+		t.Fatalf("got %d cores, want %d: %+v", len(cores), len(paperex.Figure2), cores)
+	}
+	for _, want := range paperex.Figure2 {
+		found := false
+		for _, got := range cores {
+			if int64(got.TTI.Start) != want.TTI[0] || int64(got.TTI.End) != want.TTI[1] {
+				continue
+			}
+			found = true
+			if len(got.Edges) != len(want.Edges) {
+				t.Errorf("TTI %v: %d edges, want %d", want.TTI, len(got.Edges), len(want.Edges))
+				break
+			}
+			wantSet := map[paperex.ECSEdge]bool{}
+			for _, e := range want.Edges {
+				wantSet[e] = true
+			}
+			for _, eid := range got.Edges {
+				te := g.Edge(eid)
+				key := paperex.ECSEdge{U: g.Label(te.U), V: g.Label(te.V), T: g.RawTime(te.T)}
+				if key.U > key.V {
+					key.U, key.V = key.V, key.U
+				}
+				if !wantSet[key] {
+					t.Errorf("TTI %v: unexpected edge %+v", want.TTI, key)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("expected core with TTI %v not emitted", want.TTI)
+		}
+	}
+}
+
+// TestPaperExample9StartTimes checks the enumeration of the full range
+// against per-start-time expectations derived in Examples 8 and 9: the
+// cores anchored at ts=1 have TTIs [1,4],[1,5],[1,6],[1,7] with sizes
+// 6,11,12,14.
+func TestPaperExample9StartTimes(t *testing.T) {
+	g := paperex.Graph()
+	cores := runEnum(t, g, paperex.K, g.FullWindow())
+	var ts1 []enum.Core
+	for _, c := range cores {
+		if c.TTI.Start == 1 {
+			ts1 = append(ts1, c)
+		}
+	}
+	wantEnds := []tgraph.TS{4, 5, 6, 7}
+	wantSizes := []int{6, 11, 12, 14}
+	if len(ts1) != len(wantEnds) {
+		t.Fatalf("ts=1 cores: got %d, want %d (%+v)", len(ts1), len(wantEnds), ts1)
+	}
+	for i, c := range ts1 {
+		if c.TTI.End != wantEnds[i] || len(c.Edges) != wantSizes[i] {
+			t.Errorf("ts=1 core %d: TTI end %d size %d, want end %d size %d",
+				i, c.TTI.End, len(c.Edges), wantEnds[i], wantSizes[i])
+		}
+	}
+}
+
+// TestAgainstBruteForcePaper compares all three skyline-driven paths with
+// the peeling oracle on the paper graph over every sub-range and k.
+func TestAgainstBruteForcePaper(t *testing.T) {
+	g := paperex.Graph()
+	for k := 1; k <= 3; k++ {
+		for ts := tgraph.TS(1); ts <= g.TMax(); ts++ {
+			for te := ts; te <= g.TMax(); te++ {
+				w := tgraph.Window{Start: ts, End: te}
+				want := enum.BruteForce(g, k, w)
+				got := runEnum(t, g, k, w)
+				if !enum.EqualCoreSets(got, want) {
+					t.Fatalf("k=%d w=[%d,%d]: Enum mismatch\n got %+v\nwant %+v", k, ts, te, got, want)
+				}
+				gotBase := runBase(t, g, k, w, false)
+				if !enum.EqualCoreSets(gotBase, want) {
+					t.Fatalf("k=%d w=[%d,%d]: EnumBase mismatch\n got %+v\nwant %+v", k, ts, te, gotBase, want)
+				}
+			}
+		}
+	}
+}
+
+// randomGraph generates a small random temporal multigraph.
+func randomGraph(r *rand.Rand, n, m, tmax int) *tgraph.Graph {
+	var b tgraph.Builder
+	b.KeepDuplicates = false
+	for i := 0; i < m; i++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		for v == u {
+			v = r.Intn(n)
+		}
+		b.Add(int64(u), int64(v), int64(1+r.Intn(tmax)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestAgainstBruteForceRandom fuzzes all algorithms against the oracle on
+// random small graphs with varying density, k, and query ranges.
+func TestAgainstBruteForceRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	iters := 120
+	if testing.Short() {
+		iters = 25
+	}
+	for it := 0; it < iters; it++ {
+		n := 4 + r.Intn(10)
+		m := 5 + r.Intn(40)
+		tmax := 2 + r.Intn(10)
+		g := randomGraph(r, n, m, tmax)
+		k := 1 + r.Intn(4)
+		ts := tgraph.TS(1 + r.Intn(int(g.TMax())))
+		te := ts + tgraph.TS(r.Intn(int(g.TMax()-ts)+1))
+		w := tgraph.Window{Start: ts, End: te}
+
+		want := enum.BruteForce(g, k, w)
+		got := runEnum(t, g, k, w)
+		if !enum.EqualCoreSets(got, want) {
+			t.Fatalf("iter %d (n=%d m=%d tmax=%d k=%d w=[%d,%d]): Enum mismatch\n got %+v\nwant %+v",
+				it, n, m, tmax, k, ts, te, got, want)
+		}
+		gotBase := runBase(t, g, k, w, it%2 == 0)
+		if !enum.EqualCoreSets(gotBase, want) {
+			t.Fatalf("iter %d: EnumBase mismatch\n got %+v\nwant %+v", it, gotBase, want)
+		}
+	}
+}
+
+// TestEmitInvariants checks structural invariants of every emitted core on
+// random graphs: min degree >= k inside the core, the TTI is exactly the
+// min/max edge time, and the window of every core edge per Lemma 3.
+func TestEmitInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for it := 0; it < 40; it++ {
+		g := randomGraph(r, 5+r.Intn(8), 10+r.Intn(50), 2+r.Intn(12))
+		k := 1 + r.Intn(3)
+		w := g.FullWindow()
+		cores := runEnum(t, g, k, w)
+		p := kcore.NewPeeler(g)
+		seen := map[tgraph.Window]bool{}
+		for _, c := range cores {
+			// TTIs are unique across results.
+			if seen[c.TTI] {
+				t.Fatalf("iter %d: duplicate TTI %v", it, c.TTI)
+			}
+			seen[c.TTI] = true
+			// TTI tightness.
+			minT, maxT := tgraph.InfTime, tgraph.TS(0)
+			deg := map[tgraph.VID]map[tgraph.VID]bool{}
+			for _, e := range c.Edges {
+				te := g.Edge(e)
+				if te.T < minT {
+					minT = te.T
+				}
+				if te.T > maxT {
+					maxT = te.T
+				}
+				if deg[te.U] == nil {
+					deg[te.U] = map[tgraph.VID]bool{}
+				}
+				if deg[te.V] == nil {
+					deg[te.V] = map[tgraph.VID]bool{}
+				}
+				deg[te.U][te.V] = true
+				deg[te.V][te.U] = true
+			}
+			if minT != c.TTI.Start || maxT != c.TTI.End {
+				t.Fatalf("iter %d: TTI %v but edge span [%d,%d]", it, c.TTI, minT, maxT)
+			}
+			// Min degree >= k.
+			for v, nbrs := range deg {
+				if len(nbrs) < k {
+					t.Fatalf("iter %d: vertex %d has %d distinct nbrs < k=%d in core %v", it, v, len(nbrs), k, c.TTI)
+				}
+			}
+			// Maximality: the emitted edge set equals the k-core of its TTI.
+			oracle := p.CoreEdgesOfWindow(k, c.TTI, nil)
+			if len(oracle) != len(c.Edges) {
+				t.Fatalf("iter %d: core of %v has %d edges, emitted %d", it, c.TTI, len(oracle), len(c.Edges))
+			}
+		}
+	}
+}
+
+// TestLimitSink checks early termination propagates.
+func TestLimitSink(t *testing.T) {
+	g := paperex.Graph()
+	_, ecs, err := vct.Build(g, 2, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inner enum.CollectSink
+	sink := &enum.LimitSink{Inner: &inner, Max: 2}
+	if enum.Enumerate(g, ecs, sink) {
+		t.Error("Enumerate should report early stop")
+	}
+	if len(inner.Cores) != 2 {
+		t.Errorf("collected %d cores, want 2", len(inner.Cores))
+	}
+}
+
+// TestVertexSetSink checks the future-work vertex-set projection.
+func TestVertexSetSink(t *testing.T) {
+	g := paperex.Graph()
+	_, ecs, err := vct.Build(g, 2, tgraph.Window{Start: 1, End: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := enum.NewVertexSetSink(g)
+	enum.Enumerate(g, ecs, sink)
+	if len(sink.Sets) != 2 {
+		t.Fatalf("got %d vertex sets, want 2: %v", len(sink.Sets), sink.Sets)
+	}
+}
+
+// TestCountSinkMatchesCollect cross-checks |R| accounting.
+func TestCountSinkMatchesCollect(t *testing.T) {
+	g := paperex.Graph()
+	_, ecs, err := vct.Build(g, 2, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count enum.CountSink
+	var collect enum.CollectSink
+	enum.Enumerate(g, ecs, &count)
+	enum.Enumerate(g, ecs, &collect)
+	var edges int64
+	for _, c := range collect.Cores {
+		edges += int64(len(c.Edges))
+	}
+	if count.Cores != int64(len(collect.Cores)) || count.EdgeTotal != edges {
+		t.Errorf("count (%d cores, %d edges) != collect (%d cores, %d edges)",
+			count.Cores, count.EdgeTotal, len(collect.Cores), edges)
+	}
+}

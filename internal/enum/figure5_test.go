@@ -1,0 +1,129 @@
+package enum_test
+
+import (
+	"sort"
+	"testing"
+
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// lts reconstructs the content of the paper's L_ts structure from the ECS:
+// for each edge, the unique minimal core window whose activation interval
+// [active, start] covers ts, sorted by ascending end time.
+func lts(t *testing.T, g *tgraph.Graph, ecs *vct.ECS, ts tgraph.TS) []tgraph.Window {
+	t.Helper()
+	var out []tgraph.Window
+	lo, hi := ecs.EdgeRange()
+	for e := lo; e < hi; e++ {
+		wins := ecs.Windows(e)
+		active := ecs.Range.Start
+		count := 0
+		for _, w := range wins {
+			if active <= ts && ts <= w.Start {
+				out = append(out, w)
+				count++
+			}
+			active = w.Start + 1
+		}
+		if count > 1 {
+			t.Fatalf("edge %d has %d live windows at ts=%d (want <=1): %v", e, count, ts, wins)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// TestPaperFigure5 validates the L_1 and L_2 window lists of Figure 5.
+func TestPaperFigure5(t *testing.T) {
+	g := paperex.Graph()
+	_, ecs, err := vct.Build(g, paperex.K, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want1 := []tgraph.Window{ // Figure 5(a): ts = 1
+		{Start: 2, End: 3}, {Start: 2, End: 3}, {Start: 2, End: 3},
+		{Start: 1, End: 4}, {Start: 1, End: 4}, {Start: 1, End: 4},
+		{Start: 3, End: 5}, {Start: 3, End: 5},
+		{Start: 5, End: 5}, {Start: 5, End: 5}, {Start: 5, End: 5},
+		{Start: 2, End: 6},
+		{Start: 6, End: 7}, {Start: 6, End: 7},
+	}
+	got1 := lts(t, g, ecs, 1)
+	if len(got1) != len(want1) {
+		t.Fatalf("L_1 has %d windows, want %d: %v", len(got1), len(want1), got1)
+	}
+	for i := range want1 {
+		if got1[i] != want1[i] {
+			t.Errorf("L_1[%d] = %v, want %v", i, got1[i], want1[i])
+		}
+	}
+
+	want2 := []tgraph.Window{ // Figure 5(b): ts = 2
+		{Start: 2, End: 3}, {Start: 2, End: 3}, {Start: 2, End: 3},
+		{Start: 3, End: 5}, {Start: 3, End: 5},
+		{Start: 5, End: 5}, {Start: 5, End: 5}, {Start: 5, End: 5},
+		{Start: 2, End: 6}, {Start: 2, End: 6},
+		{Start: 6, End: 7}, {Start: 6, End: 7},
+	}
+	got2 := lts(t, g, ecs, 2)
+	if len(got2) != len(want2) {
+		t.Fatalf("L_2 has %d windows, want %d: %v", len(got2), len(want2), got2)
+	}
+	for i := range want2 {
+		if got2[i] != want2[i] {
+			t.Errorf("L_2[%d] = %v, want %v", i, got2[i], want2[i])
+		}
+	}
+}
+
+// TestEnumerateEmptyECS: a k beyond kmax yields an empty skyline and no
+// output, without errors.
+func TestEnumerateEmptyECS(t *testing.T) {
+	g := paperex.Graph()
+	_, ecs, err := vct.Build(g, 5, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecs.Size() != 0 {
+		t.Fatalf("|ECS| = %d, want 0", ecs.Size())
+	}
+	var sink enum.CollectSink
+	if ok := enum.Enumerate(g, ecs, &sink); !ok {
+		t.Error("stopped early on empty input")
+	}
+	if len(sink.Cores) != 0 {
+		t.Errorf("emitted %d cores from empty skyline", len(sink.Cores))
+	}
+}
+
+// TestSingleTimestamp: a graph where every edge shares one timestamp has at
+// most one core per k.
+func TestSingleTimestamp(t *testing.T) {
+	g := tgraph.MustFromTriples(
+		[3]int64{1, 2, 9}, [3]int64{2, 3, 9}, [3]int64{1, 3, 9}, [3]int64{3, 4, 9},
+	)
+	_, ecs, err := vct.Build(g, 2, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink enum.CollectSink
+	enum.Enumerate(g, ecs, &sink)
+	if len(sink.Cores) != 1 {
+		t.Fatalf("got %d cores, want 1", len(sink.Cores))
+	}
+	if sink.Cores[0].TTI != (tgraph.Window{Start: 1, End: 1}) {
+		t.Errorf("TTI = %v, want [1,1]", sink.Cores[0].TTI)
+	}
+	if len(sink.Cores[0].Edges) != 3 {
+		t.Errorf("core has %d edges, want 3 (the triangle)", len(sink.Cores[0].Edges))
+	}
+}

@@ -1,0 +1,91 @@
+package enum_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/otcd"
+	"temporalkcore/internal/tgraph"
+)
+
+// multiGraph builds a random temporal graph keeping duplicate observations
+// as distinct temporal edges, stressing the general multi-edge regime the
+// paper leaves as a remark ("easily extended").
+func multiGraph(r *rand.Rand, n, m, tmax int) *tgraph.Graph {
+	b := tgraph.Builder{KeepDuplicates: true}
+	for i := 0; i < m; i++ {
+		// Deliberately small vertex pool: many parallel pair interactions.
+		u := r.Intn(n)
+		v := r.Intn(n)
+		for v == u {
+			v = r.Intn(n)
+		}
+		b.Add(int64(u), int64(v), int64(1+r.Intn(tmax)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestMultiEdgeAllAlgorithmsAgree fuzzes the multi-edge regime across the
+// oracle and all three algorithms.
+func TestMultiEdgeAllAlgorithmsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for it := 0; it < iters; it++ {
+		n := 3 + r.Intn(6) // small pools force parallel edges
+		m := 10 + r.Intn(50)
+		tmax := 2 + r.Intn(8)
+		g := multiGraph(r, n, m, tmax)
+		k := 1 + r.Intn(3)
+		w := g.FullWindow()
+
+		want := enum.BruteForce(g, k, w)
+		got := runEnum(t, g, k, w)
+		if !enum.EqualCoreSets(got, want) {
+			t.Fatalf("iter %d: Enum mismatch on multigraph (n=%d m=%d k=%d)\n got %+v\nwant %+v",
+				it, n, m, k, got, want)
+		}
+		gotBase := runBase(t, g, k, w, false)
+		if !enum.EqualCoreSets(gotBase, want) {
+			t.Fatalf("iter %d: EnumBase mismatch on multigraph", it)
+		}
+		var sink enum.CollectSink
+		otcd.Enumerate(g, k, w, &sink, otcd.Options{})
+		enum.SortCores(sink.Cores)
+		if !enum.EqualCoreSets(sink.Cores, want) {
+			t.Fatalf("iter %d: OTCD mismatch on multigraph\n got %+v\nwant %+v", it, sink.Cores, want)
+		}
+	}
+}
+
+// TestParallelEdgesInOneCore: two parallel temporal edges inside the same
+// window both belong to the core's edge set.
+func TestParallelEdgesInOneCore(t *testing.T) {
+	b := tgraph.Builder{KeepDuplicates: true}
+	// Triangle at t=1..2 with a doubled edge 1-2.
+	b.Add(1, 2, 1)
+	b.Add(1, 2, 2)
+	b.Add(2, 3, 1)
+	b.Add(1, 3, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := runEnum(t, g, 2, g.FullWindow())
+	if len(cores) != 1 {
+		t.Fatalf("got %d cores: %+v", len(cores), cores)
+	}
+	if len(cores[0].Edges) != 4 {
+		t.Errorf("core has %d edges, want all 4 (parallel edges included)", len(cores[0].Edges))
+	}
+	if cores[0].TTI != (tgraph.Window{Start: 1, End: 2}) {
+		t.Errorf("TTI = %v", cores[0].TTI)
+	}
+}

@@ -1,0 +1,105 @@
+package enum
+
+import (
+	"sort"
+
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/tgraph"
+)
+
+// BruteForce enumerates all distinct temporal k-cores of [w.Start, w.End]
+// by peeling every window from scratch. It is the ground-truth oracle used
+// by the test suites and is quadratic in the range length; use only on
+// small inputs.
+func BruteForce(g *tgraph.Graph, k int, w tgraph.Window) []Core {
+	p := kcore.NewPeeler(g)
+	seen := make(map[string]struct{})
+	var out []Core
+	var buf []tgraph.EID
+	for ts := w.Start; ts <= w.End; ts++ {
+		for te := ts; te <= w.End; te++ {
+			buf = p.CoreEdgesOfWindow(k, tgraph.Window{Start: ts, End: te}, buf[:0])
+			if len(buf) == 0 {
+				continue
+			}
+			key := edgeSetKey(buf)
+			if _, ok := seen[key]; ok {
+				continue
+			}
+			seen[key] = struct{}{}
+			cp := make([]tgraph.EID, len(buf))
+			copy(cp, buf)
+			out = append(out, Core{TTI: ttiOf(g, cp), Edges: cp})
+		}
+	}
+	SortCores(out)
+	return out
+}
+
+// ttiOf computes the tightest time interval of a non-empty edge set.
+func ttiOf(g *tgraph.Graph, eids []tgraph.EID) tgraph.Window {
+	minT, maxT := g.Edge(eids[0]).T, g.Edge(eids[0]).T
+	for _, e := range eids[1:] {
+		t := g.Edge(e).T
+		if t < minT {
+			minT = t
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	return tgraph.Window{Start: minT, End: maxT}
+}
+
+func edgeSetKey(eids []tgraph.EID) string {
+	s := make([]tgraph.EID, len(eids))
+	copy(s, eids)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	b := make([]byte, 0, len(s)*4)
+	for _, e := range s {
+		b = append(b, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
+	}
+	return string(b)
+}
+
+// SortCores orders cores canonically (by TTI, then edge ids) so result sets
+// from different algorithms can be compared directly.
+func SortCores(cores []Core) {
+	sort.Slice(cores, func(i, j int) bool {
+		a, b := cores[i], cores[j]
+		if a.TTI != b.TTI {
+			if a.TTI.Start != b.TTI.Start {
+				return a.TTI.Start < b.TTI.Start
+			}
+			return a.TTI.End < b.TTI.End
+		}
+		if len(a.Edges) != len(b.Edges) {
+			return len(a.Edges) < len(b.Edges)
+		}
+		for k := range a.Edges {
+			if a.Edges[k] != b.Edges[k] {
+				return a.Edges[k] < b.Edges[k]
+			}
+		}
+		return false
+	})
+}
+
+// EqualCoreSets reports whether two canonically sorted core slices are
+// identical.
+func EqualCoreSets(a, b []Core) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].TTI != b[i].TTI || len(a[i].Edges) != len(b[i].Edges) {
+			return false
+		}
+		for k := range a[i].Edges {
+			if a[i].Edges[k] != b[i].Edges[k] {
+				return false
+			}
+		}
+	}
+	return true
+}

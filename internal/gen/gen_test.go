@@ -1,0 +1,142 @@
+package gen_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/gen"
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/tgraph"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := gen.Config{Name: "t", Seed: 7, Vertices: 200, Edges: 2000, Timestamps: 500,
+		HubEdgeProb: 0.3, MixEdgeProb: 0.3, Burstiness: 0.4, Communities: 4}
+	g1, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() || g1.NumVertices() != g2.NumVertices() {
+		t.Fatalf("not deterministic: %d/%d vs %d/%d edges/vertices",
+			g1.NumEdges(), g1.NumVertices(), g2.NumEdges(), g2.NumVertices())
+	}
+	for i := 0; i < g1.NumEdges(); i++ {
+		if g1.Edge(tgraph.EID(i)) != g2.Edge(tgraph.EID(i)) {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	// Different seeds differ.
+	cfg.Seed = 8
+	g3, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := g3.NumEdges() == g1.NumEdges()
+	if same {
+		diff := false
+		for i := 0; i < g1.NumEdges() && !diff; i++ {
+			diff = g1.Edge(tgraph.EID(i)) != g3.Edge(tgraph.EID(i))
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateTargets(t *testing.T) {
+	cfg := gen.Config{Name: "t", Seed: 1, Vertices: 300, Edges: 3000, Timestamps: 100,
+		HubEdgeProb: 0.25, MixEdgeProb: 0.3, Burstiness: 0.3, Communities: 3}
+	g, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < cfg.Edges*9/10 {
+		t.Errorf("generated %d edges, want ~%d", g.NumEdges(), cfg.Edges)
+	}
+	if g.NumVertices() > cfg.Vertices {
+		t.Errorf("generated %d vertices > cap %d", g.NumVertices(), cfg.Vertices)
+	}
+	if int(g.TMax()) > cfg.Timestamps {
+		t.Errorf("tmax %d > cap %d", g.TMax(), cfg.Timestamps)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []gen.Config{
+		{Vertices: 1, Edges: 5, Timestamps: 5},
+		{Vertices: 5, Edges: 0, Timestamps: 5},
+		{Vertices: 5, Edges: 5, Timestamps: 0},
+		{Vertices: 5, Edges: 5, Timestamps: 5, HubEdgeProb: 0.8, MixEdgeProb: 0.5},
+		{Vertices: 5, Edges: 5, Timestamps: 5, Burstiness: 1.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestReplicasTable(t *testing.T) {
+	reps := gen.Replicas()
+	if len(reps) != 14 {
+		t.Fatalf("got %d replicas, want 14", len(reps))
+	}
+	codes := map[string]bool{}
+	for _, r := range reps {
+		if codes[r.Code] {
+			t.Errorf("duplicate code %s", r.Code)
+		}
+		codes[r.Code] = true
+		if r.Paper.Edges <= 0 || r.Paper.Vertices <= 0 || r.Paper.Timestamps <= 0 || r.Paper.KMax <= 0 {
+			t.Errorf("%s: incomplete paper stats %+v", r.Code, r.Paper)
+		}
+	}
+	if _, err := gen.ReplicaByCode("CM"); err != nil {
+		t.Error(err)
+	}
+	if _, err := gen.ReplicaByCode("XX"); err == nil {
+		t.Error("unknown code accepted")
+	}
+}
+
+// TestReplicaShape: a scaled replica must preserve the defining property of
+// its dataset class — many distinct timestamps (CM) versus few (PL) — and
+// produce a usable kmax.
+func TestReplicaShape(t *testing.T) {
+	cm, _ := gen.ReplicaByCode("CM")
+	pl, _ := gen.ReplicaByCode("PL")
+	gcm, err := cm.Generate(4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpl, err := pl.Generate(4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CM: timestamps ~ edges. PL: timestamps << edges.
+	if int(gcm.TMax()) < gcm.NumEdges()/3 {
+		t.Errorf("CM replica tmax=%d for %d edges; expected near-unique timestamps", gcm.TMax(), gcm.NumEdges())
+	}
+	if int(gpl.TMax()) > gpl.NumEdges()/10 {
+		t.Errorf("PL replica tmax=%d for %d edges; expected few timestamps", gpl.TMax(), gpl.NumEdges())
+	}
+	for _, g := range []*tgraph.Graph{gcm, gpl} {
+		if kmax := kcore.KMax(g); kmax < 4 {
+			t.Errorf("replica kmax=%d too small to parameterise queries", kmax)
+		}
+	}
+}
+
+// TestReplicaFullScaleCap: asking for more edges than the paper's dataset
+// has must cap at the paper's size.
+func TestReplicaFullScaleCap(t *testing.T) {
+	fb, _ := gen.ReplicaByCode("FB")
+	cfg := fb.Config(1_000_000, 3)
+	if cfg.Edges != fb.Paper.Edges {
+		t.Errorf("edges = %d, want cap %d", cfg.Edges, fb.Paper.Edges)
+	}
+}

@@ -1,0 +1,117 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"temporalkcore/internal/tgraph"
+)
+
+// PaperStats are the published Table III statistics of one dataset.
+type PaperStats struct {
+	Vertices   int
+	Edges      int
+	Timestamps int
+	KMax       int
+}
+
+// Replica describes one of the paper's fourteen datasets and how to
+// synthesise a scaled stand-in for it.
+type Replica struct {
+	Code     string
+	FullName string
+	Paper    PaperStats
+
+	// hubEdgeProb/mixEdgeProb/burstiness capture the dataset's character;
+	// dense few-timestamp datasets get higher hub density.
+	hubEdgeProb float64
+	mixEdgeProb float64
+	burstiness  float64
+}
+
+// Replicas returns the Table III datasets in the paper's order.
+func Replicas() []Replica {
+	return []Replica{
+		{Code: "FB", FullName: "FB-Forum", Paper: PaperStats{899, 33786, 33482, 19}, hubEdgeProb: 0.30, mixEdgeProb: 0.35, burstiness: 0.4},
+		{Code: "BO", FullName: "BitcoinOtc", Paper: PaperStats{5881, 35592, 35444, 21}, hubEdgeProb: 0.30, mixEdgeProb: 0.35, burstiness: 0.3},
+		{Code: "CM", FullName: "CollegeMsg", Paper: PaperStats{1899, 59835, 58911, 20}, hubEdgeProb: 0.25, mixEdgeProb: 0.35, burstiness: 0.4},
+		{Code: "EM", FullName: "Email", Paper: PaperStats{986, 332334, 207880, 34}, hubEdgeProb: 0.30, mixEdgeProb: 0.40, burstiness: 0.3},
+		{Code: "MC", FullName: "Mooc", Paper: PaperStats{7143, 411749, 345600, 76}, hubEdgeProb: 0.45, mixEdgeProb: 0.30, burstiness: 0.3},
+		{Code: "MO", FullName: "MathOverflow", Paper: PaperStats{24818, 506550, 505784, 78}, hubEdgeProb: 0.45, mixEdgeProb: 0.30, burstiness: 0.3},
+		{Code: "AU", FullName: "AskUbuntu", Paper: PaperStats{159316, 964437, 960866, 48}, hubEdgeProb: 0.35, mixEdgeProb: 0.35, burstiness: 0.3},
+		{Code: "LR", FullName: "Lkml-reply", Paper: PaperStats{63399, 1096440, 881701, 91}, hubEdgeProb: 0.50, mixEdgeProb: 0.25, burstiness: 0.3},
+		{Code: "EN", FullName: "Enron", Paper: PaperStats{87273, 1148072, 220364, 53}, hubEdgeProb: 0.40, mixEdgeProb: 0.30, burstiness: 0.4},
+		{Code: "SU", FullName: "SuperUser", Paper: PaperStats{194085, 1443339, 1437199, 61}, hubEdgeProb: 0.40, mixEdgeProb: 0.30, burstiness: 0.3},
+		{Code: "WT", FullName: "WikiTalk", Paper: PaperStats{1219241, 2284546, 1956001, 68}, hubEdgeProb: 0.40, mixEdgeProb: 0.30, burstiness: 0.3},
+		{Code: "WK", FullName: "Wikipedia", Paper: PaperStats{91340, 2435731, 4518, 117}, hubEdgeProb: 0.55, mixEdgeProb: 0.25, burstiness: 0.2},
+		{Code: "PL", FullName: "ProsperLoans", Paper: PaperStats{89269, 3394979, 1259, 111}, hubEdgeProb: 0.55, mixEdgeProb: 0.25, burstiness: 0.2},
+		{Code: "YT", FullName: "Youtube", Paper: PaperStats{3223589, 9375374, 203, 88}, hubEdgeProb: 0.50, mixEdgeProb: 0.30, burstiness: 0.2},
+	}
+}
+
+// ReplicaByCode looks a replica up by its two-letter code.
+func ReplicaByCode(code string) (Replica, error) {
+	for _, r := range Replicas() {
+		if r.Code == code {
+			return r, nil
+		}
+	}
+	return Replica{}, fmt.Errorf("gen: unknown dataset code %q", code)
+}
+
+// Config derives a generator configuration scaled so the replica has about
+// targetEdges edges (capped at the paper's size). Vertex count and the
+// number of distinct timestamps shrink proportionally, preserving the
+// dataset's edges-per-timestamp density, which drives the relative
+// behaviour of the algorithms.
+func (r Replica) Config(targetEdges int, seed int64) Config {
+	f := float64(targetEdges) / float64(r.Paper.Edges)
+	if f > 1 {
+		f = 1
+	}
+	edges := int(math.Round(float64(r.Paper.Edges) * f))
+	verts := int(math.Round(float64(r.Paper.Vertices) * f))
+	if verts < 40 {
+		verts = 40
+	}
+	if verts > edges+1 {
+		verts = edges + 1
+	}
+	// Timestamps scale proportionally, with a floor so that percentage
+	// ranges keep useful resolution on few-timestamp datasets (a PL-like
+	// replica must still distinguish a 5% from a 40% range).
+	ts := int(math.Round(float64(r.Paper.Timestamps) * f))
+	if lb := min(r.Paper.Timestamps, 64); ts < lb {
+		ts = lb
+	}
+	// kmax shrinks slowly with subsampling; aim for paper kmax scaled with
+	// a soft exponent and size the hub set accordingly.
+	kTarget := float64(r.Paper.KMax) * math.Pow(f, 0.25)
+	if kTarget < 5 {
+		kTarget = 5
+	}
+	hubs := int(kTarget * 1.6)
+	if hubs < 8 {
+		hubs = 8
+	}
+	if hubs > verts/2 {
+		hubs = verts / 2
+	}
+	return Config{
+		Name:        r.Code,
+		Seed:        seed,
+		Vertices:    verts,
+		Edges:       edges,
+		Timestamps:  ts,
+		HubCount:    hubs,
+		HubEdgeProb: r.hubEdgeProb,
+		MixEdgeProb: r.mixEdgeProb,
+		Burstiness:  r.burstiness,
+		Communities: 1 + verts/200,
+	}
+}
+
+// Generate synthesises the scaled replica.
+func (r Replica) Generate(targetEdges int, seed int64) (*tgraph.Graph, error) {
+	return Generate(r.Config(targetEdges, seed))
+}

@@ -1,0 +1,84 @@
+package gen_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/gen"
+	"temporalkcore/internal/tgraph"
+)
+
+// TestDegreeSkew: the hub-core + preferential-attachment model must
+// produce heavy-tailed degrees — a dense hub set far above the mean — or
+// replica kmax values collapse and percentage-of-kmax queries degenerate.
+func TestDegreeSkew(t *testing.T) {
+	cfg := gen.Config{
+		Name: "skew", Seed: 3,
+		Vertices: 1000, Edges: 10000, Timestamps: 2000,
+		HubCount: 30, HubEdgeProb: 0.3, MixEdgeProb: 0.3,
+		Burstiness: 0.3, Communities: 5,
+	}
+	g, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.ComputeStats()
+	if float64(st.MaxDegree) < 5*st.AvgDegree {
+		t.Errorf("max degree %d not heavy-tailed vs avg %.1f", st.MaxDegree, st.AvgDegree)
+	}
+	// Hubs (labels 0..HubCount-1) must dominate the top of the degree
+	// distribution.
+	hubDegTotal, otherDegTotal := 0, 0
+	hubSeen, otherSeen := 0, 0
+	for v := tgraph.VID(0); v < tgraph.VID(g.NumVertices()); v++ {
+		if g.Label(v) < int64(cfg.HubCount) {
+			hubDegTotal += g.Degree(v)
+			hubSeen++
+		} else {
+			otherDegTotal += g.Degree(v)
+			otherSeen++
+		}
+	}
+	if hubSeen == 0 || otherSeen == 0 {
+		t.Fatalf("hub split broken: %d/%d", hubSeen, otherSeen)
+	}
+	hubAvg := float64(hubDegTotal) / float64(hubSeen)
+	otherAvg := float64(otherDegTotal) / float64(otherSeen)
+	if hubAvg < 3*otherAvg {
+		t.Errorf("hub avg degree %.1f not clearly above periphery %.1f", hubAvg, otherAvg)
+	}
+}
+
+// TestBurstTemporalLocality: with high burstiness, edge timestamps must
+// concentrate — some timestamps carry far more edges than the uniform
+// expectation — because temporal k-cores only emerge from such locality.
+func TestBurstTemporalLocality(t *testing.T) {
+	base := gen.Config{
+		Name: "burst", Seed: 4,
+		Vertices: 500, Edges: 8000, Timestamps: 4000,
+		HubCount: 20, HubEdgeProb: 0.25, MixEdgeProb: 0.3,
+		Communities: 4,
+	}
+	burstCfg := base
+	burstCfg.Burstiness = 0.9
+	uniformCfg := base
+	uniformCfg.Burstiness = 0
+
+	peak := func(cfg gen.Config) int {
+		g, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0
+		for ts := tgraph.TS(1); ts <= g.TMax(); ts++ {
+			lo, hi := g.EdgesAt(ts)
+			if int(hi-lo) > best {
+				best = int(hi - lo)
+			}
+		}
+		return best
+	}
+	pb, pu := peak(burstCfg), peak(uniformCfg)
+	if pb < 2*pu {
+		t.Errorf("bursty peak %d not clearly above uniform peak %d", pb, pu)
+	}
+}

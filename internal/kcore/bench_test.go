@@ -1,0 +1,43 @@
+package kcore_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/gen"
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/tgraph"
+)
+
+func benchGraph(b *testing.B) *tgraph.Graph {
+	b.Helper()
+	rep, err := gen.ReplicaByCode("CM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := rep.Generate(5000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkPeelWindow measures one from-scratch snapshot peeling, the unit
+// cost B the OTCD complexity O(tmax^2 * B) is built from.
+func BenchmarkPeelWindow(b *testing.B) {
+	g := benchGraph(b)
+	p := kcore.NewPeeler(g)
+	w := tgraph.Window{Start: 1, End: g.TMax() / 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.CoreOfWindow(5, w)
+	}
+}
+
+// BenchmarkDecompose measures the full core decomposition used for kmax.
+func BenchmarkDecompose(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kcore.Decompose(g, g.FullWindow())
+	}
+}

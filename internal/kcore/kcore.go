@@ -1,0 +1,223 @@
+// Package kcore implements static k-core computation on snapshots of a
+// temporal graph: the classic peeling algorithm (used as the ground-truth
+// oracle for every temporal algorithm in this repository) and the
+// Batagelj–Zaveršnik core decomposition used to obtain kmax for the
+// experiment parameterisation (k chosen as a percentage of kmax, §VI).
+//
+// A snapshot over a window [ts, te] is the unlabelled simple graph induced
+// by all temporal edges falling in the window; parallel temporal edges
+// between the same vertex pair collapse, so degrees count distinct
+// neighbours (Definition 1/2 of the paper).
+package kcore
+
+import (
+	"temporalkcore/internal/ds"
+	"temporalkcore/internal/tgraph"
+)
+
+// Peeler computes k-cores of window snapshots. It owns reusable buffers so
+// that repeated window queries do not allocate; a zero Peeler is not usable,
+// construct with NewPeeler.
+type Peeler struct {
+	g     *tgraph.Graph
+	deg   []int32
+	alive []bool
+	inWin []bool // per pair: pair has an interaction inside the window
+	q     ds.Queue
+}
+
+// NewPeeler returns a Peeler for g.
+func NewPeeler(g *tgraph.Graph) *Peeler {
+	return &Peeler{
+		g:     g,
+		deg:   make([]int32, g.NumVertices()),
+		alive: make([]bool, g.NumVertices()),
+		inWin: make([]bool, g.NumPairs()),
+	}
+}
+
+// Result is the k-core of one window snapshot.
+type Result struct {
+	// InCore[v] reports whether vertex v belongs to the k-core. The slice is
+	// owned by the Peeler and overwritten by the next call.
+	InCore []bool
+	// Vertices is the number of core vertices.
+	Vertices int
+}
+
+// CoreOfWindow computes the k-core of the snapshot over w and returns which
+// vertices survive. k must be >= 1.
+func (p *Peeler) CoreOfWindow(k int, w tgraph.Window) Result {
+	g := p.g
+	lo, hi := g.EdgesIn(w)
+	for i := range p.deg {
+		p.deg[i] = 0
+		p.alive[i] = false
+	}
+	// Mark pairs present in the window and count distinct-neighbour degrees.
+	touched := make([]int32, 0, int(hi-lo))
+	for e := lo; e < hi; e++ {
+		pi := g.EdgePair(e)
+		if p.inWin[pi] {
+			continue
+		}
+		p.inWin[pi] = true
+		touched = append(touched, pi)
+		pr := g.Pair(pi)
+		p.deg[pr.U]++
+		p.deg[pr.V]++
+		p.alive[pr.U] = true
+		p.alive[pr.V] = true
+	}
+
+	// Peel.
+	p.q.Reset()
+	for e := lo; e < hi; e++ {
+		pi := g.EdgePair(e)
+		pr := g.Pair(pi)
+		for _, u := range [2]tgraph.VID{pr.U, pr.V} {
+			if p.alive[u] && int(p.deg[u]) < k {
+				p.alive[u] = false
+				p.q.Push(int32(u))
+			}
+		}
+	}
+	for p.q.Len() > 0 {
+		u := tgraph.VID(p.q.Pop())
+		for _, nb := range g.Neighbours(u) {
+			if !p.inWin[nb.Pair] || !p.alive[nb.V] {
+				continue
+			}
+			p.deg[nb.V]--
+			if int(p.deg[nb.V]) < k {
+				p.alive[nb.V] = false
+				p.q.Push(int32(nb.V))
+			}
+		}
+	}
+
+	// Reset the pair marks for the next call.
+	for _, pi := range touched {
+		p.inWin[pi] = false
+	}
+	count := 0
+	for v := range p.alive {
+		if p.alive[v] {
+			count++
+		}
+	}
+	return Result{InCore: p.alive, Vertices: count}
+}
+
+// CoreEdgesOfWindow computes the k-core of the snapshot over w and returns
+// the temporal edges of the core (both endpoints in the core and the edge
+// time inside w), appended to dst.
+func (p *Peeler) CoreEdgesOfWindow(k int, w tgraph.Window, dst []tgraph.EID) []tgraph.EID {
+	res := p.CoreOfWindow(k, w)
+	g := p.g
+	lo, hi := g.EdgesIn(w)
+	for e := lo; e < hi; e++ {
+		te := g.Edge(e)
+		if res.InCore[te.U] && res.InCore[te.V] {
+			dst = append(dst, e)
+		}
+	}
+	return dst
+}
+
+// HasCoreInWindow reports whether the snapshot over w has a non-empty
+// k-core. Because k-cores are monotone under edge insertion, a query range
+// [Ts, Te] contains at least one temporal k-core iff the widest window does.
+func (p *Peeler) HasCoreInWindow(k int, w tgraph.Window) bool {
+	return p.CoreOfWindow(k, w).Vertices > 0
+}
+
+// Decompose computes the core number of every vertex of the snapshot over w
+// using the bucket-based Batagelj–Zaveršnik algorithm, and returns the core
+// numbers together with kmax. Vertices with no edge in w have core number 0.
+func Decompose(g *tgraph.Graph, w tgraph.Window) (core []int32, kmax int) {
+	n := g.NumVertices()
+	core = make([]int32, n)
+	deg := make([]int32, n)
+	inWin := make([]bool, g.NumPairs())
+	lo, hi := g.EdgesIn(w)
+	maxDeg := int32(0)
+	for e := lo; e < hi; e++ {
+		pi := g.EdgePair(e)
+		if inWin[pi] {
+			continue
+		}
+		inWin[pi] = true
+		pr := g.Pair(pi)
+		deg[pr.U]++
+		deg[pr.V]++
+		if deg[pr.U] > maxDeg {
+			maxDeg = deg[pr.U]
+		}
+		if deg[pr.V] > maxDeg {
+			maxDeg = deg[pr.V]
+		}
+	}
+
+	// Bucket sort vertices by degree.
+	bin := make([]int32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]]++
+	}
+	start := int32(0)
+	for d := int32(0); d <= maxDeg; d++ {
+		cnt := bin[d]
+		bin[d] = start
+		start += cnt
+	}
+	pos := make([]int32, n)
+	vert := make([]int32, n)
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = int32(v)
+		bin[deg[v]]++
+	}
+	for d := maxDeg; d >= 1; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	cur := make([]int32, n)
+	copy(cur, deg)
+	for i := 0; i < n; i++ {
+		v := tgraph.VID(vert[i])
+		core[v] = cur[v]
+		if int(core[v]) > kmax {
+			kmax = int(core[v])
+		}
+		for _, nb := range g.Neighbours(v) {
+			if !inWin[nb.Pair] {
+				continue
+			}
+			u := nb.V
+			if cur[u] > cur[v] {
+				// Move u one bucket down.
+				du := cur[u]
+				pu := pos[u]
+				pw := bin[du]
+				wv := vert[pw]
+				if int32(u) != wv {
+					pos[u] = pw
+					vert[pu] = wv
+					pos[wv] = pu
+					vert[pw] = int32(u)
+				}
+				bin[du]++
+				cur[u]--
+			}
+		}
+	}
+	return core, kmax
+}
+
+// KMax returns the maximum core number over the whole graph's projected
+// snapshot, the quantity the paper's Table III calls kmax.
+func KMax(g *tgraph.Graph) int {
+	_, kmax := Decompose(g, g.FullWindow())
+	return kmax
+}

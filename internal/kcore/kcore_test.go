@@ -1,0 +1,214 @@
+package kcore_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/tgraph"
+)
+
+func TestPaperWindows(t *testing.T) {
+	g := paperex.Graph()
+	p := kcore.NewPeeler(g)
+	cases := []struct {
+		ts, te tgraph.TS
+		k      int
+		want   []int64 // expected core vertex labels
+	}{
+		{1, 4, 2, []int64{1, 2, 3, 4, 9}},
+		{2, 3, 2, []int64{1, 2, 4}},
+		{6, 7, 2, []int64{1, 3, 5}},
+		{5, 5, 2, []int64{1, 6, 7}},
+		{3, 5, 2, []int64{1, 2, 4, 6, 7, 8}},
+		{7, 7, 2, nil},
+		{1, 7, 3, nil}, // kmax of the example graph is 2
+	}
+	for _, c := range cases {
+		res := p.CoreOfWindow(c.k, tgraph.Window{Start: c.ts, End: c.te})
+		got := map[int64]bool{}
+		for v := 0; v < g.NumVertices(); v++ {
+			if res.InCore[v] {
+				got[g.Label(tgraph.VID(v))] = true
+			}
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("core(%d,[%d,%d]): got %v, want %v", c.k, c.ts, c.te, got, c.want)
+			continue
+		}
+		for _, l := range c.want {
+			if !got[l] {
+				t.Errorf("core(%d,[%d,%d]): missing %d", c.k, c.ts, c.te, l)
+			}
+		}
+	}
+}
+
+func TestCoreEdges(t *testing.T) {
+	g := paperex.Graph()
+	p := kcore.NewPeeler(g)
+	edges := p.CoreEdgesOfWindow(2, tgraph.Window{Start: 1, End: 4}, nil)
+	if len(edges) != 6 {
+		t.Errorf("core edges of [1,4]: %d, want 6", len(edges))
+	}
+	for _, e := range edges {
+		te := g.Edge(e)
+		if te.T < 1 || te.T > 4 {
+			t.Errorf("edge outside window: %v", te)
+		}
+	}
+}
+
+func TestPeelerReuse(t *testing.T) {
+	g := paperex.Graph()
+	p := kcore.NewPeeler(g)
+	// Interleave windows; results must be independent of call history.
+	a1 := p.CoreOfWindow(2, tgraph.Window{Start: 1, End: 4}).Vertices
+	_ = p.CoreOfWindow(2, tgraph.Window{Start: 5, End: 7}).Vertices
+	a2 := p.CoreOfWindow(2, tgraph.Window{Start: 1, End: 4}).Vertices
+	if a1 != a2 {
+		t.Errorf("peeler not reusable: %d then %d", a1, a2)
+	}
+}
+
+func TestDecomposePaper(t *testing.T) {
+	g := paperex.Graph()
+	core, kmax := kcore.Decompose(g, g.FullWindow())
+	if kmax != 2 {
+		t.Errorf("kmax = %d, want 2", kmax)
+	}
+	// Every vertex of the example participates in some 2-core.
+	for v := 0; v < g.NumVertices(); v++ {
+		if core[v] < 1 {
+			t.Errorf("vertex %d core number %d", v, core[v])
+		}
+	}
+	if kcore.KMax(g) != 2 {
+		t.Errorf("KMax = %d", kcore.KMax(g))
+	}
+}
+
+// naiveCoreNumber peels iteratively for each k to cross-check Decompose.
+func naiveCoreNumbers(g *tgraph.Graph, w tgraph.Window) []int32 {
+	p := kcore.NewPeeler(g)
+	out := make([]int32, g.NumVertices())
+	for k := 1; ; k++ {
+		res := p.CoreOfWindow(k, w)
+		any := false
+		for v := range out {
+			if res.InCore[v] {
+				out[v] = int32(k)
+				any = true
+			}
+		}
+		if !any {
+			return out
+		}
+	}
+}
+
+func TestQuickDecomposeMatchesPeeling(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b tgraph.Builder
+		n := 3 + r.Intn(12)
+		m := 3 + r.Intn(60)
+		for i := 0; i < m; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				v = (v + 1) % n
+			}
+			b.Add(int64(u), int64(v), int64(1+r.Intn(8)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		w := g.FullWindow()
+		want := naiveCoreNumbers(g, w)
+		got, kmax := kcore.Decompose(g, w)
+		maxSeen := int32(0)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+			if got[v] > maxSeen {
+				maxSeen = got[v]
+			}
+		}
+		return kmax == int(maxSeen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCoreProperties: every peeling result has min degree >= k inside
+// the core and is maximal (no peeled vertex has k core neighbours).
+func TestQuickCoreProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b tgraph.Builder
+		n := 3 + r.Intn(10)
+		m := 3 + r.Intn(50)
+		tmax := 1 + r.Intn(8)
+		for i := 0; i < m; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				v = (v + 1) % n
+			}
+			b.Add(int64(u), int64(v), int64(1+r.Intn(tmax)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		k := 1 + r.Intn(4)
+		ts := tgraph.TS(1 + r.Intn(int(g.TMax())))
+		te := ts + tgraph.TS(r.Intn(int(g.TMax()-ts)+1))
+		w := tgraph.Window{Start: ts, End: te}
+		p := kcore.NewPeeler(g)
+		res := p.CoreOfWindow(k, w)
+		for v := 0; v < g.NumVertices(); v++ {
+			d := 0
+			for _, nb := range g.Neighbours(tgraph.VID(v)) {
+				ft := g.FirstPairTimeAtOrAfter(nb.Pair, w.Start)
+				if ft != tgraph.InfTime && ft <= w.End && res.InCore[nb.V] {
+					d++
+				}
+			}
+			if res.InCore[v] && d < k {
+				return false // not a k-core
+			}
+			if !res.InCore[v] && d >= k {
+				return false // not maximal
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiEdgeDegreeCountsDistinctNeighbours(t *testing.T) {
+	var b tgraph.Builder
+	b.KeepDuplicates = true
+	// u-v interact 5 times; a 2-core must not exist on multiplicity alone.
+	for i := 0; i < 5; i++ {
+		b.Add(1, 2, int64(i+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := kcore.NewPeeler(g)
+	if res := p.CoreOfWindow(2, g.FullWindow()); res.Vertices != 0 {
+		t.Errorf("multi-edge pair must not form a 2-core, got %d vertices", res.Vertices)
+	}
+	if res := p.CoreOfWindow(1, g.FullWindow()); res.Vertices != 2 {
+		t.Errorf("1-core should keep both endpoints, got %d", res.Vertices)
+	}
+}

@@ -1,0 +1,181 @@
+package khcore_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/khcore"
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/tgraph"
+)
+
+func multiGraph(r *rand.Rand, n, m, tmax int) *tgraph.Graph {
+	b := tgraph.Builder{KeepDuplicates: true}
+	for i := 0; i < m; i++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		for v == u {
+			v = r.Intn(n)
+		}
+		b.Add(int64(u), int64(v), int64(1+r.Intn(tmax)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestH1MatchesPlainKCore: the (k,1)-core equals the snapshot k-core on
+// random multigraphs, for every k and many windows.
+func TestH1MatchesPlainKCore(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for it := 0; it < 40; it++ {
+		g := multiGraph(r, 4+r.Intn(8), 10+r.Intn(60), 2+r.Intn(8))
+		kh := khcore.NewPeeler(g)
+		pk := kcore.NewPeeler(g)
+		for trial := 0; trial < 6; trial++ {
+			k := 1 + r.Intn(4)
+			ts := tgraph.TS(1 + r.Intn(int(g.TMax())))
+			te := ts + tgraph.TS(r.Intn(int(g.TMax()-ts)+1))
+			w := tgraph.Window{Start: ts, End: te}
+			gotCore, gotN := kh.CoreOfWindow(k, 1, w)
+			want := pk.CoreOfWindow(k, w)
+			if gotN != want.Vertices {
+				t.Fatalf("iter %d: (k=%d,h=1)-core has %d vertices, k-core has %d", it, k, gotN, want.Vertices)
+			}
+			for v := 0; v < g.NumVertices(); v++ {
+				if gotCore[v] != want.InCore[v] {
+					t.Fatalf("iter %d: membership of v%d differs", it, v)
+				}
+			}
+		}
+	}
+}
+
+// naive recomputes the (k,h)-core by iterated filtering from scratch.
+func naive(g *tgraph.Graph, k, h int, w tgraph.Window) map[tgraph.VID]bool {
+	alive := map[tgraph.VID]bool{}
+	for v := 0; v < g.NumVertices(); v++ {
+		alive[tgraph.VID(v)] = true
+	}
+	count := func(p int32) int {
+		n := 0
+		for _, t := range g.PairTimes(p) {
+			if t >= w.Start && t <= w.End {
+				n++
+			}
+		}
+		return n
+	}
+	for {
+		removed := false
+		for v := 0; v < g.NumVertices(); v++ {
+			u := tgraph.VID(v)
+			if !alive[u] {
+				continue
+			}
+			deg := 0
+			for _, nb := range g.Neighbours(u) {
+				if alive[nb.V] && count(nb.Pair) >= h {
+					deg++
+				}
+			}
+			if deg < k {
+				alive[u] = false
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	out := map[tgraph.VID]bool{}
+	for v, a := range alive {
+		if a {
+			// Vertices with no supported pair at all are not core members.
+			deg := 0
+			for _, nb := range g.Neighbours(v) {
+				if alive[nb.V] && count(nb.Pair) >= h {
+					deg++
+				}
+			}
+			if deg >= k {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// TestAgainstNaive fuzzes the peeling against the fixed-point filter.
+func TestAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(66))
+	for it := 0; it < 40; it++ {
+		g := multiGraph(r, 4+r.Intn(6), 15+r.Intn(60), 2+r.Intn(6))
+		kh := khcore.NewPeeler(g)
+		k := 1 + r.Intn(3)
+		h := 1 + r.Intn(3)
+		ts := tgraph.TS(1 + r.Intn(int(g.TMax())))
+		te := ts + tgraph.TS(r.Intn(int(g.TMax()-ts)+1))
+		w := tgraph.Window{Start: ts, End: te}
+		got, n := kh.CoreOfWindow(k, h, w)
+		want := naive(g, k, h, w)
+		if n != len(want) {
+			t.Fatalf("iter %d (k=%d h=%d w=%v): %d vertices, naive %d", it, k, h, w, n, len(want))
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if got[v] != want[tgraph.VID(v)] {
+				t.Fatalf("iter %d: membership of v%d differs (k=%d h=%d)", it, v, k, h)
+			}
+		}
+	}
+}
+
+// TestPaperGraphH2: the Figure 1 graph has no pair with two interactions,
+// so every (k,2)-core is empty.
+func TestPaperGraphH2(t *testing.T) {
+	g := paperex.Graph()
+	kh := khcore.NewPeeler(g)
+	if _, n := kh.CoreOfWindow(1, 2, g.FullWindow()); n != 0 {
+		t.Errorf("(1,2)-core should be empty on the example, got %d vertices", n)
+	}
+}
+
+func TestRepeatedContacts(t *testing.T) {
+	b := tgraph.Builder{KeepDuplicates: true}
+	// Triangle where each pair interacts twice, plus a one-off attachment.
+	for _, pr := range [][2]int64{{1, 2}, {2, 3}, {1, 3}} {
+		b.Add(pr[0], pr[1], 1)
+		b.Add(pr[0], pr[1], 2)
+	}
+	b.Add(3, 4, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kh := khcore.NewPeeler(g)
+	inCore, n := kh.CoreOfWindow(2, 2, g.FullWindow())
+	if n != 3 {
+		t.Fatalf("(2,2)-core has %d vertices, want 3", n)
+	}
+	v4, _ := g.VertexOf(4)
+	if inCore[v4] {
+		t.Error("one-off contact vertex must be excluded")
+	}
+	edges := kh.CoreEdges(2, 2, g.FullWindow(), nil)
+	if len(edges) != 6 {
+		t.Errorf("core edges = %d, want 6 (both interactions of each pair)", len(edges))
+	}
+	// Narrowing the window to one timestamp drops h=2 support entirely.
+	if _, n := kh.CoreOfWindow(2, 2, tgraph.Window{Start: 1, End: 1}); n != 0 {
+		t.Errorf("single-timestamp (2,2)-core should be empty, got %d", n)
+	}
+	if got := kh.MaxK(2, g.FullWindow()); got != 2 {
+		t.Errorf("MaxK(h=2) = %d, want 2", got)
+	}
+	if got := kh.MaxK(3, g.FullWindow()); got != 0 {
+		t.Errorf("MaxK(h=3) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,116 @@
+// Package otcd reimplements the state-of-the-art baseline of Yang et al.,
+// "Scalable Time-Range K-Core Query on Temporal Graphs" (VLDB 2023,
+// reference [12] of the reproduced paper): Optimized Temporal Core
+// Decomposition (Algorithm 1). The algorithm anchors the start time,
+// decrements the end time, and maintains the temporal k-core decrementally
+// with peeling cascades.
+//
+// Pruning follows the paper's TTI rules in an equivalent form (see
+// DESIGN.md): after the core C of [ts, te] with TTI [ts', te'] is computed,
+// every window [ts, y] with te' <= y <= te has exactly the core C, so the
+// end-time scan jumps straight to te'-1 (Pruning-on-the-Right); likewise
+// every row x with ts < x <= ts' has the same row core and produces the same
+// descent, so the row scan jumps to ts'+1 (Pruning-on-the-Underside /
+// Pruning-on-the-Left). A signature table guarantees distinct output across
+// the remaining windows.
+package otcd
+
+import (
+	"temporalkcore/internal/ds"
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/tgraph"
+)
+
+// Options tunes the baseline, mainly for ablation benchmarks.
+type Options struct {
+	// DisableRowJump processes every start time even when the row core's
+	// TTI proves the following rows identical.
+	DisableRowJump bool
+	// DisableTTIJump decrements the end time one step at a time instead of
+	// jumping to the TTI end.
+	DisableTTIJump bool
+	// Stop, when non-nil, is polled once per start time; returning true
+	// aborts the enumeration (used to impose the experiments' time limit).
+	Stop func() bool
+}
+
+// Enumerate runs OTCD for parameter k over the query range w and emits
+// every distinct temporal k-core exactly once. It returns false when the
+// sink stopped the enumeration early.
+func Enumerate(g *tgraph.Graph, k int, w tgraph.Window, sink Sink, opts Options) bool {
+	return enumerate(g, k, w, sink, opts)
+}
+
+// Sink is the result consumer; it matches package enum's Sink.
+type Sink = enum.Sink
+
+func enumerate(g *tgraph.Graph, k int, w tgraph.Window, sink Sink, opts Options) bool {
+	if k < 1 || !w.Valid() || w.Start > g.TMax() {
+		return true
+	}
+	if w.End > g.TMax() {
+		w.End = g.TMax()
+	}
+
+	row := newState(g, k, w)
+	row.initFull()
+	row.peel()
+
+	work := newState(g, k, w)
+	seen := make(map[ds.Sig128]struct{})
+	edgeBuf := make([]tgraph.EID, 0, 1024)
+
+	ts := w.Start
+	for ts <= w.End {
+		if opts.Stop != nil && opts.Stop() {
+			return false
+		}
+		if row.edgeCount == 0 {
+			// The row core is empty; every remaining window's core is a
+			// subset of it, so the whole enumeration is done.
+			return true
+		}
+		rowTTI := row.tti()
+
+		// Descend the end time for this row.
+		work.copyFrom(row)
+		te := w.End
+		for work.edgeCount > 0 {
+			tti := work.tti()
+			sig := work.sig
+			if _, ok := seen[sig]; !ok {
+				seen[sig] = struct{}{}
+				edgeBuf = work.appendEdges(edgeBuf[:0])
+				if !sink.Emit(tti, edgeBuf) {
+					return false
+				}
+			}
+			// Windows [ts, y] for tti.End <= y <= te share this core:
+			// continue from te = tti.End - 1 (PoR).
+			next := tti.End - 1
+			if opts.DisableTTIJump {
+				next = te - 1
+			}
+			if next < ts {
+				break
+			}
+			work.removeTimesAbove(next)
+			work.peel()
+			te = next
+		}
+
+		// Advance the row. Rows (ts, rowTTI.Start] are provably identical
+		// to this one (PoU/PoL): jump past them.
+		nextTs := ts + 1
+		if !opts.DisableRowJump && rowTTI.Start+1 > nextTs {
+			nextTs = rowTTI.Start + 1
+		}
+		if nextTs > w.End {
+			return true
+		}
+		row.removeTimesBelow(nextTs)
+		row.peel()
+		ts = nextTs
+	}
+	return true
+}

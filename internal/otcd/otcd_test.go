@@ -1,0 +1,132 @@
+package otcd_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/otcd"
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/tgraph"
+)
+
+func runOTCD(t *testing.T, g *tgraph.Graph, k int, w tgraph.Window, opts otcd.Options) []enum.Core {
+	t.Helper()
+	var sink enum.CollectSink
+	if !otcd.Enumerate(g, k, w, &sink, opts) {
+		t.Fatal("Enumerate stopped early")
+	}
+	enum.SortCores(sink.Cores)
+	return sink.Cores
+}
+
+func TestPaperFigure2(t *testing.T) {
+	g := paperex.Graph()
+	cores := runOTCD(t, g, 2, tgraph.Window{Start: 1, End: 4}, otcd.Options{})
+	if len(cores) != 2 {
+		t.Fatalf("got %d cores, want 2: %+v", len(cores), cores)
+	}
+	if cores[0].TTI != (tgraph.Window{Start: 1, End: 4}) || len(cores[0].Edges) != 6 {
+		t.Errorf("core 0: %+v, want TTI [1,4] with 6 edges", cores[0])
+	}
+	if cores[1].TTI != (tgraph.Window{Start: 2, End: 3}) || len(cores[1].Edges) != 3 {
+		t.Errorf("core 1: %+v, want TTI [2,3] with 3 edges", cores[1])
+	}
+}
+
+func TestAgainstBruteForcePaper(t *testing.T) {
+	g := paperex.Graph()
+	for k := 1; k <= 3; k++ {
+		for ts := tgraph.TS(1); ts <= g.TMax(); ts++ {
+			for te := ts; te <= g.TMax(); te++ {
+				w := tgraph.Window{Start: ts, End: te}
+				want := enum.BruteForce(g, k, w)
+				got := runOTCD(t, g, k, w, otcd.Options{})
+				if !enum.EqualCoreSets(got, want) {
+					t.Fatalf("k=%d w=[%d,%d]: mismatch\n got %+v\nwant %+v", k, ts, te, got, want)
+				}
+			}
+		}
+	}
+}
+
+func randomGraph(r *rand.Rand, n, m, tmax int) *tgraph.Graph {
+	var b tgraph.Builder
+	for i := 0; i < m; i++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		for v == u {
+			v = r.Intn(n)
+		}
+		b.Add(int64(u), int64(v), int64(1+r.Intn(tmax)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestAgainstBruteForceRandom fuzzes OTCD (all pruning variants) against
+// the oracle.
+func TestAgainstBruteForceRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	iters := 100
+	if testing.Short() {
+		iters = 20
+	}
+	variants := []otcd.Options{
+		{},
+		{DisableRowJump: true},
+		{DisableTTIJump: true},
+		{DisableRowJump: true, DisableTTIJump: true},
+	}
+	for it := 0; it < iters; it++ {
+		n := 4 + r.Intn(10)
+		m := 5 + r.Intn(40)
+		tmax := 2 + r.Intn(10)
+		g := randomGraph(r, n, m, tmax)
+		k := 1 + r.Intn(4)
+		ts := tgraph.TS(1 + r.Intn(int(g.TMax())))
+		te := ts + tgraph.TS(r.Intn(int(g.TMax()-ts)+1))
+		w := tgraph.Window{Start: ts, End: te}
+		want := enum.BruteForce(g, k, w)
+		opts := variants[it%len(variants)]
+		got := runOTCD(t, g, k, w, opts)
+		if !enum.EqualCoreSets(got, want) {
+			t.Fatalf("iter %d (n=%d m=%d tmax=%d k=%d w=[%d,%d] opts=%+v): mismatch\n got %+v\nwant %+v",
+				it, n, m, tmax, k, ts, te, opts, got, want)
+		}
+	}
+}
+
+// TestEmptyRange checks graceful behaviour on ranges without cores.
+func TestEmptyRange(t *testing.T) {
+	g := paperex.Graph()
+	var sink enum.CollectSink
+	if !otcd.Enumerate(g, 5, g.FullWindow(), &sink, otcd.Options{}) {
+		t.Fatal("stopped early")
+	}
+	if len(sink.Cores) != 0 {
+		t.Errorf("k=5 should have no cores, got %d", len(sink.Cores))
+	}
+	// Single-timestamp window with no core.
+	sink.Cores = nil
+	otcd.Enumerate(g, 2, tgraph.Window{Start: 7, End: 7}, &sink, otcd.Options{})
+	if len(sink.Cores) != 0 {
+		t.Errorf("window [7,7] should have no 2-core, got %d", len(sink.Cores))
+	}
+}
+
+// TestEarlyStop checks sink-driven termination.
+func TestEarlyStop(t *testing.T) {
+	g := paperex.Graph()
+	var inner enum.CollectSink
+	sink := &enum.LimitSink{Inner: &inner, Max: 1}
+	if otcd.Enumerate(g, 2, g.FullWindow(), sink, otcd.Options{}) {
+		t.Error("should report early stop")
+	}
+	if len(inner.Cores) != 1 {
+		t.Errorf("collected %d, want 1", len(inner.Cores))
+	}
+}

@@ -1,0 +1,199 @@
+package otcd
+
+import (
+	"temporalkcore/internal/ds"
+	"temporalkcore/internal/tgraph"
+)
+
+// state is a decrementally maintained temporal k-core: the subgraph of
+// alive temporal edges together with per-vertex distinct-neighbour degrees
+// and per-pair multiplicities. Alive edges form an intrusive doubly linked
+// list in edge-id (= time) order, so the TTI is read off the ends of the
+// list and the edge set is collected in O(|core|).
+type state struct {
+	g *tgraph.Graph
+	k int
+	w tgraph.Window
+
+	lo, hi tgraph.EID
+
+	aliveE  []bool  // per edge, indexed eid-lo
+	nextE   []int32 // per edge + sentinel head/tail, indexed eid-lo
+	prevE   []int32
+	pairCnt []int32 // alive interactions per pair
+	deg     []int32 // alive distinct neighbours per vertex
+	aliveV  []bool
+
+	edgeCount int
+	sig       ds.Sig128
+	q         ds.Queue
+}
+
+func newState(g *tgraph.Graph, k int, w tgraph.Window) *state {
+	lo, hi := g.EdgesIn(w)
+	m := int(hi - lo)
+	return &state{
+		g: g, k: k, w: w, lo: lo, hi: hi,
+		aliveE:  make([]bool, m),
+		nextE:   make([]int32, m+2),
+		prevE:   make([]int32, m+2),
+		pairCnt: make([]int32, g.NumPairs()),
+		deg:     make([]int32, g.NumVertices()),
+		aliveV:  make([]bool, g.NumVertices()),
+	}
+}
+
+// Sentinel list slots: index m is the head, m+1 the tail.
+func (s *state) headIdx() int32 { return int32(s.hi - s.lo) }
+func (s *state) tailIdx() int32 { return int32(s.hi-s.lo) + 1 }
+
+// initFull loads every edge of the query range and seeds the peeling queue
+// with every under-degree vertex.
+func (s *state) initFull() {
+	m := int(s.hi - s.lo)
+	head, tail := s.headIdx(), s.tailIdx()
+	for i := 0; i < m; i++ {
+		s.aliveE[i] = true
+		s.nextE[i] = int32(i + 1)
+		s.prevE[i] = int32(i - 1)
+	}
+	if m > 0 {
+		s.prevE[0] = head
+		s.nextE[m-1] = tail
+		s.nextE[head] = 0
+		s.prevE[tail] = int32(m - 1)
+	} else {
+		s.nextE[head] = tail
+		s.prevE[tail] = head
+	}
+	s.prevE[head] = -1
+	s.nextE[tail] = -1
+
+	for i := range s.pairCnt {
+		s.pairCnt[i] = 0
+	}
+	for i := range s.deg {
+		s.deg[i] = 0
+		s.aliveV[i] = false
+	}
+	s.sig = ds.Sig128{}
+	s.edgeCount = m
+	for e := s.lo; e < s.hi; e++ {
+		p := s.g.EdgePair(e)
+		pr := s.g.Pair(p)
+		if s.pairCnt[p] == 0 {
+			s.deg[pr.U]++
+			s.deg[pr.V]++
+		}
+		s.pairCnt[p]++
+		s.aliveV[pr.U] = true
+		s.aliveV[pr.V] = true
+		s.sig.Toggle(int32(e))
+	}
+	s.q.Reset()
+	for v := range s.deg {
+		if s.aliveV[v] && int(s.deg[v]) < s.k {
+			s.aliveV[v] = false
+			s.q.Push(int32(v))
+		}
+	}
+}
+
+// copyFrom clones o into s. Both states must stem from the same graph,
+// k and window.
+func (s *state) copyFrom(o *state) {
+	copy(s.aliveE, o.aliveE)
+	copy(s.nextE, o.nextE)
+	copy(s.prevE, o.prevE)
+	copy(s.pairCnt, o.pairCnt)
+	copy(s.deg, o.deg)
+	copy(s.aliveV, o.aliveV)
+	s.edgeCount = o.edgeCount
+	s.sig = o.sig
+	s.q.Reset()
+}
+
+// removeEdge unlinks one alive edge and updates degrees, enqueueing
+// endpoints that drop below k.
+func (s *state) removeEdge(e tgraph.EID) {
+	i := int32(e - s.lo)
+	s.aliveE[i] = false
+	p, n := s.prevE[i], s.nextE[i]
+	s.nextE[p] = n
+	s.prevE[n] = p
+	s.sig.Toggle(int32(e))
+	s.edgeCount--
+
+	pi := s.g.EdgePair(e)
+	s.pairCnt[pi]--
+	if s.pairCnt[pi] == 0 {
+		pr := s.g.Pair(pi)
+		for _, v := range [2]tgraph.VID{pr.U, pr.V} {
+			s.deg[v]--
+			if s.aliveV[v] && int(s.deg[v]) < s.k {
+				s.aliveV[v] = false
+				s.q.Push(int32(v))
+			}
+		}
+	}
+}
+
+// peel drains the cascade queue, removing dead vertices' edges.
+func (s *state) peel() {
+	for s.q.Len() > 0 {
+		u := tgraph.VID(s.q.Pop())
+		for _, e := range s.g.Incident(u) {
+			if e >= s.lo && e < s.hi && s.aliveE[e-s.lo] {
+				s.removeEdge(e)
+			}
+		}
+	}
+}
+
+// removeTimesAbove removes every alive edge with a timestamp greater than
+// te by walking back from the list tail (edge ids ascend with time).
+func (s *state) removeTimesAbove(te tgraph.TS) {
+	for {
+		i := s.prevE[s.tailIdx()]
+		if i == s.headIdx() {
+			return
+		}
+		e := s.lo + tgraph.EID(i)
+		if s.g.Edge(e).T <= te {
+			return
+		}
+		s.removeEdge(e)
+	}
+}
+
+// removeTimesBelow removes every alive edge with a timestamp smaller than
+// ts by walking forward from the list head.
+func (s *state) removeTimesBelow(ts tgraph.TS) {
+	for {
+		i := s.nextE[s.headIdx()]
+		if i == s.tailIdx() {
+			return
+		}
+		e := s.lo + tgraph.EID(i)
+		if s.g.Edge(e).T >= ts {
+			return
+		}
+		s.removeEdge(e)
+	}
+}
+
+// tti returns the tightest time interval of the alive edge set; the state
+// must be non-empty.
+func (s *state) tti() tgraph.Window {
+	first := s.lo + tgraph.EID(s.nextE[s.headIdx()])
+	last := s.lo + tgraph.EID(s.prevE[s.tailIdx()])
+	return tgraph.Window{Start: s.g.Edge(first).T, End: s.g.Edge(last).T}
+}
+
+// appendEdges appends the alive edges in time order to dst.
+func (s *state) appendEdges(dst []tgraph.EID) []tgraph.EID {
+	for i := s.nextE[s.headIdx()]; i != s.tailIdx(); i = s.nextE[i] {
+		dst = append(dst, s.lo+tgraph.EID(i))
+	}
+	return dst
+}

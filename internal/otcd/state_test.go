@@ -1,0 +1,130 @@
+package otcd
+
+import (
+	"testing"
+
+	"temporalkcore/internal/tgraph"
+)
+
+func triGraph() *tgraph.Graph {
+	return tgraph.MustFromTriples(
+		[3]int64{1, 2, 1}, [3]int64{2, 3, 2}, [3]int64{1, 3, 3},
+		[3]int64{3, 4, 4}, [3]int64{4, 5, 5},
+	)
+}
+
+func TestStateInitFull(t *testing.T) {
+	g := triGraph()
+	s := newState(g, 2, g.FullWindow())
+	s.initFull()
+	if s.edgeCount != 5 {
+		t.Fatalf("edgeCount = %d, want 5", s.edgeCount)
+	}
+	if got := s.tti(); got != (tgraph.Window{Start: 1, End: 5}) {
+		t.Errorf("tti = %v", got)
+	}
+	s.peel()
+	// Only the triangle 1-2-3 survives a 2-core peel.
+	if s.edgeCount != 3 {
+		t.Errorf("after peel: %d edges, want 3", s.edgeCount)
+	}
+	if got := s.tti(); got != (tgraph.Window{Start: 1, End: 3}) {
+		t.Errorf("tti after peel = %v", got)
+	}
+	edges := s.appendEdges(nil)
+	if len(edges) != 3 {
+		t.Fatalf("appendEdges: %v", edges)
+	}
+	// Edges come out in time order.
+	for i := 1; i < len(edges); i++ {
+		if g.Edge(edges[i]).T < g.Edge(edges[i-1]).T {
+			t.Errorf("edges not time ordered: %v", edges)
+		}
+	}
+}
+
+func TestStateRemoveTimes(t *testing.T) {
+	g := triGraph()
+	s := newState(g, 1, g.FullWindow())
+	s.initFull()
+	s.peel()
+	if s.edgeCount != 5 {
+		t.Fatalf("1-core should keep all edges, got %d", s.edgeCount)
+	}
+	s.removeTimesAbove(3)
+	s.peel()
+	if s.edgeCount != 3 {
+		t.Errorf("after cut at 3: %d edges", s.edgeCount)
+	}
+	s.removeTimesBelow(2)
+	s.peel()
+	if s.edgeCount != 2 {
+		t.Errorf("after floor at 2: %d edges", s.edgeCount)
+	}
+	if got := s.tti(); got != (tgraph.Window{Start: 2, End: 3}) {
+		t.Errorf("tti = %v", got)
+	}
+}
+
+func TestStateCopyIndependence(t *testing.T) {
+	g := triGraph()
+	row := newState(g, 1, g.FullWindow())
+	row.initFull()
+	row.peel()
+	work := newState(g, 1, g.FullWindow())
+	work.copyFrom(row)
+	work.removeTimesAbove(2)
+	work.peel()
+	if row.edgeCount != 5 {
+		t.Errorf("row mutated by work: %d edges", row.edgeCount)
+	}
+	if work.edgeCount != 2 {
+		t.Errorf("work = %d edges, want 2", work.edgeCount)
+	}
+	// Signatures diverge and reconverge deterministically.
+	work2 := newState(g, 1, g.FullWindow())
+	work2.copyFrom(row)
+	work2.removeTimesAbove(2)
+	work2.peel()
+	if work.sig != work2.sig {
+		t.Error("same operations produced different signatures")
+	}
+}
+
+func TestStateSubWindow(t *testing.T) {
+	g := triGraph()
+	w := tgraph.Window{Start: 2, End: 4}
+	s := newState(g, 1, w)
+	s.initFull()
+	s.peel()
+	if s.edgeCount != 3 {
+		t.Errorf("window [2,4]: %d edges, want 3", s.edgeCount)
+	}
+	if got := s.tti(); got != (tgraph.Window{Start: 2, End: 4}) {
+		t.Errorf("tti = %v", got)
+	}
+}
+
+func TestStatePairMultiplicity(t *testing.T) {
+	b := tgraph.Builder{KeepDuplicates: true}
+	b.Add(1, 2, 1)
+	b.Add(1, 2, 2)
+	b.Add(2, 3, 1)
+	b.Add(1, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newState(g, 2, g.FullWindow())
+	s.initFull()
+	s.peel()
+	if s.edgeCount != 4 {
+		t.Fatalf("all edges should survive, got %d", s.edgeCount)
+	}
+	// Removing one of the two parallel 1-2 edges must not change degrees.
+	s.removeTimesAbove(1)
+	s.peel()
+	if s.edgeCount != 3 {
+		t.Errorf("after cut: %d edges, want 3 (triangle at t=1)", s.edgeCount)
+	}
+}

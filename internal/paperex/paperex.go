@@ -1,0 +1,102 @@
+// Package paperex provides the running example of the reproduced paper: the
+// temporal graph of Figure 1 (edge list recoverable from Table II) and the
+// published golden results for k = 2 — the vertex core time index of
+// Table I, the edge core window skylines of Table II, and the temporal
+// 2-cores of Figure 2. Tests across the repository validate against these.
+//
+// Table I of the paper contains a typo: the final entries of v3 are printed
+// as "[3,7],[4,∞]", but v3 is in the 2-core of [4,7], [5,7] and [6,7] (the
+// triangle v1-v3-v5 on edges (1,3,6), (3,5,6), (1,5,7)), so the correct
+// entries are "[3,7],[7,∞]". Table II is only consistent with the corrected
+// value — e.g. (v1,v3,6) having minimal window [6,7] requires a finite core
+// time for v3 at start time 6. The golden data below uses the correction.
+package paperex
+
+import "temporalkcore/internal/tgraph"
+
+// Edges is the temporal edge list of Figure 1, as (u, v, t) triples.
+var Edges = [][3]int64{
+	{2, 9, 1},
+	{1, 4, 2},
+	{2, 3, 2},
+	{1, 2, 3},
+	{2, 4, 3},
+	{3, 9, 4},
+	{4, 8, 4},
+	{1, 6, 5},
+	{1, 7, 5},
+	{2, 8, 5},
+	{6, 7, 5},
+	{1, 3, 6},
+	{3, 5, 6},
+	{1, 5, 7},
+}
+
+// Graph builds the Figure 1 graph. Timestamps 1..7 are already dense, so
+// compressed ranks equal raw times.
+func Graph() *tgraph.Graph {
+	return tgraph.MustFromTriples(Edges...)
+}
+
+// K is the query parameter used throughout the paper's example.
+const K = 2
+
+// Inf marks an infinite core time in the golden data.
+const Inf = int64(-1)
+
+// VCT is the corrected Table I: per vertex label, (start, core time) labels
+// for k=2 over the full range [1,7].
+var VCT = map[int64][][2]int64{
+	1: {{1, 3}, {3, 5}, {6, 7}, {7, Inf}},
+	2: {{1, 3}, {3, 5}, {4, Inf}},
+	3: {{1, 4}, {2, 6}, {3, 7}, {7, Inf}}, // paper prints [4,∞]; see package doc
+	4: {{1, 3}, {3, 5}, {4, Inf}},
+	5: {{1, 7}, {7, Inf}},
+	6: {{1, 5}, {6, Inf}},
+	7: {{1, 5}, {6, Inf}},
+	8: {{1, 5}, {4, Inf}},
+	9: {{1, 4}, {2, Inf}},
+}
+
+// ECSEdge identifies a temporal edge of the example by labels and time.
+type ECSEdge struct {
+	U, V int64
+	T    int64
+}
+
+// ECS is Table II: the minimal core windows of every edge for k=2 over the
+// full range [1,7].
+var ECS = map[ECSEdge][][2]int64{
+	{2, 9, 1}: {{1, 4}},
+	{1, 4, 2}: {{2, 3}},
+	{2, 3, 2}: {{1, 4}, {2, 6}},
+	{1, 2, 3}: {{2, 3}, {3, 5}},
+	{2, 4, 3}: {{2, 3}, {3, 5}},
+	{3, 9, 4}: {{1, 4}},
+	{4, 8, 4}: {{3, 5}},
+	{1, 6, 5}: {{5, 5}},
+	{1, 7, 5}: {{5, 5}},
+	{2, 8, 5}: {{3, 5}},
+	{6, 7, 5}: {{5, 5}},
+	{1, 3, 6}: {{2, 6}, {6, 7}},
+	{3, 5, 6}: {{6, 7}},
+	{1, 5, 7}: {{6, 7}},
+}
+
+// Figure2Core is one expected temporal 2-core of the query range [1,4].
+type Figure2Core struct {
+	TTI   [2]int64
+	Edges []ECSEdge
+}
+
+// Figure2 lists the two temporal 2-cores of Figure 2 for range [1,4].
+var Figure2 = []Figure2Core{
+	{
+		TTI:   [2]int64{1, 4},
+		Edges: []ECSEdge{{2, 9, 1}, {1, 4, 2}, {2, 3, 2}, {1, 2, 3}, {2, 4, 3}, {3, 9, 4}},
+	},
+	{
+		TTI:   [2]int64{2, 3},
+		Edges: []ECSEdge{{1, 4, 2}, {1, 2, 3}, {2, 4, 3}},
+	},
+}

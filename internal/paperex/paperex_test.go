@@ -1,0 +1,60 @@
+package paperex_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/paperex"
+)
+
+// TestFixtureSelfConsistent guards the golden data itself: every skyline
+// key matches an edge of the graph, every VCT vertex exists, and the
+// Figure 2 edge sets are subsets of the edge list.
+func TestFixtureSelfConsistent(t *testing.T) {
+	g := paperex.Graph()
+	if g.NumEdges() != len(paperex.Edges) {
+		t.Fatalf("graph has %d edges, fixture lists %d", g.NumEdges(), len(paperex.Edges))
+	}
+	edgeSet := map[paperex.ECSEdge]bool{}
+	for _, e := range paperex.Edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		edgeSet[paperex.ECSEdge{U: u, V: v, T: e[2]}] = true
+	}
+	for key := range paperex.ECS {
+		if !edgeSet[key] {
+			t.Errorf("ECS key %+v is not an edge of the example", key)
+		}
+	}
+	if len(paperex.ECS) != len(paperex.Edges) {
+		t.Errorf("ECS covers %d edges, graph has %d", len(paperex.ECS), len(paperex.Edges))
+	}
+	for label := range paperex.VCT {
+		if _, ok := g.VertexOf(label); !ok {
+			t.Errorf("VCT vertex %d missing from graph", label)
+		}
+	}
+	if len(paperex.VCT) != g.NumVertices() {
+		t.Errorf("VCT covers %d vertices, graph has %d", len(paperex.VCT), g.NumVertices())
+	}
+	for _, core := range paperex.Figure2 {
+		for _, e := range core.Edges {
+			if !edgeSet[e] {
+				t.Errorf("Figure 2 edge %+v not in the example", e)
+			}
+		}
+		if core.TTI[0] > core.TTI[1] {
+			t.Errorf("Figure 2 TTI inverted: %v", core.TTI)
+		}
+	}
+	// Skyline windows in the golden table are themselves skylines:
+	// strictly increasing starts and ends.
+	for key, wins := range paperex.ECS {
+		for i := 1; i < len(wins); i++ {
+			if wins[i][0] <= wins[i-1][0] || wins[i][1] <= wins[i-1][1] {
+				t.Errorf("golden skyline of %+v not strictly increasing: %v", key, wins)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package phc_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/gen"
+	"temporalkcore/internal/phc"
+	"temporalkcore/internal/tgraph"
+)
+
+func benchGraph(b *testing.B) *tgraph.Graph {
+	b.Helper()
+	rep, err := gen.ReplicaByCode("FB")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := rep.Generate(3000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkBuild measures full multi-k index construction, the one-off
+// cost a deployment pays before serving historical queries.
+func BenchmarkBuild(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		ix, err := phc.Build(g, g.FullWindow())
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = ix.Size()
+	}
+	b.ReportMetric(float64(size), "labels")
+}
+
+// BenchmarkCoreVertices measures one historical k-core extraction from the
+// prebuilt index (no peeling).
+func BenchmarkCoreVertices(b *testing.B) {
+	g := benchGraph(b)
+	ix, err := phc.Build(g, g.FullWindow())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := ix.KMax * 30 / 100
+	if k < 2 {
+		k = 2
+	}
+	w := tgraph.Window{Start: g.TMax() / 4, End: g.TMax() / 2}
+	var buf []tgraph.VID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ix.CoreVertices(g, k, w, buf[:0])
+	}
+}
+
+// BenchmarkCoreNumber measures the per-vertex binary search over k.
+func BenchmarkCoreNumber(b *testing.B) {
+	g := benchGraph(b)
+	ix, err := phc.Build(g, g.FullWindow())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := tgraph.Window{Start: 1, End: g.TMax()}
+	n := tgraph.VID(g.NumVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.CoreNumber(tgraph.VID(i)%n, w)
+	}
+}

@@ -1,0 +1,143 @@
+// Package phc implements the full PHC-style historical k-core index of
+// Yu et al., "On Querying Historical K-Cores" (VLDB 2021) — reference [13]
+// of the reproduced paper, which uses only the single-k slice of it (the
+// VCT index of package vct).
+//
+// The index stores, for every k from 1 to kmax and every vertex, the
+// compressed core-time labels over a time range. Once built it answers
+// historical k-core queries — "which vertices/edges form the k-core of the
+// snapshot over [ts, te]?" — without touching the graph's structure again:
+// a vertex u belongs to the k-core of [ts, te] iff CT^k_ts(u) <= te, and a
+// temporal edge (u, v, t) belongs iff additionally ts <= t and
+// max(CT^k_ts(u), CT^k_ts(v)) <= te (Lemma 1 of the reproduced paper).
+package phc
+
+import (
+	"fmt"
+
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// Index is a historical k-core index over one time range for every k in
+// [1, KMax]. It is immutable and safe for concurrent use.
+type Index struct {
+	Range tgraph.Window
+	KMax  int
+
+	perK []*vct.Index // perK[k-1] is the VCT index for k
+}
+
+// Build constructs the index for every k from 1 to the core number bound
+// of the projected snapshot over w. The cost is the sum of the per-k VCT
+// constructions, each O(|VCT_k| · deg_avg).
+func Build(g *tgraph.Graph, w tgraph.Window) (*Index, error) {
+	if !w.Valid() || w.End > g.TMax() {
+		return nil, fmt.Errorf("phc: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, g.TMax())
+	}
+	_, kmax := kcore.Decompose(g, w)
+	ix := &Index{Range: w, KMax: kmax, perK: make([]*vct.Index, kmax)}
+	for k := 1; k <= kmax; k++ {
+		sub, _, err := vct.Build(g, k, w)
+		if err != nil {
+			return nil, err
+		}
+		ix.perK[k-1] = sub
+	}
+	return ix, nil
+}
+
+// Size returns the total number of labels over all k, the paper's |PHC|.
+func (ix *Index) Size() int {
+	total := 0
+	for _, sub := range ix.perK {
+		if sub != nil {
+			total += sub.Size()
+		}
+	}
+	return total
+}
+
+// CoreTime returns CT^k_ts(u), or tgraph.InfTime when u is never in a
+// k-core of a window starting at ts inside the index range. k beyond KMax
+// is always infinite.
+func (ix *Index) CoreTime(u tgraph.VID, k int, ts tgraph.TS) tgraph.TS {
+	if k < 1 {
+		return ix.Range.Start // every vertex is a 0-core member immediately
+	}
+	if k > ix.KMax {
+		return tgraph.InfTime
+	}
+	return ix.perK[k-1].CoreTime(u, ts)
+}
+
+// InCore reports whether vertex u is in the k-core of the snapshot over
+// [w.Start, w.End]. w must lie inside the index range.
+func (ix *Index) InCore(u tgraph.VID, k int, w tgraph.Window) bool {
+	if k < 1 {
+		return true
+	}
+	if k > ix.KMax || !ix.Range.Contains(w) {
+		return false
+	}
+	ct := ix.perK[k-1].CoreTime(u, w.Start)
+	return ct != tgraph.InfTime && ct <= w.End
+}
+
+// CoreVertices appends the vertices of the k-core of the snapshot over w
+// to dst. The scan is O(n) over the vertex universe plus the output.
+func (ix *Index) CoreVertices(g *tgraph.Graph, k int, w tgraph.Window, dst []tgraph.VID) []tgraph.VID {
+	if k < 1 || k > ix.KMax || !ix.Range.Contains(w) {
+		return dst
+	}
+	sub := ix.perK[k-1]
+	for u := tgraph.VID(0); u < tgraph.VID(g.NumVertices()); u++ {
+		ct := sub.CoreTime(u, w.Start)
+		if ct != tgraph.InfTime && ct <= w.End {
+			dst = append(dst, u)
+		}
+	}
+	return dst
+}
+
+// CoreEdges appends the temporal edges of the k-core of the snapshot over
+// w to dst, scanning only the edges inside the window.
+func (ix *Index) CoreEdges(g *tgraph.Graph, k int, w tgraph.Window, dst []tgraph.EID) []tgraph.EID {
+	if k < 1 || k > ix.KMax || !ix.Range.Contains(w) {
+		return dst
+	}
+	sub := ix.perK[k-1]
+	lo, hi := g.EdgesIn(w)
+	for e := lo; e < hi; e++ {
+		te := g.Edge(e)
+		cu := sub.CoreTime(te.U, w.Start)
+		if cu == tgraph.InfTime || cu > w.End {
+			continue
+		}
+		cv := sub.CoreTime(te.V, w.Start)
+		if cv == tgraph.InfTime || cv > w.End {
+			continue
+		}
+		dst = append(dst, e)
+	}
+	return dst
+}
+
+// CoreNumber returns the largest k such that u is in the k-core of the
+// snapshot over w (0 when u is isolated there). Binary search over k uses
+// the nesting of cores: the k-core contains the (k+1)-core.
+func (ix *Index) CoreNumber(u tgraph.VID, w tgraph.Window) int {
+	lo, hi := 1, ix.KMax
+	best := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if ix.InCore(u, mid, w) {
+			best = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best
+}

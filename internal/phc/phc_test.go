@@ -1,0 +1,192 @@
+package phc_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/phc"
+	"temporalkcore/internal/tgraph"
+)
+
+func TestBuildPaperGraph(t *testing.T) {
+	g := paperex.Graph()
+	ix, err := phc.Build(g, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.KMax != 2 {
+		t.Fatalf("KMax = %d, want 2", ix.KMax)
+	}
+	// The k=2 slice must answer Example 2: CT^2_1(v1)=3, CT^2_3(v1)=5.
+	v1, _ := g.VertexOf(1)
+	if got := ix.CoreTime(v1, 2, 1); got != 3 {
+		t.Errorf("CT^2_1(v1) = %d, want 3", got)
+	}
+	if got := ix.CoreTime(v1, 2, 3); got != 5 {
+		t.Errorf("CT^2_3(v1) = %d, want 5", got)
+	}
+	// k beyond kmax is infinite; k=0 is trivially immediate.
+	if got := ix.CoreTime(v1, 3, 1); got != tgraph.InfTime {
+		t.Errorf("CT^3 = %d, want inf", got)
+	}
+	if ix.CoreTime(v1, 0, 1) == tgraph.InfTime {
+		t.Error("k=0 should never be infinite")
+	}
+	if ix.Size() <= 0 {
+		t.Error("index has no labels")
+	}
+}
+
+func randomGraph(r *rand.Rand, n, m, tmax int) *tgraph.Graph {
+	var b tgraph.Builder
+	for i := 0; i < m; i++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		for v == u {
+			v = r.Intn(n)
+		}
+		b.Add(int64(u), int64(v), int64(1+r.Intn(tmax)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestHistoricalQueriesMatchPeeler cross-checks every historical query kind
+// against from-scratch peeling on random graphs: membership, vertex sets,
+// edge sets, and core numbers, across all k and many windows.
+func TestHistoricalQueriesMatchPeeler(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	iters := 25
+	if testing.Short() {
+		iters = 6
+	}
+	for it := 0; it < iters; it++ {
+		g := randomGraph(r, 5+r.Intn(10), 10+r.Intn(60), 2+r.Intn(8))
+		ix, err := phc.Build(g, g.FullWindow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := kcore.NewPeeler(g)
+		for trial := 0; trial < 12; trial++ {
+			ts := tgraph.TS(1 + r.Intn(int(g.TMax())))
+			te := ts + tgraph.TS(r.Intn(int(g.TMax()-ts)+1))
+			w := tgraph.Window{Start: ts, End: te}
+			k := 1 + r.Intn(ix.KMax+1)
+
+			res := p.CoreOfWindow(k, w)
+			for u := tgraph.VID(0); u < tgraph.VID(g.NumVertices()); u++ {
+				if got := ix.InCore(u, k, w); got != res.InCore[u] {
+					t.Fatalf("iter %d: InCore(v%d, k=%d, %v) = %v, peeler says %v", it, u, k, w, got, res.InCore[u])
+				}
+			}
+			verts := ix.CoreVertices(g, k, w, nil)
+			if len(verts) != res.Vertices {
+				t.Fatalf("iter %d: CoreVertices returned %d, want %d", it, len(verts), res.Vertices)
+			}
+			wantEdges := p.CoreEdgesOfWindow(k, w, nil)
+			gotEdges := ix.CoreEdges(g, k, w, nil)
+			if len(gotEdges) != len(wantEdges) {
+				t.Fatalf("iter %d: CoreEdges returned %d, want %d", it, len(gotEdges), len(wantEdges))
+			}
+			for i := range wantEdges {
+				if gotEdges[i] != wantEdges[i] {
+					t.Fatalf("iter %d: edge lists differ at %d", it, i)
+				}
+			}
+		}
+		// Core numbers against a per-window decomposition.
+		for trial := 0; trial < 4; trial++ {
+			ts := tgraph.TS(1 + r.Intn(int(g.TMax())))
+			te := ts + tgraph.TS(r.Intn(int(g.TMax()-ts)+1))
+			w := tgraph.Window{Start: ts, End: te}
+			want, _ := kcore.Decompose(g, w)
+			for u := tgraph.VID(0); u < tgraph.VID(g.NumVertices()); u++ {
+				if got := ix.CoreNumber(u, w); got != int(want[u]) {
+					t.Fatalf("iter %d: CoreNumber(v%d, %v) = %d, want %d", it, u, w, got, want[u])
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	g := randomGraph(r, 12, 80, 9)
+	ix, err := phc.Build(g, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := phc.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.KMax != ix.KMax || back.Range != ix.Range || back.Size() != ix.Size() {
+		t.Fatalf("round trip changed shape: %d/%v/%d vs %d/%v/%d",
+			back.KMax, back.Range, back.Size(), ix.KMax, ix.Range, ix.Size())
+	}
+	for u := tgraph.VID(0); u < tgraph.VID(g.NumVertices()); u++ {
+		for k := 1; k <= ix.KMax; k++ {
+			for ts := tgraph.TS(1); ts <= g.TMax(); ts++ {
+				if back.CoreTime(u, k, ts) != ix.CoreTime(u, k, ts) {
+					t.Fatalf("round trip changed CT^%d_%d(v%d)", k, ts, u)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	if _, err := phc.Decode(strings.NewReader("BOGUS!")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	g := paperex.Graph()
+	ix, err := phc.Build(g, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated stream.
+	data := buf.Bytes()
+	if _, err := phc.Decode(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := paperex.Graph()
+	if _, err := phc.Build(g, tgraph.Window{Start: 1, End: 99}); err == nil {
+		t.Error("window past tmax accepted")
+	}
+	if _, err := phc.Build(g, tgraph.Window{Start: 5, End: 2}); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestQueryOutsideRange(t *testing.T) {
+	g := paperex.Graph()
+	ix, err := phc.Build(g, tgraph.Window{Start: 2, End: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := g.VertexOf(1)
+	if ix.InCore(v1, 2, tgraph.Window{Start: 1, End: 7}) {
+		t.Error("window outside index range answered true")
+	}
+	if got := ix.CoreVertices(g, 2, tgraph.Window{Start: 1, End: 7}, nil); len(got) != 0 {
+		t.Error("CoreVertices answered outside range")
+	}
+}

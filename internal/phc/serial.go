@@ -1,0 +1,70 @@
+package phc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+const indexMagic = "PHCX1\n"
+
+// Encode writes the whole multi-k index; Decode reads it back. Building
+// the index costs a pass per k over the graph, so persisting it is the
+// natural deployment mode for repeated historical queries (as in [13]).
+func (ix *Index) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return err
+	}
+	hdr := []int32{int32(ix.Range.Start), int32(ix.Range.End), int32(ix.KMax)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for _, sub := range ix.perK {
+		if err := sub.Encode(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads an index written by Encode.
+func Decode(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("phc: reading magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, errors.New("phc: not a PHCX1 stream")
+	}
+	hdr := make([]int32, 3)
+	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("phc: reading header: %w", err)
+	}
+	kmax := int(hdr[2])
+	if kmax < 0 || kmax > 1<<20 {
+		return nil, fmt.Errorf("phc: implausible kmax %d", kmax)
+	}
+	ix := &Index{
+		Range: tgraph.Window{Start: tgraph.TS(hdr[0]), End: tgraph.TS(hdr[1])},
+		KMax:  kmax,
+		perK:  make([]*vct.Index, kmax),
+	}
+	for k := 1; k <= kmax; k++ {
+		sub, err := vct.DecodeIndex(br)
+		if err != nil {
+			return nil, fmt.Errorf("phc: decoding k=%d slice: %w", k, err)
+		}
+		if sub.K != k {
+			return nil, fmt.Errorf("phc: slice order corrupt: got k=%d, want %d", sub.K, k)
+		}
+		ix.perK[k-1] = sub
+	}
+	return ix, nil
+}

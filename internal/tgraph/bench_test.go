@@ -1,0 +1,62 @@
+package tgraph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"temporalkcore/internal/tgraph"
+)
+
+// BenchmarkBuild measures graph construction from raw edges (sorting,
+// compression, CSR assembly).
+func BenchmarkBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	raw := make([]tgraph.RawEdge, 20000)
+	for i := range raw {
+		raw[i] = tgraph.RawEdge{
+			U:    int64(r.Intn(2000)),
+			V:    int64(r.Intn(2000)),
+			Time: int64(r.Intn(10000)),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var bd tgraph.Builder
+		for _, e := range raw {
+			if e.U != e.V {
+				bd.AddEdge(e)
+			}
+		}
+		if _, err := bd.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEdgesIn measures the window slicing hot path.
+func BenchmarkEdgesIn(b *testing.B) {
+	var bd tgraph.Builder
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		u, v := r.Intn(2000), r.Intn(2000)
+		if u == v {
+			continue
+		}
+		bd.Add(int64(u), int64(v), int64(r.Intn(10000)))
+	}
+	g, err := bd.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tmax := g.TMax()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tgraph.TS(i%int(tmax)) + 1
+		e := s + tmax/10
+		if e > tmax {
+			e = tmax
+		}
+		g.EdgesIn(tgraph.Window{Start: s, End: e})
+	}
+}

@@ -1,0 +1,278 @@
+package tgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// RawEdge is an input edge with arbitrary integer vertex labels and a raw
+// timestamp.
+type RawEdge struct {
+	U, V int64
+	Time int64
+}
+
+// BuildStats summarises what the builder did with its input.
+type BuildStats struct {
+	InputEdges      int // edges passed to Add
+	SelfLoops       int // dropped self loops
+	ExactDuplicates int // dropped exact (u,v,t) duplicates
+}
+
+// Builder accumulates raw edges and produces an immutable Graph.
+// The zero value is ready to use.
+type Builder struct {
+	raw   []RawEdge
+	stats BuildStats
+
+	// KeepSelfLoops makes Build return an error on self loops instead of
+	// silently dropping them.
+	ErrorOnSelfLoops bool
+	// KeepDuplicates keeps exact (u,v,t) duplicate edges as distinct
+	// temporal edges. The default drops them, matching the paper's edge-set
+	// semantics where E is a set.
+	KeepDuplicates bool
+}
+
+// ErrEmptyGraph is returned by Build when no usable edge was added.
+var ErrEmptyGraph = errors.New("tgraph: graph has no edges")
+
+// Add records one raw edge.
+func (b *Builder) Add(u, v, t int64) {
+	b.raw = append(b.raw, RawEdge{U: u, V: v, Time: t})
+}
+
+// AddEdge records one raw edge struct.
+func (b *Builder) AddEdge(e RawEdge) { b.raw = append(b.raw, e) }
+
+// Stats returns the statistics of the last Build call.
+func (b *Builder) Stats() BuildStats { return b.stats }
+
+// Build constructs the Graph. The builder can be reused afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	b.stats = BuildStats{InputEdges: len(b.raw)}
+
+	// Drop self loops (or reject them).
+	in := make([]RawEdge, 0, len(b.raw))
+	for _, e := range b.raw {
+		if e.U == e.V {
+			if b.ErrorOnSelfLoops {
+				return nil, fmt.Errorf("tgraph: self loop on vertex %d at time %d", e.U, e.Time)
+			}
+			b.stats.SelfLoops++
+			continue
+		}
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		in = append(in, e)
+	}
+	if len(in) == 0 {
+		return nil, ErrEmptyGraph
+	}
+
+	// Dense vertex ids in order of first appearance (deterministic).
+	labelOf := make(map[int64]VID, len(in))
+	labels := make([]int64, 0, 64)
+	vid := func(l int64) VID {
+		if v, ok := labelOf[l]; ok {
+			return v
+		}
+		v := VID(len(labels))
+		labelOf[l] = v
+		labels = append(labels, l)
+		return v
+	}
+
+	// Compress timestamps to dense ranks 1..tmax.
+	rawTimes := make([]int64, len(in))
+	for i, e := range in {
+		rawTimes[i] = e.Time
+	}
+	sort.Slice(rawTimes, func(i, j int) bool { return rawTimes[i] < rawTimes[j] })
+	rawTimes = dedupInt64(rawTimes)
+	rank := func(t int64) TS {
+		i := sort.Search(len(rawTimes), func(i int) bool { return rawTimes[i] >= t })
+		return TS(i + 1)
+	}
+
+	type work struct {
+		u, v VID
+		t    TS
+	}
+	ws := make([]work, 0, len(in))
+	for _, e := range in {
+		u, v := vid(e.U), vid(e.V)
+		if u > v {
+			// Dense ids may invert the label order; canonicalise on ids so
+			// pair grouping below is consistent.
+			u, v = v, u
+		}
+		ws = append(ws, work{u: u, v: v, t: rank(e.Time)})
+	}
+
+	// Sort by (u, v, t) to group pairs and detect duplicates.
+	sort.Slice(ws, func(i, j int) bool {
+		a, b := ws[i], ws[j]
+		if a.u != b.u {
+			return a.u < b.u
+		}
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		return a.t < b.t
+	})
+	if !b.KeepDuplicates {
+		out := ws[:0]
+		for i, w := range ws {
+			if i > 0 && w == ws[i-1] {
+				b.stats.ExactDuplicates++
+				continue
+			}
+			out = append(out, w)
+		}
+		ws = out
+	}
+
+	g := &Graph{
+		n:        int32(len(labels)),
+		rawTimes: rawTimes,
+		labels:   labels,
+		labelOf:  labelOf,
+	}
+
+	// Pairs and per-pair times (strictly ascending; duplicates collapse).
+	g.pairs = make([]Pair, 0, len(ws)/2+1)
+	g.pairTimes = make([]TS, 0, len(ws))
+	pairIdxOf := make([]int32, len(ws)) // by position in ws
+	for i := 0; i < len(ws); {
+		j := i
+		for j < len(ws) && ws[j].u == ws[i].u && ws[j].v == ws[i].v {
+			j++
+		}
+		p := Pair{U: ws[i].u, V: ws[i].v, Off: int32(len(g.pairTimes))}
+		prev := TS(-1)
+		for k := i; k < j; k++ {
+			pairIdxOf[k] = int32(len(g.pairs))
+			if ws[k].t != prev {
+				g.pairTimes = append(g.pairTimes, ws[k].t)
+				prev = ws[k].t
+			}
+		}
+		p.Len = int32(len(g.pairTimes)) - p.Off
+		g.pairs = append(g.pairs, p)
+		i = j
+	}
+
+	// Edge array sorted by (t, u, v); remember pair of each edge.
+	type tedge struct {
+		e    TemporalEdge
+		pair int32
+	}
+	tes := make([]tedge, len(ws))
+	for i, w := range ws {
+		tes[i] = tedge{e: TemporalEdge{U: w.u, V: w.v, T: w.t}, pair: pairIdxOf[i]}
+	}
+	sort.Slice(tes, func(i, j int) bool {
+		a, b := tes[i].e, tes[j].e
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	g.edges = make([]TemporalEdge, len(tes))
+	g.edgePair = make([]int32, len(tes))
+	for i, te := range tes {
+		g.edges[i] = te.e
+		g.edgePair[i] = te.pair
+	}
+
+	// Time groups.
+	tmax := int(g.TMax())
+	g.timeOff = make([]int32, tmax+2)
+	for _, e := range g.edges {
+		g.timeOff[e.T+1]++
+	}
+	for t := 1; t <= tmax; t++ {
+		g.timeOff[t+1] += g.timeOff[t]
+	}
+
+	// Distinct-neighbour lists.
+	n := int(g.n)
+	g.nbrOff = make([]int32, n+1)
+	for _, p := range g.pairs {
+		g.nbrOff[p.U+1]++
+		g.nbrOff[p.V+1]++
+	}
+	for u := 0; u < n; u++ {
+		g.nbrOff[u+1] += g.nbrOff[u]
+	}
+	g.nbrs = make([]Nbr, g.nbrOff[n])
+	cur := make([]int32, n)
+	copy(cur, g.nbrOff[:n])
+	for pi, p := range g.pairs {
+		g.nbrs[cur[p.U]] = Nbr{V: p.V, Pair: int32(pi)}
+		cur[p.U]++
+		g.nbrs[cur[p.V]] = Nbr{V: p.U, Pair: int32(pi)}
+		cur[p.V]++
+	}
+
+	// Incidence lists, ascending by time because edge ids are time sorted.
+	g.incOff = make([]int32, n+1)
+	for _, e := range g.edges {
+		g.incOff[e.U+1]++
+		g.incOff[e.V+1]++
+	}
+	for u := 0; u < n; u++ {
+		g.incOff[u+1] += g.incOff[u]
+	}
+	g.incEIDs = make([]EID, g.incOff[n])
+	copy(cur, g.incOff[:n])
+	for i, e := range g.edges {
+		g.incEIDs[cur[e.U]] = EID(i)
+		cur[e.U]++
+		g.incEIDs[cur[e.V]] = EID(i)
+		cur[e.V]++
+	}
+
+	return g, nil
+}
+
+// FromRawEdges is a convenience wrapper building a graph from a slice of raw
+// edges with default options.
+func FromRawEdges(edges []RawEdge) (*Graph, error) {
+	var b Builder
+	for _, e := range edges {
+		b.AddEdge(e)
+	}
+	return b.Build()
+}
+
+// MustFromTriples builds a graph from (u, v, t) triples and panics on error.
+// It is intended for tests and examples.
+func MustFromTriples(triples ...[3]int64) *Graph {
+	var b Builder
+	for _, tr := range triples {
+		b.Add(tr[0], tr[1], tr[2])
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func dedupInt64(s []int64) []int64 {
+	out := s[:0]
+	for i, v := range s {
+		if i > 0 && v == s[i-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package tgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected temporal graph.
+//
+// Layout invariants:
+//   - edges are sorted by (T, U, V); EID is the index into edges, so edge ids
+//     ascend with time and timeOff groups edges of equal timestamp.
+//   - pairs lists every distinct vertex pair (U < V); pairTimes[p.Off:p.Off+p.Len]
+//     are the pair's interaction times, strictly ascending.
+//   - nbrs[nbrOff[u]:nbrOff[u+1]] are u's distinct neighbours.
+//   - incEIDs[incOff[u]:incOff[u+1]] are the temporal edges incident to u,
+//     ascending by time.
+type Graph struct {
+	n int32
+
+	edges    []TemporalEdge
+	edgePair []int32
+
+	pairs     []Pair
+	pairTimes []TS
+
+	nbrOff []int32
+	nbrs   []Nbr
+
+	incOff  []int32
+	incEIDs []EID
+
+	timeOff []int32 // len TMax+2; edges with T==t are edges[timeOff[t]:timeOff[t+1]]
+
+	rawTimes []int64 // rank t (1-based) -> rawTimes[t-1]
+	labels   []int64 // vid -> original label
+	labelOf  map[int64]VID
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return int(g.n) }
+
+// NumEdges returns the number of temporal edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumPairs returns the number of distinct vertex pairs.
+func (g *Graph) NumPairs() int { return len(g.pairs) }
+
+// TMax returns the number of distinct timestamps (the highest rank).
+func (g *Graph) TMax() TS { return TS(len(g.rawTimes)) }
+
+// Edge returns the temporal edge with id e.
+func (g *Graph) Edge(e EID) TemporalEdge { return g.edges[e] }
+
+// Edges returns the full time-sorted edge slice. Callers must not modify it.
+func (g *Graph) Edges() []TemporalEdge { return g.edges }
+
+// EdgePair returns the canonical pair index of edge e.
+func (g *Graph) EdgePair(e EID) int32 { return g.edgePair[e] }
+
+// Pair returns the canonical pair with index p.
+func (g *Graph) Pair(p int32) Pair { return g.pairs[p] }
+
+// PairTimes returns the ascending interaction times of pair p.
+func (g *Graph) PairTimes(p int32) []TS {
+	pr := g.pairs[p]
+	return g.pairTimes[pr.Off : pr.Off+pr.Len]
+}
+
+// Neighbours returns the distinct-neighbour list of u.
+func (g *Graph) Neighbours(u VID) []Nbr { return g.nbrs[g.nbrOff[u]:g.nbrOff[u+1]] }
+
+// Degree returns the number of distinct neighbours of u over the whole graph.
+func (g *Graph) Degree(u VID) int { return int(g.nbrOff[u+1] - g.nbrOff[u]) }
+
+// Incident returns the temporal edges incident to u, ascending by time.
+func (g *Graph) Incident(u VID) []EID { return g.incEIDs[g.incOff[u]:g.incOff[u+1]] }
+
+// EdgesAt returns the edge-id range [lo, hi) of edges with timestamp t.
+func (g *Graph) EdgesAt(t TS) (lo, hi EID) {
+	if t < 1 || t > g.TMax() {
+		return 0, 0
+	}
+	return EID(g.timeOff[t]), EID(g.timeOff[t+1])
+}
+
+// EdgesIn returns the edge-id range [lo, hi) of edges with timestamps in
+// [w.Start, w.End]. Because edges are time sorted the range is contiguous.
+func (g *Graph) EdgesIn(w Window) (lo, hi EID) {
+	if !w.Valid() {
+		return 0, 0
+	}
+	s, e := w.Start, w.End
+	if s < 1 {
+		s = 1
+	}
+	if e > g.TMax() {
+		e = g.TMax()
+	}
+	if s > e {
+		return 0, 0
+	}
+	return EID(g.timeOff[s]), EID(g.timeOff[e+1])
+}
+
+// RawTime returns the raw timestamp of rank t.
+func (g *Graph) RawTime(t TS) int64 {
+	if t < 1 || t > g.TMax() {
+		panic(fmt.Sprintf("tgraph: rank %d out of range [1,%d]", t, g.TMax()))
+	}
+	return g.rawTimes[t-1]
+}
+
+// RawWindow converts a compressed window to raw timestamps.
+func (g *Graph) RawWindow(w Window) (start, end int64) {
+	return g.RawTime(w.Start), g.RawTime(w.End)
+}
+
+// RankCeil returns the smallest rank whose raw time is >= raw, or TMax+1 if
+// every raw time is smaller.
+func (g *Graph) RankCeil(raw int64) TS {
+	i := sort.Search(len(g.rawTimes), func(i int) bool { return g.rawTimes[i] >= raw })
+	return TS(i + 1)
+}
+
+// RankFloor returns the largest rank whose raw time is <= raw, or 0 if every
+// raw time is larger.
+func (g *Graph) RankFloor(raw int64) TS {
+	i := sort.Search(len(g.rawTimes), func(i int) bool { return g.rawTimes[i] > raw })
+	return TS(i)
+}
+
+// CompressRange maps a raw closed range [rawStart, rawEnd] to the compressed
+// window of ranks whose raw times fall inside it. ok is false when the range
+// covers no timestamp of the graph.
+func (g *Graph) CompressRange(rawStart, rawEnd int64) (w Window, ok bool) {
+	s := g.RankCeil(rawStart)
+	e := g.RankFloor(rawEnd)
+	if s < 1 || s > g.TMax() || e < 1 || s > e {
+		return Window{}, false
+	}
+	return Window{Start: s, End: e}, true
+}
+
+// Label returns the original label of vertex v.
+func (g *Graph) Label(v VID) int64 { return g.labels[v] }
+
+// VertexOf returns the dense id of a label, if present.
+func (g *Graph) VertexOf(label int64) (VID, bool) {
+	v, ok := g.labelOf[label]
+	return v, ok
+}
+
+// FullWindow returns the window covering every timestamp of the graph.
+func (g *Graph) FullWindow() Window { return Window{Start: 1, End: g.TMax()} }
+
+// FirstPairTimeAtOrAfter returns the earliest interaction time of pair p that
+// is >= ts, or InfTime when there is none.
+func (g *Graph) FirstPairTimeAtOrAfter(p int32, ts TS) TS {
+	times := g.PairTimes(p)
+	i := sort.Search(len(times), func(i int) bool { return times[i] >= ts })
+	if i == len(times) {
+		return InfTime
+	}
+	return times[i]
+}

@@ -1,0 +1,172 @@
+package tgraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// TextFormat selects how columns of a whitespace-separated edge file are
+// interpreted.
+type TextFormat int
+
+const (
+	// FormatAuto infers the layout from the first data line: three columns
+	// are read as "u v t", four or more as "u v w t" (KONECT style, the
+	// weight column ignored).
+	FormatAuto TextFormat = iota
+	// FormatUVT reads "u v t".
+	FormatUVT
+	// FormatUVWT reads "u v w t" and ignores w.
+	FormatUVWT
+)
+
+// LoadOptions configures text loading.
+type LoadOptions struct {
+	Format         TextFormat
+	KeepDuplicates bool
+}
+
+// LoadText parses a SNAP/KONECT-style whitespace-separated temporal edge
+// list. Lines starting with '#' or '%' and blank lines are skipped.
+func LoadText(r io.Reader, opts LoadOptions) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	b := Builder{KeepDuplicates: opts.KeepDuplicates}
+	format := opts.Format
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if format == FormatAuto {
+			switch {
+			case len(fields) == 3:
+				format = FormatUVT
+			case len(fields) >= 4:
+				format = FormatUVWT
+			default:
+				return nil, fmt.Errorf("tgraph: line %d: want >=3 columns, got %d", lineNo, len(fields))
+			}
+		}
+		var ucol, vcol, tcol = 0, 1, 2
+		if format == FormatUVWT {
+			tcol = 3
+		}
+		if len(fields) <= tcol {
+			return nil, fmt.Errorf("tgraph: line %d: want >=%d columns, got %d", lineNo, tcol+1, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[ucol], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tgraph: line %d: bad vertex %q: %v", lineNo, fields[ucol], err)
+		}
+		v, err := strconv.ParseInt(fields[vcol], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tgraph: line %d: bad vertex %q: %v", lineNo, fields[vcol], err)
+		}
+		// Timestamps may be floats in some KONECT dumps; truncate.
+		t, err := strconv.ParseInt(fields[tcol], 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(fields[tcol], 64)
+			if ferr != nil {
+				return nil, fmt.Errorf("tgraph: line %d: bad timestamp %q: %v", lineNo, fields[tcol], err)
+			}
+			t = int64(f)
+		}
+		b.Add(u, v, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tgraph: reading edge list: %w", err)
+	}
+	return b.Build()
+}
+
+// LoadTextFile opens path and calls LoadText.
+func LoadTextFile(path string, opts LoadOptions) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadText(f, opts)
+}
+
+// WriteText writes the graph as "u v t" lines using original labels and raw
+// timestamps, so LoadText round-trips it.
+func (g *Graph) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", g.labels[e.U], g.labels[e.V], g.rawTimes[e.T-1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+const binaryMagic = "TKCG1\n"
+
+// WriteBinary writes a compact binary encoding of the graph's edge list
+// (labels and raw timestamps), suitable for fast reloading with LoadBinary.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(g.edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [24]byte
+	for _, e := range g.edges {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(g.labels[e.U]))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(g.labels[e.V]))
+		binary.LittleEndian.PutUint64(buf[16:24], uint64(g.rawTimes[e.T-1]))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadBinary reads a graph written by WriteBinary.
+func LoadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("tgraph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, errors.New("tgraph: not a TKCG1 file")
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("tgraph: reading header: %w", err)
+	}
+	m := binary.LittleEndian.Uint64(hdr[:])
+	const maxEdges = 1 << 32
+	if m > maxEdges {
+		return nil, fmt.Errorf("tgraph: implausible edge count %d", m)
+	}
+	var b Builder
+	var buf [24]byte
+	for i := uint64(0); i < m; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("tgraph: reading edge %d: %w", i, err)
+		}
+		b.Add(
+			int64(binary.LittleEndian.Uint64(buf[0:8])),
+			int64(binary.LittleEndian.Uint64(buf[8:16])),
+			int64(binary.LittleEndian.Uint64(buf[16:24])),
+		)
+	}
+	return b.Build()
+}

@@ -1,0 +1,75 @@
+package tgraph_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/tgraph"
+)
+
+func gapGraph() *tgraph.Graph {
+	// Raw times 10, 20, 40, 80 -> ranks 1..4.
+	return tgraph.MustFromTriples(
+		[3]int64{1, 2, 10}, [3]int64{2, 3, 20}, [3]int64{3, 4, 40}, [3]int64{4, 5, 80},
+	)
+}
+
+func TestRankCeil(t *testing.T) {
+	g := gapGraph()
+	cases := []struct {
+		raw  int64
+		want tgraph.TS
+	}{
+		{5, 1}, {10, 1}, {11, 2}, {20, 2}, {21, 3}, {40, 3}, {79, 4}, {80, 4}, {81, 5},
+	}
+	for _, c := range cases {
+		if got := g.RankCeil(c.raw); got != c.want {
+			t.Errorf("RankCeil(%d) = %d, want %d", c.raw, got, c.want)
+		}
+	}
+}
+
+func TestRankFloor(t *testing.T) {
+	g := gapGraph()
+	cases := []struct {
+		raw  int64
+		want tgraph.TS
+	}{
+		{5, 0}, {10, 1}, {19, 1}, {20, 2}, {39, 2}, {40, 3}, {80, 4}, {100, 4},
+	}
+	for _, c := range cases {
+		if got := g.RankFloor(c.raw); got != c.want {
+			t.Errorf("RankFloor(%d) = %d, want %d", c.raw, got, c.want)
+		}
+	}
+}
+
+func TestRawWindow(t *testing.T) {
+	g := gapGraph()
+	s, e := g.RawWindow(tgraph.Window{Start: 2, End: 3})
+	if s != 20 || e != 40 {
+		t.Errorf("RawWindow = %d..%d, want 20..40", s, e)
+	}
+}
+
+func TestRawTimePanicsOutOfRange(t *testing.T) {
+	g := gapGraph()
+	defer func() {
+		if recover() == nil {
+			t.Error("RawTime(0) did not panic")
+		}
+	}()
+	g.RawTime(0)
+}
+
+func TestCompressRangeGaps(t *testing.T) {
+	g := gapGraph()
+	// A raw range falling entirely into a gap compresses to nothing.
+	if _, ok := g.CompressRange(41, 79); ok {
+		t.Error("gap range compressed")
+	}
+	// A range straddling a gap snaps to the inner ranks.
+	w, ok := g.CompressRange(15, 75)
+	if !ok || w != (tgraph.Window{Start: 2, End: 3}) {
+		t.Errorf("CompressRange(15,75) = %v,%v", w, ok)
+	}
+}

@@ -1,0 +1,28 @@
+package tgraph
+
+// SliceWindow builds a new independent Graph containing exactly the
+// temporal edges of g inside the window w, preserving original labels and
+// raw timestamps. It is useful for archiving or distributing the sub-graph
+// a query range touches. Returns ErrEmptyGraph when the window holds no
+// edges.
+func (g *Graph) SliceWindow(w Window) (*Graph, error) {
+	lo, hi := g.EdgesIn(w)
+	var b Builder
+	// The receiver graph already collapsed duplicates (or the caller chose
+	// to keep them at build time); either way every edge is kept verbatim.
+	b.KeepDuplicates = true
+	for e := lo; e < hi; e++ {
+		te := g.edges[e]
+		b.Add(g.labels[te.U], g.labels[te.V], g.rawTimes[te.T-1])
+	}
+	return b.Build()
+}
+
+// SliceRaw is SliceWindow over a raw timestamp range.
+func (g *Graph) SliceRaw(rawStart, rawEnd int64) (*Graph, error) {
+	w, ok := g.CompressRange(rawStart, rawEnd)
+	if !ok {
+		return nil, ErrEmptyGraph
+	}
+	return g.SliceWindow(w)
+}

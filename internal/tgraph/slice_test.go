@@ -1,0 +1,64 @@
+package tgraph_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/tgraph"
+)
+
+func TestSliceWindow(t *testing.T) {
+	g := paperGraph()
+	sub, err := g.SliceWindow(tgraph.Window{Start: 3, End: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumEdges() != 8 {
+		t.Errorf("slice has %d edges, want 8", sub.NumEdges())
+	}
+	if sub.TMax() != 3 { // times 3,4,5 recompress to ranks 1..3
+		t.Errorf("slice tmax = %d, want 3", sub.TMax())
+	}
+	if sub.RawTime(1) != 3 || sub.RawTime(3) != 5 {
+		t.Errorf("raw times not preserved: %d..%d", sub.RawTime(1), sub.RawTime(3))
+	}
+	// Labels preserved: vertex 8 exists (edge (4,8,4)).
+	if _, ok := sub.VertexOf(8); !ok {
+		t.Error("label 8 missing from slice")
+	}
+	// Vertices with no edge in the window are absent.
+	if _, ok := sub.VertexOf(5); ok {
+		t.Error("label 5 should not be in slice [3,5]")
+	}
+}
+
+func TestSliceRaw(t *testing.T) {
+	g := paperGraph()
+	sub, err := g.SliceRaw(6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumEdges() != 3 {
+		t.Errorf("slice [6,7] has %d edges, want 3", sub.NumEdges())
+	}
+	if _, err := g.SliceRaw(100, 200); err == nil {
+		t.Error("empty raw slice accepted")
+	}
+}
+
+func TestSliceKeepsParallelEdges(t *testing.T) {
+	b := tgraph.Builder{KeepDuplicates: true}
+	b.Add(1, 2, 5)
+	b.Add(1, 2, 5)
+	b.Add(1, 2, 6)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := g.SliceRaw(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumEdges() != 2 {
+		t.Errorf("slice lost parallel edges: %d, want 2", sub.NumEdges())
+	}
+}

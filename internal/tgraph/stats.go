@@ -1,0 +1,56 @@
+package tgraph
+
+import "fmt"
+
+// Stats summarises a graph in the shape of the paper's Table III (kmax is
+// computed by package kcore and filled in by callers that need it).
+type Stats struct {
+	NumVertices int
+	NumEdges    int
+	NumPairs    int
+	TMax        int
+	MaxDegree   int
+	AvgDegree   float64 // average number of distinct neighbours
+}
+
+// ComputeStats derives summary statistics of g.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		NumVertices: g.NumVertices(),
+		NumEdges:    g.NumEdges(),
+		NumPairs:    g.NumPairs(),
+		TMax:        int(g.TMax()),
+	}
+	total := 0
+	for u := VID(0); u < VID(g.n); u++ {
+		d := g.Degree(u)
+		total += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	if s.NumVertices > 0 {
+		s.AvgDegree = float64(total) / float64(s.NumVertices)
+	}
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d pairs=%d tmax=%d degmax=%d degavg=%.2f",
+		s.NumVertices, s.NumEdges, s.NumPairs, s.TMax, s.MaxDegree, s.AvgDegree)
+}
+
+// DegreeInWindow returns the number of distinct neighbours of u in the
+// snapshot over w. It is O(deg(u) · log) and intended for diagnostics and
+// oracles rather than inner loops.
+func (g *Graph) DegreeInWindow(u VID, w Window) int {
+	d := 0
+	for _, nb := range g.Neighbours(u) {
+		t := g.FirstPairTimeAtOrAfter(nb.Pair, w.Start)
+		if t != InfTime && t <= w.End {
+			d++
+		}
+	}
+	return d
+}

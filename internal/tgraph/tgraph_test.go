@@ -1,0 +1,440 @@
+package tgraph_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"temporalkcore/internal/tgraph"
+)
+
+func paperGraph() *tgraph.Graph {
+	return tgraph.MustFromTriples(
+		[3]int64{2, 9, 1}, [3]int64{1, 4, 2}, [3]int64{2, 3, 2},
+		[3]int64{1, 2, 3}, [3]int64{2, 4, 3}, [3]int64{3, 9, 4},
+		[3]int64{4, 8, 4}, [3]int64{1, 6, 5}, [3]int64{1, 7, 5},
+		[3]int64{2, 8, 5}, [3]int64{6, 7, 5}, [3]int64{1, 3, 6},
+		[3]int64{3, 5, 6}, [3]int64{1, 5, 7},
+	)
+}
+
+func TestBasicCounts(t *testing.T) {
+	g := paperGraph()
+	if g.NumVertices() != 9 {
+		t.Errorf("vertices = %d, want 9", g.NumVertices())
+	}
+	if g.NumEdges() != 14 {
+		t.Errorf("edges = %d, want 14", g.NumEdges())
+	}
+	if g.TMax() != 7 {
+		t.Errorf("tmax = %d, want 7", g.TMax())
+	}
+	if g.NumPairs() != 14 {
+		t.Errorf("pairs = %d, want 14 (all pairs unique in the example)", g.NumPairs())
+	}
+}
+
+func TestEdgesSortedByTime(t *testing.T) {
+	g := paperGraph()
+	prev := tgraph.TS(0)
+	for _, e := range g.Edges() {
+		if e.T < prev {
+			t.Fatalf("edges not time sorted: %d after %d", e.T, prev)
+		}
+		if e.U >= e.V {
+			t.Fatalf("edge not canonical: %v", e)
+		}
+		prev = e.T
+	}
+}
+
+func TestTimeGroups(t *testing.T) {
+	g := paperGraph()
+	total := 0
+	for ts := tgraph.TS(1); ts <= g.TMax(); ts++ {
+		lo, hi := g.EdgesAt(ts)
+		for e := lo; e < hi; e++ {
+			if g.Edge(e).T != ts {
+				t.Fatalf("EdgesAt(%d) returned edge at %d", ts, g.Edge(e).T)
+			}
+			total++
+		}
+	}
+	if total != g.NumEdges() {
+		t.Errorf("time groups cover %d edges, want %d", total, g.NumEdges())
+	}
+	if lo, hi := g.EdgesAt(0); lo != hi {
+		t.Error("EdgesAt(0) should be empty")
+	}
+	if lo, hi := g.EdgesAt(99); lo != hi {
+		t.Error("EdgesAt(99) should be empty")
+	}
+}
+
+func TestEdgesInWindow(t *testing.T) {
+	g := paperGraph()
+	lo, hi := g.EdgesIn(tgraph.Window{Start: 3, End: 5})
+	count := 0
+	for e := lo; e < hi; e++ {
+		et := g.Edge(e).T
+		if et < 3 || et > 5 {
+			t.Fatalf("edge at %d outside [3,5]", et)
+		}
+		count++
+	}
+	if count != 8 {
+		t.Errorf("window [3,5] has %d edges, want 8", count)
+	}
+	if lo, hi := g.EdgesIn(tgraph.Window{Start: 5, End: 3}); lo != hi {
+		t.Error("inverted window should be empty")
+	}
+}
+
+func TestPairTimesAscending(t *testing.T) {
+	g := paperGraph()
+	for p := 0; p < g.NumPairs(); p++ {
+		times := g.PairTimes(int32(p))
+		if len(times) == 0 {
+			t.Fatalf("pair %d has no times", p)
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] <= times[i-1] {
+				t.Fatalf("pair %d times not strictly ascending: %v", p, times)
+			}
+		}
+	}
+}
+
+func TestNeighbourSymmetry(t *testing.T) {
+	g := paperGraph()
+	for u := tgraph.VID(0); u < tgraph.VID(g.NumVertices()); u++ {
+		for _, nb := range g.Neighbours(u) {
+			back := false
+			for _, nb2 := range g.Neighbours(nb.V) {
+				if nb2.V == u && nb2.Pair == nb.Pair {
+					back = true
+				}
+			}
+			if !back {
+				t.Fatalf("neighbour %d of %d has no back edge", nb.V, u)
+			}
+		}
+	}
+}
+
+func TestIncidentSortedByTime(t *testing.T) {
+	g := paperGraph()
+	for u := tgraph.VID(0); u < tgraph.VID(g.NumVertices()); u++ {
+		prev := tgraph.TS(0)
+		for _, e := range g.Incident(u) {
+			te := g.Edge(e)
+			if te.U != u && te.V != u {
+				t.Fatalf("edge %v not incident to %d", te, u)
+			}
+			if te.T < prev {
+				t.Fatalf("incident edges of %d not time sorted", u)
+			}
+			prev = te.T
+		}
+	}
+}
+
+func TestSelfLoopsDropped(t *testing.T) {
+	var b tgraph.Builder
+	b.Add(1, 1, 5)
+	b.Add(1, 2, 6)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1 (self loop dropped)", g.NumEdges())
+	}
+	if b.Stats().SelfLoops != 1 {
+		t.Errorf("SelfLoops = %d, want 1", b.Stats().SelfLoops)
+	}
+	b2 := tgraph.Builder{ErrorOnSelfLoops: true}
+	b2.Add(1, 1, 5)
+	if _, err := b2.Build(); err == nil {
+		t.Error("ErrorOnSelfLoops did not fire")
+	}
+}
+
+func TestDuplicateHandling(t *testing.T) {
+	var b tgraph.Builder
+	b.Add(1, 2, 5)
+	b.Add(2, 1, 5) // same undirected edge, same time
+	b.Add(1, 2, 6)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2 (duplicate collapsed)", g.NumEdges())
+	}
+	if b.Stats().ExactDuplicates != 1 {
+		t.Errorf("ExactDuplicates = %d, want 1", b.Stats().ExactDuplicates)
+	}
+
+	b2 := tgraph.Builder{KeepDuplicates: true}
+	b2.Add(1, 2, 5)
+	b2.Add(2, 1, 5)
+	b2.Add(1, 2, 6)
+	g2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 3 {
+		t.Errorf("KeepDuplicates: edges = %d, want 3", g2.NumEdges())
+	}
+	if g2.NumPairs() != 1 {
+		t.Errorf("KeepDuplicates: pairs = %d, want 1", g2.NumPairs())
+	}
+	// Pair times stay strictly ascending even with duplicates kept.
+	times := g2.PairTimes(0)
+	if len(times) != 2 {
+		t.Errorf("pair times = %v, want 2 distinct", times)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var b tgraph.Builder
+	if _, err := b.Build(); err == nil {
+		t.Error("empty build should fail")
+	}
+	b.Add(3, 3, 1) // only a self loop
+	if _, err := b.Build(); err == nil {
+		t.Error("self-loop-only build should fail")
+	}
+}
+
+func TestTimestampCompression(t *testing.T) {
+	var b tgraph.Builder
+	b.Add(1, 2, 1000)
+	b.Add(2, 3, -50)
+	b.Add(1, 3, 1000000)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TMax() != 3 {
+		t.Fatalf("tmax = %d, want 3", g.TMax())
+	}
+	if g.RawTime(1) != -50 || g.RawTime(2) != 1000 || g.RawTime(3) != 1000000 {
+		t.Errorf("raw times: %d %d %d", g.RawTime(1), g.RawTime(2), g.RawTime(3))
+	}
+	if w, ok := g.CompressRange(-100, 2000); !ok || w != (tgraph.Window{Start: 1, End: 2}) {
+		t.Errorf("CompressRange(-100,2000) = %v,%v", w, ok)
+	}
+	if _, ok := g.CompressRange(2000, 5000); ok {
+		t.Error("range covering no timestamps should not compress")
+	}
+	if w, ok := g.CompressRange(1000, 1000); !ok || w != (tgraph.Window{Start: 2, End: 2}) {
+		t.Errorf("point range = %v,%v", w, ok)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	var b tgraph.Builder
+	b.Add(100, 200, 1)
+	b.Add(200, 300, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int64{100, 200, 300} {
+		v, ok := g.VertexOf(l)
+		if !ok || g.Label(v) != l {
+			t.Errorf("label %d does not round-trip", l)
+		}
+	}
+	if _, ok := g.VertexOf(999); ok {
+		t.Error("unknown label resolved")
+	}
+}
+
+func TestLoadTextFormats(t *testing.T) {
+	// 3-column with comments.
+	in := "# comment\n% konect comment\n1 2 10\n2 3 11\n\n1 3 12\n"
+	g, err := tgraph.LoadText(strings.NewReader(in), tgraph.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 || g.TMax() != 3 {
+		t.Errorf("3col: edges=%d tmax=%d", g.NumEdges(), g.TMax())
+	}
+	// 4-column KONECT (weight ignored).
+	in4 := "1 2 1 10\n2 3 1 11\n"
+	g4, err := tgraph.LoadText(strings.NewReader(in4), tgraph.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4.NumEdges() != 2 {
+		t.Errorf("4col: edges=%d", g4.NumEdges())
+	}
+	// Float timestamps truncate.
+	inF := "1 2 1 10.5\n2 3 1 11.2\n"
+	gf, err := tgraph.LoadText(strings.NewReader(inF), tgraph.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.TMax() != 2 {
+		t.Errorf("float ts: tmax=%d", gf.TMax())
+	}
+	// Malformed input errors.
+	for _, bad := range []string{"1\n", "a b c\n", "1 2 x\n", "1 2\n"} {
+		if _, err := tgraph.LoadText(strings.NewReader(bad), tgraph.LoadOptions{}); err == nil {
+			t.Errorf("malformed %q accepted", bad)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := paperGraph()
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := tgraph.LoadText(&buf, tgraph.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, g2) {
+		t.Error("text round trip changed the graph")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := paperGraph()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := tgraph.LoadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, g2) {
+		t.Error("binary round trip changed the graph")
+	}
+	// Corrupt magic.
+	if _, err := tgraph.LoadBinary(strings.NewReader("BOGUS!")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func sameGraph(a, b *tgraph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() || a.TMax() != b.TMax() {
+		return false
+	}
+	ea := edgeTriples(a)
+	eb := edgeTriples(b)
+	return reflect.DeepEqual(ea, eb)
+}
+
+func edgeTriples(g *tgraph.Graph) [][3]int64 {
+	out := make([][3]int64, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		u, v := g.Label(e.U), g.Label(e.V)
+		if u > v {
+			u, v = v, u
+		}
+		out = append(out, [3]int64{u, v, g.RawTime(e.T)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < 3; k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// TestQuickRoundTrip is a property test: any random edge list round-trips
+// through build + text serialisation.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b tgraph.Builder
+		n := 2 + r.Intn(12)
+		m := 1 + r.Intn(60)
+		for i := 0; i < m; i++ {
+			u := r.Intn(n)
+			v := r.Intn(n)
+			if u == v {
+				v = (v + 1) % n
+			}
+			b.Add(int64(u), int64(v), int64(r.Intn(20)-10))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := g.WriteText(&buf); err != nil {
+			return false
+		}
+		g2, err := tgraph.LoadText(&buf, tgraph.LoadOptions{})
+		if err != nil {
+			return false
+		}
+		return sameGraph(g, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWindowContainment: Window.Contains is a partial order respected
+// by EdgesIn.
+func TestQuickWindowContainment(t *testing.T) {
+	g := paperGraph()
+	f := func(a, b, c, d uint8) bool {
+		w1 := tgraph.Window{Start: tgraph.TS(a%7 + 1), End: tgraph.TS(b%7 + 1)}
+		w2 := tgraph.Window{Start: tgraph.TS(c%7 + 1), End: tgraph.TS(d%7 + 1)}
+		if !w1.Valid() || !w2.Valid() || !w1.Contains(w2) {
+			return true
+		}
+		lo1, hi1 := g.EdgesIn(w1)
+		lo2, hi2 := g.EdgesIn(w2)
+		return lo1 <= lo2 && hi2 <= hi1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := paperGraph()
+	s := g.ComputeStats()
+	if s.NumVertices != 9 || s.NumEdges != 14 || s.TMax != 7 {
+		t.Errorf("stats: %+v", s)
+	}
+	if s.MaxDegree != 6 { // v1 has 6 distinct neighbours
+		t.Errorf("MaxDegree = %d, want 6", s.MaxDegree)
+	}
+	if s.AvgDegree <= 0 {
+		t.Errorf("AvgDegree = %f", s.AvgDegree)
+	}
+	if !strings.Contains(s.String(), "|V|=9") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestDegreeInWindow(t *testing.T) {
+	g := paperGraph()
+	v1, _ := g.VertexOf(1)
+	if d := g.DegreeInWindow(v1, tgraph.Window{Start: 5, End: 7}); d != 4 {
+		t.Errorf("deg(v1, [5,7]) = %d, want 4 (v6,v7,v3,v5)", d)
+	}
+	if d := g.DegreeInWindow(v1, tgraph.Window{Start: 1, End: 1}); d != 0 {
+		t.Errorf("deg(v1, [1,1]) = %d, want 0", d)
+	}
+}

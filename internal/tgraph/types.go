@@ -1,0 +1,69 @@
+// Package tgraph implements the temporal-graph substrate used by every
+// algorithm in this repository: a compact CSR-style representation of an
+// undirected temporal graph whose edges carry integer timestamps.
+//
+// Timestamps are compressed to dense ranks 1..TMax (the paper assumes "a
+// continuous set of integers starting from 1"); the original raw timestamps
+// are retained so the public API can speak in raw time. Vertices are mapped
+// to dense int32 ids; original labels are retained likewise.
+package tgraph
+
+import "math"
+
+// VID identifies a vertex with a dense id in [0, NumVertices).
+type VID int32
+
+// TS is a compressed timestamp rank in [1, TMax]. 0 is invalid.
+type TS int32
+
+// EID identifies a temporal edge: it is the index of the edge in the
+// time-sorted edge array, so edge ids are themselves ordered by timestamp.
+type EID int32
+
+// InfTime is the "never" sentinel used for core times of vertices that are
+// in no k-core of any window under consideration.
+const InfTime TS = math.MaxInt32
+
+// TemporalEdge is an undirected edge (U, V) observed at time T, with U < V.
+type TemporalEdge struct {
+	U, V VID
+	T    TS
+}
+
+// Window is a closed time window [Start, End] in compressed timestamps.
+type Window struct {
+	Start, End TS
+}
+
+// Valid reports whether w is a non-empty window.
+func (w Window) Valid() bool { return w.Start >= 1 && w.Start <= w.End }
+
+// Contains reports whether o is fully contained in w.
+func (w Window) Contains(o Window) bool { return w.Start <= o.Start && o.End <= w.End }
+
+// ContainsTime reports whether t falls inside w.
+func (w Window) ContainsTime(t TS) bool { return w.Start <= t && t <= w.End }
+
+// Len is the number of timestamps covered by w (0 for invalid windows).
+func (w Window) Len() int {
+	if !w.Valid() {
+		return 0
+	}
+	return int(w.End - w.Start + 1)
+}
+
+// Pair is a canonical vertex pair (U < V) together with the slice
+// [Off, Off+Len) of the graph's pairTimes array holding the strictly
+// ascending timestamps at which the pair interacts.
+type Pair struct {
+	U, V VID
+	Off  int32
+	Len  int32
+}
+
+// Nbr is one entry of a vertex's distinct-neighbour list: the neighbour id
+// and the index of the canonical pair connecting them.
+type Nbr struct {
+	V    VID
+	Pair int32
+}

@@ -1,0 +1,67 @@
+package vct_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/gen"
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+func benchGraph(b *testing.B, code string, edges int) (*tgraph.Graph, int) {
+	b.Helper()
+	rep, err := gen.ReplicaByCode(code)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := rep.Generate(edges, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kmax := kcore.KMax(g)
+	k := kmax * 30 / 100
+	if k < 2 {
+		k = 2
+	}
+	return g, k
+}
+
+// BenchmarkBuildFullRange measures VCT+ECS construction over the whole
+// graph (the paper's CoreTime phase at its most expensive).
+func BenchmarkBuildFullRange(b *testing.B) {
+	for _, code := range []string{"CM", "PL"} {
+		b.Run(code, func(b *testing.B) {
+			g, k := benchGraph(b, code, 5000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix, ecs, err := vct.Build(g, k, g.FullWindow())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(ix.Size()), "VCT")
+					b.ReportMetric(float64(ecs.Size()), "ECS")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoreTimeQuery measures point lookups into the index.
+func BenchmarkCoreTimeQuery(b *testing.B) {
+	g, k := benchGraph(b, "CM", 5000)
+	ix, _, err := vct.Build(g, k, g.FullWindow())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tgraph.VID(g.NumVertices())
+	tmax := g.TMax()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := tgraph.VID(i) % n
+		ts := tgraph.TS(i%int(tmax)) + 1
+		_ = ix.CoreTime(u, ts)
+	}
+}

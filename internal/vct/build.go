@@ -1,0 +1,343 @@
+package vct
+
+import (
+	"fmt"
+	"slices"
+
+	"temporalkcore/internal/ds"
+	"temporalkcore/internal/tgraph"
+)
+
+// Build computes the vertex core time index and the edge core window
+// skylines of g for parameter k over the query range w (Algorithm 2 plus
+// the single-k PHC computation it builds on). k must be >= 1 and w must be a
+// valid window inside [1, g.TMax()].
+func Build(g *tgraph.Graph, k int, w tgraph.Window) (*Index, *ECS, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("vct: k must be >= 1, got %d", k)
+	}
+	if !w.Valid() || w.End > g.TMax() {
+		return nil, nil, fmt.Errorf("vct: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, g.TMax())
+	}
+	b := newBuilder(g, k, w)
+	b.run()
+	return b.index(), b.skylines(), nil
+}
+
+const inf = tgraph.InfTime
+
+type vctRec struct {
+	u     tgraph.VID
+	entry Entry
+}
+
+type ecsRec struct {
+	e   tgraph.EID
+	win tgraph.Window
+}
+
+type builder struct {
+	g *tgraph.Graph
+	k int
+	w tgraph.Window
+
+	ct      []tgraph.TS // current core time per vertex
+	lastRec []tgraph.TS // last value recorded into the index
+	pairPtr []int32     // per pair: first time index >= current start
+	incPtr  []int32     // per vertex: first incident edge with time >= current start
+
+	lo, hi tgraph.EID  // edges inside w
+	ect    []tgraph.TS // per edge (eid-lo): current edge core time
+
+	q       ds.Queue
+	inQ     []bool
+	buf     []tgraph.TS
+	changed []tgraph.VID // vertices raised during the current transition
+	chMark  []bool
+
+	vctRecs []vctRec
+	ecsRecs []ecsRec
+}
+
+func newBuilder(g *tgraph.Graph, k int, w tgraph.Window) *builder {
+	n := g.NumVertices()
+	lo, hi := g.EdgesIn(w)
+	b := &builder{
+		g: g, k: k, w: w,
+		ct:      make([]tgraph.TS, n),
+		lastRec: make([]tgraph.TS, n),
+		pairPtr: make([]int32, g.NumPairs()),
+		incPtr:  make([]int32, n),
+		lo:      lo, hi: hi,
+		ect:    make([]tgraph.TS, hi-lo),
+		inQ:    make([]bool, n),
+		chMark: make([]bool, n),
+	}
+	return b
+}
+
+func (b *builder) run() {
+	g, w := b.g, b.w
+
+	// Position every pair pointer at the first interaction >= w.Start, and
+	// every incidence pointer at the first incident edge inside the window.
+	for p := 0; p < g.NumPairs(); p++ {
+		times := g.PairTimes(int32(p))
+		j := 0
+		for j < len(times) && times[j] < w.Start {
+			j++
+		}
+		b.pairPtr[p] = int32(j)
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		inc := g.Incident(tgraph.VID(u))
+		j := 0
+		for j < len(inc) && g.Edge(inc[j]).T < w.Start {
+			j++
+		}
+		b.incPtr[u] = int32(j)
+	}
+
+	// Lower-bound initialisation: k-th smallest usable first time.
+	for u := 0; u < g.NumVertices(); u++ {
+		b.ct[u] = b.lowerBound(tgraph.VID(u))
+	}
+	// Fixed point for the first start time.
+	for u := 0; u < g.NumVertices(); u++ {
+		if b.ct[u] != inf {
+			b.push(tgraph.VID(u))
+		}
+	}
+	b.settle(false)
+
+	// Record the initial index labels and edge core times.
+	for u := 0; u < g.NumVertices(); u++ {
+		b.lastRec[u] = b.ct[u]
+		if b.ct[u] != inf {
+			b.vctRecs = append(b.vctRecs, vctRec{u: tgraph.VID(u), entry: Entry{Start: w.Start, CT: b.ct[u]}})
+		}
+	}
+	for e := b.lo; e < b.hi; e++ {
+		te := g.Edge(e)
+		b.ect[e-b.lo] = maxTS3(b.ct[te.U], b.ct[te.V], te.T)
+	}
+
+	// Advance the start time.
+	for s := w.Start; s < w.End; s++ {
+		b.transition(s)
+	}
+
+	// Flush the final windows of edges alive at the last start time (their
+	// timestamp is exactly w.End; everything earlier expired in the loop).
+	elo, ehi := g.EdgesAt(w.End)
+	for e := elo; e < ehi; e++ {
+		if v := b.ect[e-b.lo]; v != inf {
+			b.ecsRecs = append(b.ecsRecs, ecsRec{e: e, win: tgraph.Window{Start: w.End, End: v}})
+		}
+	}
+}
+
+// transition moves the start time from s to s+1.
+func (b *builder) transition(s tgraph.TS) {
+	g := b.g
+
+	// Edges timestamped s leave the window: flush their final skyline
+	// window ([s, ect] with last valid start s = t_e) and advance the pair
+	// pointers, seeding the worklist with the affected endpoints.
+	elo, ehi := g.EdgesAt(s)
+	for e := elo; e < ehi; e++ {
+		if v := b.ect[e-b.lo]; v != inf {
+			b.ecsRecs = append(b.ecsRecs, ecsRec{e: e, win: tgraph.Window{Start: s, End: v}})
+		}
+	}
+	for e := elo; e < ehi; e++ {
+		p := g.EdgePair(e)
+		pr := g.Pair(p)
+		times := g.PairTimes(p)
+		j := b.pairPtr[p]
+		for int(j) < len(times) && times[j] <= s {
+			j++
+		}
+		b.pairPtr[p] = j
+		b.push(pr.U)
+		b.push(pr.V)
+	}
+
+	// Re-settle the fixed point for start time s+1.
+	b.settle(true)
+
+	// Record changed vertices and update the core times of their alive
+	// incident edges (Algorithm 2 lines 6-11).
+	for _, u := range b.changed {
+		b.chMark[u] = false
+		if b.ct[u] == b.lastRec[u] {
+			continue
+		}
+		b.lastRec[u] = b.ct[u]
+		b.vctRecs = append(b.vctRecs, vctRec{u: u, entry: Entry{Start: s + 1, CT: b.ct[u]}})
+
+		inc := g.Incident(u)
+		j := b.incPtr[u]
+		for int(j) < len(inc) && g.Edge(inc[j]).T <= s {
+			j++
+		}
+		b.incPtr[u] = j
+		for ; int(j) < len(inc); j++ {
+			e := inc[j]
+			te := g.Edge(e)
+			if te.T > b.w.End {
+				break
+			}
+			nv := maxTS3(b.ct[te.U], b.ct[te.V], te.T)
+			old := b.ect[e-b.lo]
+			if nv > old {
+				if old != inf {
+					b.ecsRecs = append(b.ecsRecs, ecsRec{e: e, win: tgraph.Window{Start: s, End: old}})
+				}
+				b.ect[e-b.lo] = nv
+			}
+		}
+	}
+	b.changed = b.changed[:0]
+}
+
+// settle runs the worklist until no core time can be raised. When track is
+// true the raised vertices are appended to b.changed.
+func (b *builder) settle(track bool) {
+	for b.q.Len() > 0 {
+		u := tgraph.VID(b.q.Pop())
+		b.inQ[u] = false
+		nv := b.eval(u)
+		if nv <= b.ct[u] {
+			continue
+		}
+		b.ct[u] = nv
+		if track && !b.chMark[u] {
+			b.chMark[u] = true
+			b.changed = append(b.changed, u)
+		}
+		for _, nb := range b.g.Neighbours(u) {
+			if b.ct[nb.V] != inf {
+				b.push(nb.V)
+			}
+		}
+	}
+}
+
+func (b *builder) push(u tgraph.VID) {
+	if b.inQ[u] || b.ct[u] == inf {
+		return
+	}
+	b.inQ[u] = true
+	b.q.Push(int32(u))
+}
+
+// eval computes F(CT)(u): the k-th smallest max(CT(v), firstTime(u,v)) over
+// usable neighbours.
+func (b *builder) eval(u tgraph.VID) tgraph.TS {
+	b.buf = b.buf[:0]
+	for _, nb := range b.g.Neighbours(u) {
+		cv := b.ct[nb.V]
+		if cv == inf {
+			continue
+		}
+		p := nb.Pair
+		pr := b.g.Pair(p)
+		j := b.pairPtr[p]
+		if j >= pr.Len {
+			continue
+		}
+		ft := b.g.PairTimes(p)[j]
+		if ft > b.w.End {
+			continue
+		}
+		if ft > cv {
+			cv = ft
+		}
+		b.buf = append(b.buf, cv)
+	}
+	if len(b.buf) < b.k {
+		return inf
+	}
+	slices.Sort(b.buf)
+	return b.buf[b.k-1]
+}
+
+// lowerBound is the k-th smallest usable first time of u's pairs, a valid
+// lower bound on the core time.
+func (b *builder) lowerBound(u tgraph.VID) tgraph.TS {
+	b.buf = b.buf[:0]
+	for _, nb := range b.g.Neighbours(u) {
+		p := nb.Pair
+		pr := b.g.Pair(p)
+		j := b.pairPtr[p]
+		if j >= pr.Len {
+			continue
+		}
+		ft := b.g.PairTimes(p)[j]
+		if ft > b.w.End {
+			continue
+		}
+		b.buf = append(b.buf, ft)
+	}
+	if len(b.buf) < b.k {
+		return inf
+	}
+	slices.Sort(b.buf)
+	return b.buf[b.k-1]
+}
+
+// index assembles the recorded labels into the final Index via a stable
+// counting sort by vertex (records are already in ascending start order).
+func (b *builder) index() *Index {
+	n := b.g.NumVertices()
+	ix := &Index{K: b.k, Range: b.w, off: make([]int32, n+1)}
+	for _, r := range b.vctRecs {
+		ix.off[r.u+1]++
+	}
+	for u := 0; u < n; u++ {
+		ix.off[u+1] += ix.off[u]
+	}
+	ix.entries = make([]Entry, len(b.vctRecs))
+	cur := make([]int32, n)
+	copy(cur, ix.off[:n])
+	for _, r := range b.vctRecs {
+		ix.entries[cur[r.u]] = r.entry
+		cur[r.u]++
+	}
+	return ix
+}
+
+// skylines assembles the recorded windows into the final ECS, stably
+// grouped by edge (per-edge order is ascending start = emission order).
+func (b *builder) skylines() *ECS {
+	m := int(b.hi - b.lo)
+	e := &ECS{K: b.k, Range: b.w, lo: b.lo, hi: b.hi, off: make([]int32, m+1)}
+	for _, r := range b.ecsRecs {
+		e.off[r.e-b.lo+1]++
+	}
+	for i := 0; i < m; i++ {
+		e.off[i+1] += e.off[i]
+	}
+	e.wins = make([]tgraph.Window, len(b.ecsRecs))
+	cur := make([]int32, m)
+	copy(cur, e.off[:m])
+	for _, r := range b.ecsRecs {
+		e.wins[cur[r.e-b.lo]] = r.win
+		cur[r.e-b.lo]++
+	}
+	return e
+}
+
+func maxTS3(a, b, c tgraph.TS) tgraph.TS {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	if a >= inf {
+		return inf
+	}
+	return a
+}

@@ -1,0 +1,58 @@
+package vct_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// FuzzCoreTimes decodes the fuzz input as an edge list and checks the
+// fixed-point core times against from-scratch peeling for every vertex and
+// start time.
+func FuzzCoreTimes(f *testing.F) {
+	f.Add([]byte{1, 2, 1, 2, 3, 2, 1, 3, 3}, byte(2))
+	f.Add([]byte{0, 1, 5, 1, 2, 5, 0, 2, 5, 2, 3, 6}, byte(2))
+
+	f.Fuzz(func(t *testing.T, data []byte, kb byte) {
+		if len(data) < 3 || len(data) > 60 {
+			return
+		}
+		var b tgraph.Builder
+		for i := 0; i+2 < len(data); i += 3 {
+			u := int64(data[i] % 10)
+			v := int64(data[i+1] % 10)
+			ts := int64(data[i+2]%8) + 1
+			if u == v {
+				continue
+			}
+			b.Add(u, v, ts)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return
+		}
+		k := int(kb%3) + 1
+		w := g.FullWindow()
+		ix, _, err := vct.Build(g, k, w)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		p := kcore.NewPeeler(g)
+		for u := tgraph.VID(0); u < tgraph.VID(g.NumVertices()); u++ {
+			for ts := w.Start; ts <= w.End; ts++ {
+				want := tgraph.InfTime
+				for te := ts; te <= w.End; te++ {
+					if p.CoreOfWindow(k, tgraph.Window{Start: ts, End: te}).InCore[u] {
+						want = te
+						break
+					}
+				}
+				if got := ix.CoreTime(u, ts); got != want {
+					t.Fatalf("CT_%d(v%d) = %d, want %d (k=%d)", ts, u, got, want, k)
+				}
+			}
+		}
+	})
+}

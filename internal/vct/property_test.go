@@ -1,0 +1,231 @@
+package vct_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// naiveCoreTime computes CT_ts(u) by peeling windows of increasing end.
+func naiveCoreTime(p *kcore.Peeler, u tgraph.VID, k int, ts tgraph.TS, w tgraph.Window) tgraph.TS {
+	for te := ts; te <= w.End; te++ {
+		if p.CoreOfWindow(k, tgraph.Window{Start: ts, End: te}).InCore[u] {
+			return te
+		}
+	}
+	return tgraph.InfTime
+}
+
+func randomGraph(r *rand.Rand, n, m, tmax int) *tgraph.Graph {
+	var b tgraph.Builder
+	b.KeepDuplicates = r.Intn(2) == 0
+	for i := 0; i < m; i++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		for v == u {
+			v = r.Intn(n)
+		}
+		b.Add(int64(u), int64(v), int64(1+r.Intn(tmax)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestCoreTimesMatchOracle compares the fixed-point index with the peeling
+// oracle on random graphs for every (vertex, start time).
+func TestCoreTimesMatchOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for it := 0; it < iters; it++ {
+		n := 4 + r.Intn(10)
+		m := 5 + r.Intn(40)
+		tmax := 2 + r.Intn(9)
+		g := randomGraph(r, n, m, tmax)
+		k := 1 + r.Intn(4)
+		// Random sub-ranges too, not only the full window.
+		ts0 := tgraph.TS(1 + r.Intn(int(g.TMax())))
+		te0 := ts0 + tgraph.TS(r.Intn(int(g.TMax()-ts0)+1))
+		w := tgraph.Window{Start: ts0, End: te0}
+
+		ix, _, err := vct.Build(g, k, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := kcore.NewPeeler(g)
+		for u := tgraph.VID(0); u < tgraph.VID(g.NumVertices()); u++ {
+			for ts := w.Start; ts <= w.End; ts++ {
+				want := naiveCoreTime(p, u, k, ts, w)
+				got := ix.CoreTime(u, ts)
+				if got != want {
+					t.Fatalf("iter %d (k=%d w=%v): CT_%d(v%d) = %d, want %d\nentries: %v",
+						it, k, w, ts, u, got, want, ix.Entries(u))
+				}
+			}
+		}
+	}
+}
+
+// TestSkylinesMatchOracle verifies, per edge, that the produced windows are
+// exactly the minimal core windows of Definition 5.
+func TestSkylinesMatchOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+	for it := 0; it < iters; it++ {
+		g := randomGraph(r, 4+r.Intn(8), 5+r.Intn(35), 2+r.Intn(8))
+		k := 1 + r.Intn(3)
+		w := g.FullWindow()
+		_, ecs, err := vct.Build(g, k, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := kcore.NewPeeler(g)
+		lo, hi := ecs.EdgeRange()
+		inCore := func(e tgraph.EID, win tgraph.Window) bool {
+			te := g.Edge(e)
+			if te.T < win.Start || te.T > win.End {
+				return false
+			}
+			res := p.CoreOfWindow(k, win)
+			return res.InCore[te.U] && res.InCore[te.V]
+		}
+		for e := lo; e < hi; e++ {
+			wins := ecs.Windows(e)
+			// (a) Every reported window is minimal: edge in core of the
+			// window but in no proper sub-window.
+			prev := tgraph.Window{}
+			for _, win := range wins {
+				if !inCore(e, win) {
+					t.Fatalf("iter %d: edge %d not in core of reported window %v", it, e, win)
+				}
+				if win.Start < win.End {
+					if inCore(e, tgraph.Window{Start: win.Start + 1, End: win.End}) ||
+						inCore(e, tgraph.Window{Start: win.Start, End: win.End - 1}) {
+						t.Fatalf("iter %d: window %v of edge %d not minimal", it, win, e)
+					}
+				}
+				// (b) Windows strictly ascend in both coordinates.
+				if prev.Valid() && (win.Start <= prev.Start || win.End <= prev.End) {
+					t.Fatalf("iter %d: skyline not strictly ascending: %v", it, wins)
+				}
+				prev = win
+			}
+			// (c) Completeness: for every (ts, te) with the edge in the
+			// core, some reported window is contained in it (Lemma 3).
+			for ts := w.Start; ts <= w.End; ts++ {
+				for te := ts; te <= w.End; te++ {
+					win := tgraph.Window{Start: ts, End: te}
+					want := inCore(e, win)
+					got := false
+					for _, mw := range wins {
+						if win.Contains(mw) {
+							got = true
+							break
+						}
+					}
+					if got != want {
+						t.Fatalf("iter %d: edge %d window %v: containment %v, core membership %v (skyline %v)",
+							it, e, win, got, want, wins)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCoreTimeMonotoneInStart: CT_ts(u) is non-decreasing in ts.
+func TestCoreTimeMonotoneInStart(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for it := 0; it < 40; it++ {
+		g := randomGraph(r, 4+r.Intn(10), 5+r.Intn(40), 2+r.Intn(10))
+		k := 1 + r.Intn(3)
+		ix, _, err := vct.Build(g, k, g.FullWindow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := tgraph.VID(0); u < tgraph.VID(g.NumVertices()); u++ {
+			prev := tgraph.TS(0)
+			for _, ent := range ix.Entries(u) {
+				if ent.CT != tgraph.InfTime && ent.CT < prev {
+					t.Fatalf("iter %d: core times of v%d not monotone: %v", it, u, ix.Entries(u))
+				}
+				if ent.CT != tgraph.InfTime {
+					prev = ent.CT
+				}
+				// A finite core time never precedes its start.
+				if ent.CT != tgraph.InfTime && ent.CT < ent.Start {
+					t.Fatalf("iter %d: v%d entry %v has CT before start", it, u, ent)
+				}
+			}
+		}
+	}
+}
+
+// TestEntriesDistinctAndOrdered: index entries have strictly increasing
+// starts and strictly increasing core times (that is what makes the index a
+// compressed representation).
+func TestEntriesDistinctAndOrdered(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for it := 0; it < 40; it++ {
+		g := randomGraph(r, 4+r.Intn(10), 5+r.Intn(40), 2+r.Intn(10))
+		ix, _, err := vct.Build(g, 2, g.FullWindow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := tgraph.VID(0); u < tgraph.VID(g.NumVertices()); u++ {
+			ents := ix.Entries(u)
+			for i := 1; i < len(ents); i++ {
+				if ents[i].Start <= ents[i-1].Start {
+					t.Fatalf("v%d entry starts not ascending: %v", u, ents)
+				}
+				if ents[i-1].CT == tgraph.InfTime {
+					t.Fatalf("v%d has an entry after ∞: %v", u, ents)
+				}
+				if ents[i].CT != tgraph.InfTime && ents[i].CT <= ents[i-1].CT {
+					t.Fatalf("v%d core times not strictly increasing: %v", u, ents)
+				}
+			}
+		}
+	}
+}
+
+// TestActiveTimePartition: for each edge, the [active, start] intervals of
+// consecutive windows partition [Ts, last start] (Definition 6), so exactly
+// one window per edge is live at any start time it covers.
+func TestActiveTimePartition(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for it := 0; it < 40; it++ {
+		g := randomGraph(r, 4+r.Intn(10), 5+r.Intn(40), 2+r.Intn(10))
+		k := 1 + r.Intn(3)
+		w := g.FullWindow()
+		_, ecs, err := vct.Build(g, k, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := ecs.EdgeRange()
+		for e := lo; e < hi; e++ {
+			wins := ecs.Windows(e)
+			if len(wins) == 0 {
+				continue
+			}
+			expectActive := w.Start
+			for _, win := range wins {
+				if expectActive > win.Start {
+					t.Fatalf("iter %d edge %d: active interval empty for %v (skyline %v)", it, e, win, wins)
+				}
+				expectActive = win.Start + 1
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package vct
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"temporalkcore/internal/tgraph"
+)
+
+const indexMagic = "VCTX1\n"
+
+// Encode writes a compact binary form of the index. The encoding is
+// self-contained and versioned; DecodeIndex reads it back.
+func (ix *Index) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return err
+	}
+	hdr := []int32{
+		int32(ix.K),
+		int32(ix.Range.Start), int32(ix.Range.End),
+		int32(len(ix.off)), int32(len(ix.entries)),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ix.off); err != nil {
+		return err
+	}
+	flat := make([]int32, 0, 2*len(ix.entries))
+	for _, e := range ix.entries {
+		flat = append(flat, int32(e.Start), int32(e.CT))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, flat); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeIndex reads an index written by Encode.
+func DecodeIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("vct: reading magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, errors.New("vct: not a VCTX1 stream")
+	}
+	hdr := make([]int32, 5)
+	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("vct: reading header: %w", err)
+	}
+	nOff, nEnt := int(hdr[3]), int(hdr[4])
+	const limit = 1 << 31
+	if nOff < 1 || nOff > limit || nEnt < 0 || nEnt > limit {
+		return nil, fmt.Errorf("vct: implausible sizes %d/%d", nOff, nEnt)
+	}
+	ix := &Index{
+		K:       int(hdr[0]),
+		Range:   tgraph.Window{Start: tgraph.TS(hdr[1]), End: tgraph.TS(hdr[2])},
+		off:     make([]int32, nOff),
+		entries: make([]Entry, nEnt),
+	}
+	if err := binary.Read(br, binary.LittleEndian, ix.off); err != nil {
+		return nil, fmt.Errorf("vct: reading offsets: %w", err)
+	}
+	flat := make([]int32, 2*nEnt)
+	if err := binary.Read(br, binary.LittleEndian, flat); err != nil {
+		return nil, fmt.Errorf("vct: reading entries: %w", err)
+	}
+	for i := range ix.entries {
+		ix.entries[i] = Entry{Start: tgraph.TS(flat[2*i]), CT: tgraph.TS(flat[2*i+1])}
+	}
+	// Structural validation so a corrupted stream cannot cause panics.
+	if ix.off[0] != 0 || int(ix.off[nOff-1]) != nEnt {
+		return nil, errors.New("vct: corrupt offset table")
+	}
+	for i := 1; i < nOff; i++ {
+		if ix.off[i] < ix.off[i-1] {
+			return nil, errors.New("vct: offset table not monotone")
+		}
+	}
+	return ix, nil
+}
+
+// NumVertices returns the number of vertices the index covers.
+func (ix *Index) NumVertices() int { return len(ix.off) - 1 }

@@ -1,0 +1,66 @@
+package vct_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+func TestIndexEncodeDecode(t *testing.T) {
+	g := paperex.Graph()
+	ix, _, err := vct.Build(g, 2, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := vct.DecodeIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != ix.K || back.Range != ix.Range || back.Size() != ix.Size() || back.NumVertices() != ix.NumVertices() {
+		t.Fatalf("shape changed: %+v vs %+v", back, ix)
+	}
+	for u := tgraph.VID(0); u < tgraph.VID(g.NumVertices()); u++ {
+		for ts := tgraph.TS(1); ts <= g.TMax(); ts++ {
+			if back.CoreTime(u, ts) != ix.CoreTime(u, ts) {
+				t.Fatalf("CT_%d(v%d) changed after round trip", ts, u)
+			}
+		}
+	}
+}
+
+func TestDecodeIndexRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"NOPE",
+		"VCTX1\n", // header missing
+	}
+	for _, c := range cases {
+		if _, err := vct.DecodeIndex(strings.NewReader(c)); err == nil {
+			t.Errorf("garbage %q accepted", c)
+		}
+	}
+	// Corrupt the offset table: flip a byte in a valid stream.
+	g := paperex.Graph()
+	ix, _, err := vct.Build(g, 2, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Offsets start after magic (6 bytes) + 5 int32 header (20 bytes).
+	data[6+20] = 0xFF
+	if _, err := vct.DecodeIndex(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt offset table accepted")
+	}
+}

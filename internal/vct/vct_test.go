@@ -1,0 +1,186 @@
+package vct_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+func buildPaper(t *testing.T) (*tgraph.Graph, *vct.Index, *vct.ECS) {
+	t.Helper()
+	g := paperex.Graph()
+	ix, ecs, err := vct.Build(g, paperex.K, g.FullWindow())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g, ix, ecs
+}
+
+// TestPaperTableI checks the vertex core time index against the paper's
+// Table I (with the v3 correction documented in package paperex).
+func TestPaperTableI(t *testing.T) {
+	g, ix, _ := buildPaper(t)
+	for label, want := range paperex.VCT {
+		v, ok := g.VertexOf(label)
+		if !ok {
+			t.Fatalf("vertex %d missing", label)
+		}
+		got := ix.Entries(v)
+		if len(got) != len(want) {
+			t.Errorf("v%d: got %d entries %v, want %d %v", label, len(got), got, len(want), want)
+			continue
+		}
+		for i, w := range want {
+			wantCT := tgraph.TS(w[1])
+			if w[1] == paperex.Inf {
+				wantCT = tgraph.InfTime
+			}
+			if got[i].Start != tgraph.TS(w[0]) || got[i].CT != wantCT {
+				t.Errorf("v%d entry %d: got [%d,%d], want [%d,%d]", label, i, got[i].Start, got[i].CT, w[0], w[1])
+			}
+		}
+	}
+}
+
+// TestPaperTableII checks the edge core window skylines against Table II.
+func TestPaperTableII(t *testing.T) {
+	g, _, ecs := buildPaper(t)
+	lo, hi := ecs.EdgeRange()
+	if lo != 0 || int(hi) != g.NumEdges() {
+		t.Fatalf("edge range [%d,%d), want [0,%d)", lo, hi, g.NumEdges())
+	}
+	seen := 0
+	for e := lo; e < hi; e++ {
+		te := g.Edge(e)
+		key := paperex.ECSEdge{U: g.Label(te.U), V: g.Label(te.V), T: g.RawTime(te.T)}
+		if key.U > key.V {
+			key.U, key.V = key.V, key.U
+		}
+		want, ok := paperex.ECS[key]
+		if !ok {
+			t.Fatalf("edge %+v not in Table II", key)
+		}
+		seen++
+		got := ecs.Windows(e)
+		if len(got) != len(want) {
+			t.Errorf("edge %+v: got %v, want %v", key, got, want)
+			continue
+		}
+		for i, w := range want {
+			if got[i].Start != tgraph.TS(w[0]) || got[i].End != tgraph.TS(w[1]) {
+				t.Errorf("edge %+v window %d: got [%d,%d], want [%d,%d]", key, i, got[i].Start, got[i].End, w[0], w[1])
+			}
+		}
+	}
+	if seen != len(paperex.ECS) {
+		t.Errorf("covered %d edges, Table II has %d", seen, len(paperex.ECS))
+	}
+}
+
+// TestExample2 checks the core times called out in the paper's Example 2:
+// CT_1(v1)=3 and CT_3(v1)=5.
+func TestExample2(t *testing.T) {
+	g, ix, _ := buildPaper(t)
+	v1, _ := g.VertexOf(1)
+	if got := ix.CoreTime(v1, 1); got != 3 {
+		t.Errorf("CT_1(v1) = %d, want 3", got)
+	}
+	if got := ix.CoreTime(v1, 3); got != 5 {
+		t.Errorf("CT_3(v1) = %d, want 5", got)
+	}
+	if got := ix.CoreTime(v1, 2); got != 3 {
+		t.Errorf("CT_2(v1) = %d, want 3 (entry [1,3] covers ts=2)", got)
+	}
+	if got := ix.CoreTime(v1, 7); got != tgraph.InfTime {
+		t.Errorf("CT_7(v1) = %d, want ∞", got)
+	}
+}
+
+// TestSubRangeECS recomputes the skylines for the query range [1,4] used by
+// Figure 2 and checks the truncated expectations.
+func TestSubRangeECS(t *testing.T) {
+	g := paperex.Graph()
+	_, ecs, err := vct.Build(g, 2, tgraph.Window{Start: 1, End: 4})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	want := map[paperex.ECSEdge][][2]int64{
+		{U: 2, V: 9, T: 1}: {{1, 4}},
+		{U: 1, V: 4, T: 2}: {{2, 3}},
+		{U: 2, V: 3, T: 2}: {{1, 4}},
+		{U: 1, V: 2, T: 3}: {{2, 3}},
+		{U: 2, V: 4, T: 3}: {{2, 3}},
+		{U: 3, V: 9, T: 4}: {{1, 4}},
+		{U: 4, V: 8, T: 4}: nil,
+	}
+	lo, hi := ecs.EdgeRange()
+	for e := lo; e < hi; e++ {
+		te := g.Edge(e)
+		key := paperex.ECSEdge{U: g.Label(te.U), V: g.Label(te.V), T: g.RawTime(te.T)}
+		if key.U > key.V {
+			key.U, key.V = key.V, key.U
+		}
+		w, ok := want[key]
+		if !ok {
+			t.Fatalf("unexpected edge %+v in range [1,4]", key)
+		}
+		got := ecs.Windows(e)
+		if len(got) != len(w) {
+			t.Errorf("edge %+v: got %v, want %v", key, got, w)
+			continue
+		}
+		for i := range w {
+			if got[i].Start != tgraph.TS(w[i][0]) || got[i].End != tgraph.TS(w[i][1]) {
+				t.Errorf("edge %+v window %d: got %v, want %v", key, i, got[i], w[i])
+			}
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := paperex.Graph()
+	if _, _, err := vct.Build(g, 0, g.FullWindow()); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := vct.Build(g, 2, tgraph.Window{Start: 3, End: 2}); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, _, err := vct.Build(g, 2, tgraph.Window{Start: 1, End: 99}); err == nil {
+		t.Error("window past tmax accepted")
+	}
+}
+
+// TestHighKEmpty checks that k beyond kmax yields empty indexes.
+func TestHighKEmpty(t *testing.T) {
+	g := paperex.Graph()
+	ix, ecs, err := vct.Build(g, 10, g.FullWindow())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if ix.Size() != 0 {
+		t.Errorf("|VCT| = %d, want 0", ix.Size())
+	}
+	if ecs.Size() != 0 {
+		t.Errorf("|ECS| = %d, want 0", ecs.Size())
+	}
+}
+
+// TestK1 sanity-checks k=1: every edge's skyline is the single window
+// [t, t] (an edge alone is a 1-core).
+func TestK1(t *testing.T) {
+	g := paperex.Graph()
+	_, ecs, err := vct.Build(g, 1, g.FullWindow())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	lo, hi := ecs.EdgeRange()
+	for e := lo; e < hi; e++ {
+		wins := ecs.Windows(e)
+		et := g.Edge(e).T
+		if len(wins) != 1 || wins[0] != (tgraph.Window{Start: et, End: et}) {
+			t.Errorf("edge %d (t=%d): windows %v, want [[%d,%d]]", e, et, wins, et, et)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package temporalkcore
+
+import (
+	"fmt"
+
+	"temporalkcore/internal/khcore"
+	"temporalkcore/internal/tgraph"
+)
+
+// KHCore returns the members of the (k, h)-core of the snapshot over the
+// raw range [start, end]: the maximal subgraph in which every vertex has
+// at least k neighbours with at least h temporal interactions each inside
+// the range. It implements the related temporal cohesion model of Wu et
+// al. (IEEE BigData 2015), surveyed in Section III-B of the reproduced
+// paper; (k, 1)-cores coincide with ordinary snapshot k-cores.
+func (g *Graph) KHCore(k, h int, start, end int64) ([]int64, error) {
+	if k < 1 || h < 1 {
+		return nil, fmt.Errorf("temporalkcore: k and h must be >= 1, got k=%d h=%d", k, h)
+	}
+	w, ok := g.g.CompressRange(start, end)
+	if !ok {
+		return nil, ErrNoTimestamps
+	}
+	p := khcore.NewPeeler(g.g)
+	inCore, n := p.CoreOfWindow(k, h, w)
+	out := make([]int64, 0, n)
+	for v, in := range inCore {
+		if in {
+			out = append(out, g.g.Label(tgraph.VID(v)))
+		}
+	}
+	return out, nil
+}
+
+// KHCoreEdges returns the temporal edges of the (k, h)-core over the raw
+// range [start, end]; see KHCore.
+func (g *Graph) KHCoreEdges(k, h int, start, end int64) ([]Edge, error) {
+	if k < 1 || h < 1 {
+		return nil, fmt.Errorf("temporalkcore: k and h must be >= 1, got k=%d h=%d", k, h)
+	}
+	w, ok := g.g.CompressRange(start, end)
+	if !ok {
+		return nil, ErrNoTimestamps
+	}
+	p := khcore.NewPeeler(g.g)
+	eids := p.CoreEdges(k, h, w, nil)
+	out := make([]Edge, len(eids))
+	for i, e := range eids {
+		te := g.g.Edge(e)
+		out[i] = Edge{U: g.g.Label(te.U), V: g.g.Label(te.V), Time: g.g.RawTime(te.T)}
+	}
+	return out, nil
+}

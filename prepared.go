@@ -1,0 +1,100 @@
+package temporalkcore
+
+import (
+	"fmt"
+
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// PreparedQuery holds the CoreTime phase of a query (the vertex core time
+// index and the edge core window skylines) so that several enumerations —
+// full scans, early-stopping scans, counts, vertex-set projections — can
+// share one O(|VCT|·deg_avg) construction. A PreparedQuery is immutable and
+// safe for concurrent use.
+type PreparedQuery struct {
+	g   *Graph
+	k   int
+	w   tgraph.Window
+	ix  *vct.Index
+	ecs *vct.ECS
+}
+
+// Prepare runs the CoreTime phase for (k, [start, end]) and returns a
+// reusable query handle.
+func (g *Graph) Prepare(k int, start, end int64) (*PreparedQuery, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("temporalkcore: k must be >= 1, got %d", k)
+	}
+	w, ok := g.g.CompressRange(start, end)
+	if !ok {
+		return nil, ErrNoTimestamps
+	}
+	ix, ecs, err := vct.Build(g.g, k, w)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{g: g, k: k, w: w, ix: ix, ecs: ecs}, nil
+}
+
+// K returns the query's core parameter.
+func (p *PreparedQuery) K() int { return p.k }
+
+// Range returns the query range in raw timestamps.
+func (p *PreparedQuery) Range() (start, end int64) { return p.g.g.RawWindow(p.w) }
+
+// VCTSize returns |VCT|, the number of core-time index entries.
+func (p *PreparedQuery) VCTSize() int { return p.ix.Size() }
+
+// ECSSize returns |ECS|, the number of minimal core windows.
+func (p *PreparedQuery) ECSSize() int { return p.ecs.Size() }
+
+// CoresFunc streams every distinct temporal k-core to fn; see
+// Graph.CoresFunc. Safe to call concurrently.
+func (p *PreparedQuery) CoresFunc(fn func(Core) bool) (QueryStats, error) {
+	qs := QueryStats{VCTSize: p.ix.Size(), ECSSize: p.ecs.Size()}
+	sink := &funcSink{g: p.g.g, fn: fn, qs: &qs}
+	enum.Enumerate(p.g.g, p.ecs, sink)
+	return qs, nil
+}
+
+// Cores materialises every distinct temporal k-core.
+func (p *PreparedQuery) Cores() ([]Core, error) {
+	var out []Core
+	_, err := p.CoresFunc(func(c Core) bool {
+		cp := c
+		cp.Edges = append([]Edge(nil), c.Edges...)
+		out = append(out, cp)
+		return true
+	})
+	return out, err
+}
+
+// Count counts cores and |R| without materialising anything.
+func (p *PreparedQuery) Count() (QueryStats, error) {
+	return p.CoresFunc(func(Core) bool { return true })
+}
+
+// CoreTime returns the core time of a vertex label for a raw start time:
+// the earliest raw end time te such that the vertex is in the k-core of
+// [ts, te], with infinite=true when there is none. ts is clamped into the
+// prepared range.
+func (p *PreparedQuery) CoreTime(label int64, ts int64) (te int64, infinite bool, err error) {
+	v, ok := p.g.g.VertexOf(label)
+	if !ok {
+		return 0, false, fmt.Errorf("temporalkcore: unknown vertex %d", label)
+	}
+	rank := p.g.g.RankCeil(ts)
+	if rank < p.w.Start {
+		rank = p.w.Start
+	}
+	if rank > p.w.End {
+		return 0, true, nil
+	}
+	ct := p.ix.CoreTime(v, rank)
+	if ct == tgraph.InfTime {
+		return 0, true, nil
+	}
+	return p.g.g.RawTime(ct), false, nil
+}

@@ -1,0 +1,68 @@
+package temporalkcore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCores streams every distinct temporal k-core of [start, end] to w
+// as NDJSON (one JSON object per line, in emission order). Because |R| can
+// exceed the graph size by orders of magnitude, results are serialised as
+// they are produced and never accumulated. It returns the query stats.
+func (g *Graph) WriteCores(w io.Writer, k int, start, end int64, opts ...Options) (QueryStats, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	var encErr error
+	qs, err := g.CoresFunc(k, start, end, func(c Core) bool {
+		if err := enc.Encode(coreJSON{Start: c.Start, End: c.End, Edges: edgeJSONs(c.Edges)}); err != nil {
+			encErr = err
+			return false
+		}
+		return true
+	}, opts...)
+	if err != nil {
+		return qs, err
+	}
+	if encErr != nil {
+		return qs, fmt.Errorf("temporalkcore: encoding cores: %w", encErr)
+	}
+	return qs, bw.Flush()
+}
+
+// ReadCores parses an NDJSON stream written by WriteCores, invoking fn per
+// core. fn may return false to stop early.
+func ReadCores(r io.Reader, fn func(Core) bool) error {
+	dec := json.NewDecoder(r)
+	for {
+		var cj coreJSON
+		if err := dec.Decode(&cj); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("temporalkcore: decoding cores: %w", err)
+		}
+		c := Core{Start: cj.Start, End: cj.End, Edges: make([]Edge, len(cj.Edges))}
+		for i, e := range cj.Edges {
+			c.Edges[i] = Edge{U: e[0], V: e[1], Time: e[2]}
+		}
+		if !fn(c) {
+			return nil
+		}
+	}
+}
+
+// coreJSON is the NDJSON schema: the TTI plus [u, v, t] edge triples.
+type coreJSON struct {
+	Start int64      `json:"start"`
+	End   int64      `json:"end"`
+	Edges [][3]int64 `json:"edges"`
+}
+
+func edgeJSONs(edges []Edge) [][3]int64 {
+	out := make([][3]int64, len(edges))
+	for i, e := range edges {
+		out[i] = [3]int64{e.U, e.V, e.Time}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package temporalkcore_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	tkc "temporalkcore"
+)
+
+func TestWriteReadCoresRoundTrip(t *testing.T) {
+	g, err := tkc.NewGraph(paperEdges(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	qs, err := g.WriteCores(&buf, 2, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Cores == 0 {
+		t.Fatal("no cores written")
+	}
+
+	var got []tkc.Core
+	if err := tkc.ReadCores(&buf, func(c tkc.Core) bool {
+		got = append(got, c)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(got)) != qs.Cores {
+		t.Fatalf("read %d cores, wrote %d", len(got), qs.Cores)
+	}
+	var edges int64
+	for _, c := range got {
+		if c.Start < 1 || c.End > 7 || c.Start > c.End {
+			t.Errorf("bad TTI %d..%d", c.Start, c.End)
+		}
+		edges += int64(len(c.Edges))
+	}
+	if edges != qs.Edges {
+		t.Errorf("read %d edges, wrote %d", edges, qs.Edges)
+	}
+}
+
+func TestReadCoresEarlyStop(t *testing.T) {
+	g, err := tkc.NewGraph(paperEdges(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteCores(&buf, 2, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := tkc.ReadCores(&buf, func(tkc.Core) bool {
+		n++
+		return n < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("visited %d, want 3", n)
+	}
+}
+
+func TestReadCoresRejectsGarbage(t *testing.T) {
+	err := tkc.ReadCores(strings.NewReader("{\"start\": 1,\n---garbage---\n"), func(tkc.Core) bool { return true })
+	if err == nil {
+		t.Error("garbage stream accepted")
+	}
+	// Empty stream is fine.
+	if err := tkc.ReadCores(strings.NewReader(""), func(tkc.Core) bool { return true }); err != nil {
+		t.Errorf("empty stream: %v", err)
+	}
+}
+
+func TestWriteCoresPropagatesQueryErrors(t *testing.T) {
+	g, err := tkc.NewGraph(paperEdges(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteCores(&buf, 0, 1, 7); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := g.WriteCores(&buf, 2, 90, 99); err != tkc.ErrNoTimestamps {
+		t.Errorf("empty range: %v", err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package temporalkcore enumerates temporal k-cores in time-range queries
+// on temporal graphs. It implements "Accelerating K-Core Computation in
+// Temporal Graphs" (EDBT 2026): given a temporal graph, an integer k and a
+// time range [start, end], it streams every distinct k-core appearing in
+// the snapshot of any sub-window, each exactly once, in time proportional
+// to the size of the output.
+//
+// Quick start:
+//
+//	g, err := temporalkcore.NewGraph([]temporalkcore.Edge{
+//		{U: 1, V: 2, Time: 10}, {U: 2, V: 3, Time: 11}, {U: 1, V: 3, Time: 12},
+//	})
+//	cores, err := g.Cores(2, 10, 12)
+//
+// The package speaks raw timestamps and vertex labels; compression to the
+// dense ranks the algorithms need happens internally. Algorithms other than
+// the default optimal one (the EnumBase strawman and the OTCD baseline from
+// the literature) are exposed for comparison via Options.
+package temporalkcore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"temporalkcore/internal/core"
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/kcore"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// Edge is one undirected temporal interaction between two vertex labels at
+// a raw timestamp.
+type Edge struct {
+	U, V int64
+	Time int64
+}
+
+// Graph is an immutable temporal graph ready for time-range k-core queries.
+type Graph struct {
+	g *tgraph.Graph
+}
+
+// ErrNoTimestamps is returned when a query range covers no timestamp of the
+// graph.
+var ErrNoTimestamps = errors.New("temporalkcore: query range covers no timestamp of the graph")
+
+// NewGraph builds a graph from raw edges. Self loops are dropped and exact
+// duplicate edges are collapsed (the paper models the edge set as a set).
+func NewGraph(edges []Edge) (*Graph, error) {
+	var b tgraph.Builder
+	for _, e := range edges {
+		b.Add(e.U, e.V, e.Time)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// Load reads a whitespace-separated temporal edge list ("u v t", or
+// "u v w t" with the weight ignored; '#'/'%' comments allowed).
+func Load(r io.Reader) (*Graph, error) {
+	g, err := tgraph.LoadText(r, tgraph.LoadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// LoadFile reads an edge-list file; see Load.
+func LoadFile(path string) (*Graph, error) {
+	g, err := tgraph.LoadTextFile(path, tgraph.LoadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// Internal returns the underlying internal graph. It is exported for the
+// repository's own benchmarks and tools.
+func (g *Graph) Internal() *tgraph.Graph { return g.g }
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.g.NumVertices() }
+
+// NumEdges returns the number of temporal edges.
+func (g *Graph) NumEdges() int { return g.g.NumEdges() }
+
+// TimestampCount returns the number of distinct timestamps (the paper's
+// tmax).
+func (g *Graph) TimestampCount() int { return int(g.g.TMax()) }
+
+// TimeSpan returns the smallest and largest raw timestamp.
+func (g *Graph) TimeSpan() (min, max int64) {
+	return g.g.RawTime(1), g.g.RawTime(g.g.TMax())
+}
+
+// KMax returns the maximum core number over the graph's full projection,
+// the upper bound for useful query k values.
+func (g *Graph) KMax() int { return kcore.KMax(g.g) }
+
+// Core is one temporal k-core result: its tightest time interval in raw
+// timestamps and its temporal edges.
+type Core struct {
+	Start, End int64
+	Edges      []Edge
+}
+
+// Algorithm selects the enumeration strategy; see the internal/core docs.
+type Algorithm = core.Algorithm
+
+// Re-exported algorithm identifiers.
+const (
+	AlgoEnum     = core.AlgoEnum
+	AlgoEnumBase = core.AlgoEnumBase
+	AlgoOTCD     = core.AlgoOTCD
+)
+
+// Options tunes a query.
+type Options struct {
+	Algorithm Algorithm
+}
+
+// QueryStats reports phase timings and intermediate index sizes of a query.
+type QueryStats struct {
+	VCTSize int
+	ECSSize int
+	Cores   int64
+	Edges   int64 // |R|: summed edges over all cores
+}
+
+// CoresFunc streams every distinct temporal k-core of any window within
+// [start, end] (raw timestamps, inclusive) to fn, each exactly once. fn may
+// return false to stop early. The Core passed to fn (including its edge
+// slice) is only valid during the call unless copied.
+func (g *Graph) CoresFunc(k int, start, end int64, fn func(Core) bool, opts ...Options) (QueryStats, error) {
+	var qs QueryStats
+	if k < 1 {
+		return qs, fmt.Errorf("temporalkcore: k must be >= 1, got %d", k)
+	}
+	w, ok := g.g.CompressRange(start, end)
+	if !ok {
+		return qs, ErrNoTimestamps
+	}
+	opt := Options{}
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	sink := &funcSink{g: g.g, fn: fn, qs: &qs}
+	st, err := core.Query(g.g, k, w, sink, core.Options{Algorithm: opt.Algorithm})
+	if err != nil {
+		return qs, err
+	}
+	qs.VCTSize = st.VCTSize
+	qs.ECSSize = st.ECSSize
+	return qs, nil
+}
+
+type funcSink struct {
+	g   *tgraph.Graph
+	fn  func(Core) bool
+	qs  *QueryStats
+	buf []Edge
+}
+
+func (s *funcSink) Emit(tti tgraph.Window, eids []tgraph.EID) bool {
+	s.buf = s.buf[:0]
+	for _, e := range eids {
+		te := s.g.Edge(e)
+		s.buf = append(s.buf, Edge{
+			U:    s.g.Label(te.U),
+			V:    s.g.Label(te.V),
+			Time: s.g.RawTime(te.T),
+		})
+	}
+	rs, re := s.g.RawWindow(tti)
+	s.qs.Cores++
+	s.qs.Edges += int64(len(eids))
+	return s.fn(Core{Start: rs, End: re, Edges: s.buf})
+}
+
+// Cores materialises every distinct temporal k-core of any window within
+// [start, end].
+func (g *Graph) Cores(k int, start, end int64, opts ...Options) ([]Core, error) {
+	var out []Core
+	_, err := g.CoresFunc(k, start, end, func(c Core) bool {
+		cp := c
+		cp.Edges = append([]Edge(nil), c.Edges...)
+		out = append(out, cp)
+		return true
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CountCores counts the distinct temporal k-cores and their total edge size
+// (the paper's |R|) without materialising results.
+func (g *Graph) CountCores(k int, start, end int64, opts ...Options) (QueryStats, error) {
+	return g.CoresFunc(k, start, end, func(Core) bool { return true }, opts...)
+}
+
+// CoreTimeEntry is one label of a vertex's core time index in raw
+// timestamps: from start times >= Start (until the next entry) the vertex
+// first joins a k-core at end time CoreTime; Infinite marks "never again".
+type CoreTimeEntry struct {
+	Start    int64
+	CoreTime int64
+	Infinite bool
+}
+
+// CoreTimes computes the vertex core time index of a label over
+// [start, end] — the VCT of Section IV. It answers "from which window on is
+// this vertex part of a k-core".
+func (g *Graph) CoreTimes(label int64, k int, start, end int64) ([]CoreTimeEntry, error) {
+	v, ok := g.g.VertexOf(label)
+	if !ok {
+		return nil, fmt.Errorf("temporalkcore: unknown vertex %d", label)
+	}
+	w, wok := g.g.CompressRange(start, end)
+	if !wok {
+		return nil, ErrNoTimestamps
+	}
+	ix, _, err := vct.Build(g.g, k, w)
+	if err != nil {
+		return nil, err
+	}
+	var out []CoreTimeEntry
+	for _, ent := range ix.Entries(v) {
+		e := CoreTimeEntry{Start: g.g.RawTime(ent.Start)}
+		if ent.CT == tgraph.InfTime {
+			e.Infinite = true
+		} else {
+			e.CoreTime = g.g.RawTime(ent.CT)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// VertexSets enumerates the distinct vertex sets of all temporal k-cores in
+// [start, end] — the compact representation the paper's future-work section
+// proposes. Vertex labels are returned sorted per set.
+func (g *Graph) VertexSets(k int, start, end int64) ([][]int64, error) {
+	w, ok := g.g.CompressRange(start, end)
+	if !ok {
+		return nil, ErrNoTimestamps
+	}
+	sink := enum.NewVertexSetSink(g.g)
+	if _, err := core.Query(g.g, k, w, sink, core.Options{Algorithm: core.AlgoEnum}); err != nil {
+		return nil, err
+	}
+	out := make([][]int64, len(sink.Sets))
+	for i, set := range sink.Sets {
+		labels := make([]int64, len(set))
+		for j, v := range set {
+			labels[j] = g.g.Label(v)
+		}
+		sort.Slice(labels, func(a, b int) bool { return labels[a] < labels[b] })
+		out[i] = labels
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package temporalkcore_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools builds the three binaries and exercises their happy
+// paths end to end: generate a replica, query it, run one experiment table.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+
+	build := func(name string) string {
+		t.Helper()
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	tkcgen := build("tkcgen")
+	tkcBin := build("tkc")
+	tkcbench := build("tkcbench")
+
+	// tkcgen -list
+	out, err := exec.Command(tkcgen, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("tkcgen -list: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "CollegeMsg") {
+		t.Errorf("tkcgen -list output missing datasets:\n%s", out)
+	}
+
+	// tkcgen: generate a small replica.
+	edges := filepath.Join(dir, "fb.txt")
+	out, err = exec.Command(tkcgen, "-dataset", "FB", "-edges", "800", "-seed", "1", "-out", edges).CombinedOutput()
+	if err != nil {
+		t.Fatalf("tkcgen: %v\n%s", err, out)
+	}
+	if fi, err := os.Stat(edges); err != nil || fi.Size() == 0 {
+		t.Fatalf("no edge file written: %v", err)
+	}
+
+	// tkc: query the generated graph.
+	out, err = exec.Command(tkcBin, "-graph", edges, "-k", "3", "-count").CombinedOutput()
+	if err != nil {
+		t.Fatalf("tkc: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "distinct temporal 3-cores") {
+		t.Errorf("tkc output unexpected:\n%s", out)
+	}
+
+	// tkc with a baseline algorithm and a limit.
+	out, err = exec.Command(tkcBin, "-graph", edges, "-k", "3", "-algo", "otcd", "-limit", "2", "-q").CombinedOutput()
+	if err != nil {
+		t.Fatalf("tkc otcd: %v\n%s", err, out)
+	}
+
+	// tkcbench: one tiny table.
+	out, err = exec.Command(tkcbench, "-fig", "table3", "-edges", "600", "-queries", "1", "-datasets", "FB").CombinedOutput()
+	if err != nil {
+		t.Fatalf("tkcbench: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Table III") {
+		t.Errorf("tkcbench output unexpected:\n%s", out)
+	}
+
+	// Error paths.
+	if err := exec.Command(tkcBin, "-graph", edges, "-algo", "bogus").Run(); err == nil {
+		t.Error("tkc accepted a bogus algorithm")
+	}
+	if err := exec.Command(tkcgen, "-dataset", "XX").Run(); err == nil {
+		t.Error("tkcgen accepted an unknown dataset")
+	}
+	if err := exec.Command(tkcbench, "-fig", "nope").Run(); err == nil {
+		t.Error("tkcbench accepted an unknown figure")
+	}
+}
