@@ -1,0 +1,118 @@
+package temporalkcore
+
+import (
+	"fmt"
+
+	"temporalkcore/internal/core"
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/tgraph"
+)
+
+// QuerySpec is one query of a batch: the core parameter k and a raw
+// (inclusive) time range, optionally pinned to a specific algorithm (the
+// zero value is the paper's optimal Enum).
+type QuerySpec struct {
+	K          int
+	Start, End int64
+	Algorithm  Algorithm
+}
+
+// BatchOptions tunes QueryBatch.
+type BatchOptions struct {
+	// Parallelism caps the number of worker goroutines; <= 0 means one per
+	// available CPU (GOMAXPROCS).
+	Parallelism int
+	// CountOnly skips materialising result cores: BatchResult.Cores stays
+	// nil and only BatchResult.Stats is populated. Use it for workloads
+	// that need counts, |R| or timings but not the edge sets.
+	CountOnly bool
+}
+
+// BatchResult is the outcome of one QuerySpec.
+type BatchResult struct {
+	Spec  QuerySpec
+	Cores []Core // nil under BatchOptions.CountOnly or on error
+	Stats QueryStats
+	Err   error
+}
+
+// QueryBatch executes many (k, time-range) queries concurrently on a pool
+// of workers, each reusing pooled per-worker scratch state, so large query
+// workloads exploit every core without paying per-query setup allocations.
+// Results arrive at the index of their spec; a spec that fails validation
+// reports through its BatchResult.Err without failing the batch.
+func (g *Graph) QueryBatch(specs []QuerySpec, opts ...BatchOptions) []BatchResult {
+	opt := BatchOptions{}
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+
+	res := make([]BatchResult, len(specs))
+	queries := make([]core.BatchQuery, 0, len(specs))
+	sinks := make([]enum.Sink, 0, len(specs))
+	run := make([]int, 0, len(specs)) // batch item -> spec index
+
+	for i, sp := range specs {
+		res[i].Spec = sp
+		if sp.K < 1 {
+			res[i].Err = fmt.Errorf("temporalkcore: k must be >= 1, got %d", sp.K)
+			continue
+		}
+		w, ok := g.g.CompressRange(sp.Start, sp.End)
+		if !ok {
+			res[i].Err = ErrNoTimestamps
+			continue
+		}
+		r := &res[i]
+		var sink enum.Sink
+		if opt.CountOnly {
+			// Count straight off the edge-id slices: converting every edge
+			// to labels/raw times just to discard it would make count-only
+			// batches pay nearly the full materialisation CPU cost.
+			sink = &statsSink{qs: &r.Stats}
+		} else {
+			sink = &funcSink{g: g.g, qs: &r.Stats, fn: func(c Core) bool {
+				cp := c
+				cp.Edges = append([]Edge(nil), c.Edges...)
+				r.Cores = append(r.Cores, cp)
+				return true
+			}}
+		}
+		queries = append(queries, core.BatchQuery{K: sp.K, W: w, Opts: core.Options{Algorithm: sp.Algorithm}})
+		sinks = append(sinks, sink)
+		run = append(run, i)
+	}
+
+	batch := core.QueryBatch(g.g, queries, opt.Parallelism, func(i int) enum.Sink { return sinks[i] })
+	for bi, br := range batch {
+		r := &res[run[bi]]
+		r.Err = br.Err
+		if br.Err != nil {
+			r.Cores = nil
+			r.Stats = QueryStats{}
+			continue
+		}
+		r.Stats.VCTSize = br.Stats.VCTSize
+		r.Stats.ECSSize = br.Stats.ECSSize
+		r.Stats.CoreTime = br.Stats.CoreTime
+		r.Stats.EnumTime = br.Stats.EnumTime
+	}
+	return res
+}
+
+// statsSink counts cores and |R| directly from the emitted edge-id slices,
+// with none of funcSink's per-edge label/time conversion.
+type statsSink struct{ qs *QueryStats }
+
+func (s *statsSink) Emit(_ tgraph.Window, eids []tgraph.EID) bool {
+	s.qs.Cores++
+	s.qs.Edges += int64(len(eids))
+	return true
+}
+
+// CountBatch is QueryBatch with BatchOptions.CountOnly set: it returns the
+// per-query statistics (core counts, |R|, index sizes, phase timings)
+// without materialising any edges.
+func (g *Graph) CountBatch(specs []QuerySpec, parallelism int) []BatchResult {
+	return g.QueryBatch(specs, BatchOptions{Parallelism: parallelism, CountOnly: true})
+}

@@ -8,17 +8,26 @@
 //	tkcbench -fig 7 -datasets CM,PL -timeout 10s
 //
 // Figure ids: table3, 4, 6, 7, 8, 9, 10, 11, 12.
+//
+// With -snapshot FILE the figure run is replaced by a machine-readable
+// perf snapshot: each dataset's default workload is measured with the
+// sequential loop and with the -parallel worker pool, and the
+// measurements are written as JSON (the format committed as BENCH_*.json
+// records).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"temporalkcore/internal/bench"
+	"temporalkcore/internal/core"
 )
 
 func main() {
@@ -33,6 +42,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "replica and workload seed")
 		datasets = flag.String("datasets", "", "comma-separated dataset codes (default: figure's own set)")
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Int("parallel", 1, "worker-pool size per workload (1 = sequential, -1 = all CPUs)")
+		snapshot = flag.String("snapshot", "", "write a JSON perf snapshot to this file instead of rendering figures")
 	)
 	flag.Parse()
 
@@ -41,9 +52,18 @@ func main() {
 		QueriesPerPoint: *queries,
 		Timeout:         *timeout,
 		Seed:            *seed,
+		Parallelism:     *parallel,
 	}
 	if *datasets != "" {
 		s.Datasets = strings.Split(*datasets, ",")
+	}
+
+	if *snapshot != "" {
+		if err := writeSnapshot(*snapshot, s, *parallel); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *snapshot)
+		return
 	}
 
 	figs := s.Figures()
@@ -71,4 +91,99 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "done (edges=%d queries=%d timeout=%v seed=%d)\n", *edges, *queries, *timeout, *seed)
+}
+
+// snapshotMeasurement is one workload measurement in milliseconds.
+type snapshotMeasurement struct {
+	CoreTimeMS float64 `json:"core_time_ms"`
+	EnumTimeMS float64 `json:"enum_time_ms"`
+	WallMS     float64 `json:"wall_ms"`
+	Cores      int64   `json:"cores"`
+	REdges     int64   `json:"r_edges"`
+	VCTSize    int     `json:"vct_size"`
+	ECSSize    int     `json:"ecs_size"`
+}
+
+type snapshotDataset struct {
+	Code       string              `json:"code"`
+	K          int                 `json:"k"`
+	Queries    int                 `json:"queries"`
+	Sequential snapshotMeasurement `json:"sequential"`
+	Parallel   snapshotMeasurement `json:"parallel"`
+}
+
+type snapshotFile struct {
+	TargetEdges int               `json:"target_edges"`
+	Seed        int64             `json:"seed"`
+	Parallelism int               `json:"parallelism"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Datasets    []snapshotDataset `json:"datasets"`
+}
+
+func toSnapshot(m bench.Measurement) snapshotMeasurement {
+	return snapshotMeasurement{
+		CoreTimeMS: float64(m.CoreTime) / float64(time.Millisecond),
+		EnumTimeMS: float64(m.EnumTime) / float64(time.Millisecond),
+		WallMS:     float64(m.Total) / float64(time.Millisecond),
+		Cores:      m.Cores,
+		REdges:     m.REdges,
+		VCTSize:    m.VCTSize,
+		ECSSize:    m.ECSSize,
+	}
+}
+
+// writeSnapshot measures the default Enum workload per dataset with the
+// sequential loop and the worker pool, and writes the results as JSON.
+func writeSnapshot(path string, s *bench.Suite, parallel int) error {
+	if parallel == 0 || parallel == 1 {
+		// 0 and 1 both mean "sequential" to the harness, which would make
+		// the snapshot's parallel section a second sequential run; measure
+		// a real pool instead.
+		parallel = -1
+	}
+	codes := s.Datasets
+	if len(codes) == 0 {
+		codes = bench.SweepDatasets
+	}
+	out := snapshotFile{
+		TargetEdges: s.TargetEdges,
+		Seed:        s.Seed,
+		Parallelism: parallel,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	for _, code := range codes {
+		d, err := bench.LoadDataset(code, s.TargetEdges, s.Seed)
+		if err != nil {
+			return err
+		}
+		k := d.K(bench.DefaultKPct)
+		qs := d.Queries(k, bench.DefaultRangePct, s.QueriesPerPoint, s.Seed)
+		if len(qs) == 0 {
+			log.Printf("snapshot: no query ranges for %s, skipping", code)
+			continue
+		}
+		seq, err := bench.Run(d, k, qs, core.AlgoEnum, bench.RunOptions{Timeout: s.Timeout})
+		if err != nil {
+			return err
+		}
+		par, err := bench.Run(d, k, qs, core.AlgoEnum, bench.RunOptions{Timeout: s.Timeout, Parallelism: parallel})
+		if err != nil {
+			return err
+		}
+		out.Datasets = append(out.Datasets, snapshotDataset{
+			Code: code, K: k, Queries: len(qs),
+			Sequential: toSnapshot(seq), Parallel: toSnapshot(par),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,3 @@
+module temporalkcore
+
+go 1.24

@@ -22,6 +22,9 @@ type Suite struct {
 	Seed int64
 	// Datasets restricts which dataset codes run (nil = figure defaults).
 	Datasets []string
+	// Parallelism > 1 (or < 0 for GOMAXPROCS) runs each workload's queries
+	// concurrently on a worker pool; see RunOptions.Parallelism.
+	Parallelism int
 
 	cache map[string]*Dataset
 }
@@ -111,7 +114,7 @@ func (s *Suite) Figure4() (*Table, error) {
 			t.AddRow(code, "-", "-", "-", "-")
 			continue
 		}
-		m, err := Run(d, k, queries, core.AlgoEnum, RunOptions{})
+		m, err := Run(d, k, queries, core.AlgoEnum, RunOptions{Parallelism: s.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -147,15 +150,15 @@ func (s *Suite) Figure6() (*Table, error) {
 			continue
 		}
 		n := time.Duration(len(queries))
-		mEnum, err := Run(d, k, queries, core.AlgoEnum, RunOptions{Timeout: s.Timeout})
+		mEnum, err := Run(d, k, queries, core.AlgoEnum, RunOptions{Timeout: s.Timeout, Parallelism: s.Parallelism})
 		if err != nil {
 			return nil, err
 		}
-		mBase, err := Run(d, k, queries, core.AlgoEnumBase, RunOptions{Timeout: s.Timeout})
+		mBase, err := Run(d, k, queries, core.AlgoEnumBase, RunOptions{Timeout: s.Timeout, Parallelism: s.Parallelism})
 		if err != nil {
 			return nil, err
 		}
-		mOTCD, err := Run(d, k, queries, core.AlgoOTCD, RunOptions{Timeout: s.Timeout})
+		mOTCD, err := Run(d, k, queries, core.AlgoOTCD, RunOptions{Timeout: s.Timeout, Parallelism: s.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -188,15 +191,15 @@ func (s *Suite) sweep(title string, points []int, setup func(d *Dataset, point i
 				continue
 			}
 			n := time.Duration(len(queries))
-			mEnum, err := Run(d, k, queries, core.AlgoEnum, RunOptions{Timeout: s.Timeout})
+			mEnum, err := Run(d, k, queries, core.AlgoEnum, RunOptions{Timeout: s.Timeout, Parallelism: s.Parallelism})
 			if err != nil {
 				return nil, err
 			}
-			mBase, err := Run(d, k, queries, core.AlgoEnumBase, RunOptions{Timeout: s.Timeout})
+			mBase, err := Run(d, k, queries, core.AlgoEnumBase, RunOptions{Timeout: s.Timeout, Parallelism: s.Parallelism})
 			if err != nil {
 				return nil, err
 			}
-			mOTCD, err := Run(d, k, queries, core.AlgoOTCD, RunOptions{Timeout: s.Timeout})
+			mOTCD, err := Run(d, k, queries, core.AlgoOTCD, RunOptions{Timeout: s.Timeout, Parallelism: s.Parallelism})
 			if err != nil {
 				return nil, err
 			}
@@ -246,7 +249,7 @@ func (s *Suite) Figure9() (*Table, error) {
 			t.AddRow(code, "0", "0")
 			continue
 		}
-		m, err := Run(d, k, queries, core.AlgoEnum, RunOptions{})
+		m, err := Run(d, k, queries, core.AlgoEnum, RunOptions{Parallelism: s.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -270,7 +273,7 @@ func (s *Suite) countSweep(title string, points []int, setup func(d *Dataset, po
 				t.AddRow(code, fmt.Sprintf("%d%%", pt), "0", "0")
 				continue
 			}
-			m, err := Run(d, k, queries, core.AlgoEnum, RunOptions{})
+			m, err := Run(d, k, queries, core.AlgoEnum, RunOptions{Parallelism: s.Parallelism})
 			if err != nil {
 				return nil, err
 			}
@@ -318,6 +321,9 @@ func (s *Suite) Figure12() (*Table, error) {
 		}
 		cells := make([]string, 0, 3)
 		for _, algo := range []core.Algorithm{core.AlgoOTCD, core.AlgoEnumBase, core.AlgoEnum} {
+			// Memory runs stay sequential regardless of Suite.Parallelism:
+			// the figure reproduces per-query peak heap, and N concurrent
+			// queries each holding scratch would inflate it ~N-fold.
 			m, err := Run(d, k, queries, algo, RunOptions{Timeout: s.Timeout, TrackMemory: true})
 			if err != nil {
 				return nil, err

@@ -108,11 +108,21 @@ type Measurement struct {
 type RunOptions struct {
 	Timeout     time.Duration // per query; 0 = none
 	TrackMemory bool          // sample the heap to estimate the peak
+	// Parallelism > 1 runs the queries of the workload concurrently on a
+	// worker pool (core.QueryBatch) with per-worker scratch; 0 or 1 keeps
+	// the sequential loop. <0 means GOMAXPROCS workers.
+	Parallelism int
 }
 
 // Run executes one algorithm over all query windows and accumulates the
 // measurements. Results are counted, not materialised, matching the paper's
 // |R| metric.
+//
+// With RunOptions.Parallelism engaged, Measurement.Total is the batch wall
+// time while CoreTime/EnumTime stay summed per-query times — Total well
+// below CoreTime+EnumTime is the parallel speedup. Timeouts count from
+// batch submission, so heavily oversubscribed parallel runs can time out
+// while queueing.
 func Run(d *Dataset, k int, queries []tgraph.Window, algo core.Algorithm, opts RunOptions) (Measurement, error) {
 	m := Measurement{Algo: algo, Queries: len(queries)}
 
@@ -120,6 +130,40 @@ func Run(d *Dataset, k int, queries []tgraph.Window, algo core.Algorithm, opts R
 	if opts.TrackMemory {
 		sampler = startHeapSampler()
 		defer sampler.stop()
+	}
+
+	if (opts.Parallelism > 1 || opts.Parallelism < 0) && len(queries) > 1 {
+		items := make([]core.BatchQuery, len(queries))
+		sinks := make([]enum.CountSink, len(queries))
+		for i, w := range queries {
+			var stop func() bool
+			if opts.Timeout > 0 {
+				deadline := time.Now().Add(opts.Timeout)
+				stop = func() bool { return time.Now().After(deadline) }
+			}
+			items[i] = core.BatchQuery{K: k, W: w, Opts: core.Options{Algorithm: algo, Stop: stop}}
+		}
+		wall := time.Now()
+		res := core.QueryBatch(d.G, items, opts.Parallelism, func(i int) enum.Sink { return &sinks[i] })
+		m.Total = time.Since(wall)
+		for i, r := range res {
+			if r.Err != nil {
+				return m, fmt.Errorf("bench: %s on %s: %w", algo, d.Code, r.Err)
+			}
+			m.CoreTime += r.Stats.CoreTime
+			m.EnumTime += r.Stats.EnumTime
+			m.Cores += sinks[i].Cores
+			m.REdges += sinks[i].EdgeTotal
+			m.VCTSize += r.Stats.VCTSize
+			m.ECSSize += r.Stats.ECSSize
+			if r.Stats.Stopped {
+				m.TimedOut = true
+			}
+		}
+		if sampler != nil {
+			m.PeakHeap = sampler.peak()
+		}
+		return m, nil
 	}
 
 	for _, w := range queries {

@@ -1,0 +1,42 @@
+package bench_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/bench"
+	"temporalkcore/internal/core"
+)
+
+// TestRunParallelMatchesSequential checks that the harness's batch path
+// counts exactly what the sequential loop counts.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	d, err := bench.LoadDataset("FB", 900, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := d.K(bench.DefaultKPct)
+	qs := d.Queries(k, bench.DefaultRangePct, 4, 3)
+	if len(qs) < 2 {
+		t.Skipf("only %d query ranges", len(qs))
+	}
+	seq, err := bench.Run(d, k, qs, core.AlgoEnum, bench.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, -1} {
+		got, err := bench.Run(d, k, qs, core.AlgoEnum, bench.RunOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", par, err)
+		}
+		if got.Cores != seq.Cores || got.REdges != seq.REdges ||
+			got.VCTSize != seq.VCTSize || got.ECSSize != seq.ECSSize {
+			t.Errorf("parallel=%d: counts diverge: %+v vs %+v", par, got, seq)
+		}
+		if got.Queries != seq.Queries || got.TimedOut {
+			t.Errorf("parallel=%d: queries=%d timedOut=%v", par, got.Queries, got.TimedOut)
+		}
+		if got.Total <= 0 {
+			t.Errorf("parallel=%d: non-positive wall time %v", par, got.Total)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/tgraph"
+)
+
+// BatchQuery is one (k, window) item of a batch run.
+type BatchQuery struct {
+	K    int
+	W    tgraph.Window
+	Opts Options
+}
+
+// BatchResult is the outcome of one batch item.
+type BatchResult struct {
+	Stats Stats
+	Err   error
+}
+
+// QueryBatch executes many time-range k-core queries concurrently across a
+// pool of workers, each with its own pooled Scratch, so cross-query
+// parallelism costs no per-query setup allocations. sinkFor(i) must return
+// the sink for queries[i]; sinks of different items are used concurrently,
+// so they must not share mutable state unless synchronised. Results arrive
+// at the index of their query. parallelism <= 0 means GOMAXPROCS.
+func QueryBatch(g *tgraph.Graph, queries []BatchQuery, parallelism int, sinkFor func(int) enum.Sink) []BatchResult {
+	res := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return res
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < parallelism; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := GetScratch()
+			defer PutScratch(s)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				q := queries[i]
+				res[i].Stats, res[i].Err = QueryWith(g, q.K, q.W, sinkFor(i), q.Opts, s)
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}

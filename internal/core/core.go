@@ -3,11 +3,14 @@
 // vct) and then one of the three enumeration algorithms — the optimal Enum,
 // the straightforward EnumBase, or the OTCD baseline — over a query
 // (k, [Ts, Te]), reporting the intermediate sizes the paper analyses
-// (|VCT|, |ECS|, |R|).
+// (|VCT|, |ECS|, |R|). Both phases run on pooled Scratch state, and
+// QueryBatch spreads many queries over a worker pool with one Scratch per
+// worker.
 package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"temporalkcore/internal/enum"
@@ -15,6 +18,24 @@ import (
 	"temporalkcore/internal/tgraph"
 	"temporalkcore/internal/vct"
 )
+
+// Scratch bundles the reusable working state of both query phases — the
+// CoreTime builder's vectors and the enumerator's node arena — so one
+// warmed-up Scratch makes a whole repeated (k, window) query allocate close
+// to nothing. The zero value is ready; a Scratch serves one query at a time.
+type Scratch struct {
+	vct  vct.Scratch
+	enum enum.Scratch
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch takes a Scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a Scratch to the shared pool; the caller must not use
+// it afterwards.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
 
 // Algorithm selects the enumeration strategy.
 type Algorithm int
@@ -66,8 +87,18 @@ type Stats struct {
 }
 
 // Query validates and runs a time-range k-core query, streaming every
-// distinct temporal k-core to sink.
+// distinct temporal k-core to sink. Working state is drawn from the shared
+// scratch pool; QueryWith accepts caller-owned state instead.
 func Query(g *tgraph.Graph, k int, w tgraph.Window, sink enum.Sink, opts Options) (Stats, error) {
+	s := GetScratch()
+	defer PutScratch(s)
+	return QueryWith(g, k, w, sink, opts, s)
+}
+
+// QueryWith is Query running entirely on the caller's Scratch, so repeated
+// queries reuse one allocation high-water mark. Each concurrent query needs
+// its own Scratch (see QueryBatch).
+func QueryWith(g *tgraph.Graph, k int, w tgraph.Window, sink enum.Sink, opts Options, s *Scratch) (Stats, error) {
 	var st Stats
 	if g == nil {
 		return st, fmt.Errorf("core: nil graph")
@@ -92,7 +123,7 @@ func Query(g *tgraph.Graph, k int, w tgraph.Window, sink enum.Sink, opts Options
 	}
 
 	start := time.Now()
-	ix, ecs, err := vct.Build(g, k, w)
+	ix, ecs, err := vct.BuildScratch(g, k, w, &s.vct)
 	if err != nil {
 		return st, err
 	}
@@ -104,7 +135,7 @@ func Query(g *tgraph.Graph, k int, w tgraph.Window, sink enum.Sink, opts Options
 	var ok bool
 	switch opts.Algorithm {
 	case AlgoEnum:
-		ok = enum.Enumerate(g, ecs, sink)
+		ok = enum.EnumerateWith(g, ecs, sink, &s.enum)
 	case AlgoEnumBase:
 		ok = enum.EnumerateBase(g, ecs, sink, enum.BaseOptions{HashOnlyDedup: opts.HashOnlyDedup, Stop: opts.Stop})
 	default:

@@ -52,6 +52,27 @@ func SigOf(items []int32) Sig128 {
 	return s
 }
 
+// Grow returns s with length n, reusing capacity when possible. The
+// returned slice contents are unspecified; callers must fully overwrite
+// them. It is the building block of the reusable scratch types that keep
+// the repeated-query hot paths allocation-free.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// GrowZero returns s with length n and every element zeroed.
+func GrowZero[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		s = s[:n]
+		clear(s)
+		return s
+	}
+	return make([]T, n)
+}
+
 // Queue is a simple FIFO of int32 values backed by a growable ring-free
 // slice: peeling cascades push each element at most once, so a head index
 // with periodic compaction is enough and avoids modulo arithmetic.

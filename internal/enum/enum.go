@@ -1,6 +1,9 @@
 package enum
 
 import (
+	"sync"
+
+	"temporalkcore/internal/ds"
 	"temporalkcore/internal/tgraph"
 	"temporalkcore/internal/vct"
 )
@@ -16,12 +19,47 @@ type node struct {
 
 const nilNode = int32(-1)
 
+// Scratch holds the node arena, the flat activation/start buckets and the
+// edge buffer of Enumerate so repeated enumerations — batch workloads,
+// PreparedQuery reuse — allocate nothing once warm. The zero value is ready
+// to use; a Scratch must not be shared by concurrent enumerations.
+type Scratch struct {
+	nodes []node
+
+	cnt          []int32 // counting-sort scratch, len tlen+1
+	byEnd        []int32 // node indices ascending by window end
+	baOff, baIdx []int32 // bucket Ba: windows activating at t, ascending end
+	bsOff, bsIdx []int32 // bucket Bs: windows starting at t
+	cur          []int32 // bucket-fill cursors
+
+	edgeBuf []tgraph.EID
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch takes a Scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a Scratch to the shared pool; the caller must not use
+// it afterwards.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
 // Enumerate runs the paper's optimal algorithm (Algorithm 5 with AS-Output,
 // Algorithm 4): it emits every distinct temporal k-core of the skyline's
 // query range exactly once, identified by its tightest time interval, in
 // time bounded by the total result size O(|R|). It returns false when the
-// sink stopped the enumeration early.
+// sink stopped the enumeration early. Working state comes from the shared
+// scratch pool; EnumerateWith accepts caller-owned state instead.
 func Enumerate(g *tgraph.Graph, ecs *vct.ECS, sink Sink) bool {
+	s := GetScratch()
+	defer PutScratch(s)
+	return EnumerateWith(g, ecs, sink, s)
+}
+
+// EnumerateWith is Enumerate drawing every buffer from s, so a warm scratch
+// makes repeated enumeration allocation-free. Each concurrent enumeration
+// needs its own Scratch.
+func EnumerateWith(g *tgraph.Graph, ecs *vct.ECS, sink Sink, s *Scratch) bool {
 	w := ecs.Range
 	tlen := int(w.End-w.Start) + 1
 	lo, hi := ecs.EdgeRange()
@@ -29,7 +67,7 @@ func Enumerate(g *tgraph.Graph, ecs *vct.ECS, sink Sink) bool {
 	// Materialise window nodes with their active times (Definition 6:
 	// the first window of an edge activates at Ts, each later window one
 	// step after the preceding window's start).
-	nodes := make([]node, 0, ecs.Size())
+	nodes := s.nodes[:0]
 	for e := lo; e < hi; e++ {
 		wins := ecs.Windows(e)
 		for i, win := range wins {
@@ -40,48 +78,70 @@ func Enumerate(g *tgraph.Graph, ecs *vct.ECS, sink Sink) bool {
 			nodes = append(nodes, node{start: win.Start, end: win.End, active: act, eid: e})
 		}
 	}
+	nn := len(nodes)
 
-	// Bucket nodes: Ba[t] holds the windows activating at t in ascending
-	// end order (so the merge insertion below is a single forward scan);
-	// Bs[t] holds the windows starting at t (deleted when ts passes t).
-	// Ascending-end order is obtained with a counting sort by end.
-	endCnt := make([]int32, tlen+1)
+	// Order nodes by ascending end with a counting sort, then bucket them:
+	// Ba[t] holds the windows activating at t in ascending end order (so
+	// the merge insertion below is a single forward scan); Bs[t] holds the
+	// windows starting at t (deleted when ts passes t). All buckets are
+	// flat off/idx pairs carved out of the scratch — no per-t slices.
+	cnt := ds.GrowZero(s.cnt, tlen+1)
 	for i := range nodes {
-		endCnt[nodes[i].end-w.Start+1]++
+		cnt[int(nodes[i].end-w.Start)+1]++
 	}
 	for t := 0; t < tlen; t++ {
-		endCnt[t+1] += endCnt[t]
+		cnt[t+1] += cnt[t]
 	}
-	byEnd := make([]int32, len(nodes))
+	byEnd := ds.Grow(s.byEnd, nn)
 	for i := range nodes {
-		pos := nodes[i].end - w.Start
-		byEnd[endCnt[pos]] = int32(i)
-		endCnt[pos]++
+		p := int(nodes[i].end - w.Start)
+		byEnd[cnt[p]] = int32(i)
+		cnt[p]++
 	}
 
-	ba := make([][]int32, tlen)
-	bs := make([][]int32, tlen)
-	for _, ni := range byEnd {
-		a := nodes[ni].active - w.Start
-		ba[a] = append(ba[a], ni)
-	}
+	baOff := ds.GrowZero(s.baOff, tlen+1)
+	bsOff := ds.GrowZero(s.bsOff, tlen+1)
 	for i := range nodes {
-		s := nodes[i].start - w.Start
-		bs[s] = append(bs[s], int32(i))
+		baOff[int(nodes[i].active-w.Start)+1]++
+		bsOff[int(nodes[i].start-w.Start)+1]++
+	}
+	for t := 0; t < tlen; t++ {
+		baOff[t+1] += baOff[t]
+		bsOff[t+1] += bsOff[t]
+	}
+	baIdx := ds.Grow(s.baIdx, nn)
+	bsIdx := ds.Grow(s.bsIdx, nn)
+	cur := ds.Grow(s.cur, tlen)
+	copy(cur, baOff[:tlen])
+	for _, ni := range byEnd { // byEnd order keeps each Ba bucket end-sorted
+		a := int(nodes[ni].active - w.Start)
+		baIdx[cur[a]] = ni
+		cur[a]++
+	}
+	copy(cur, bsOff[:tlen])
+	for i := range nodes {
+		st := int(nodes[i].start - w.Start)
+		bsIdx[cur[st]] = int32(i)
+		cur[st]++
 	}
 
 	// Doubly linked list with a dummy head stored as head/first pointers.
-	head := int32(len(nodes))
+	head := int32(nn)
 	nodes = append(nodes, node{next: nilNode, prev: nilNode})
 
-	edgeBuf := make([]tgraph.EID, 0, 1024)
+	// Persist grown buffers so the next run reuses them.
+	s.nodes, s.cnt, s.byEnd = nodes, cnt, byEnd
+	s.baOff, s.baIdx, s.bsOff, s.bsIdx, s.cur = baOff, baIdx, bsOff, bsIdx, cur
+
+	edgeBuf := s.edgeBuf[:0]
+	defer func() { s.edgeBuf = edgeBuf }()
 
 	for off := 0; off < tlen; off++ {
 		t := w.Start + tgraph.TS(off)
 
 		// Remove windows whose start time has passed (lines 14-16).
 		if off > 0 {
-			for _, ni := range bs[off-1] {
+			for _, ni := range bsIdx[bsOff[off-1]:bsOff[off]] {
 				p, nx := nodes[ni].prev, nodes[ni].next
 				nodes[p].next = nx
 				if nx != nilNode {
@@ -91,9 +151,9 @@ func Enumerate(g *tgraph.Graph, ecs *vct.ECS, sink Sink) bool {
 		}
 
 		// Insert newly active windows with a single merge scan (lines
-		// 17-22); ba[off] ascends by end, so h never moves backwards.
+		// 17-22); the Ba bucket ascends by end, so h never moves backwards.
 		h := head
-		for _, ni := range ba[off] {
+		for _, ni := range baIdx[baOff[off]:baOff[off+1]] {
 			for nodes[h].next != nilNode && nodes[nodes[h].next].end < nodes[ni].end {
 				h = nodes[h].next
 			}
@@ -109,7 +169,7 @@ func Enumerate(g *tgraph.Graph, ecs *vct.ECS, sink Sink) bool {
 
 		// No minimal core window starts at t: no temporal k-core has this
 		// start time (Lemma 4).
-		if len(bs[off]) == 0 {
+		if bsOff[off] == bsOff[off+1] {
 			continue
 		}
 

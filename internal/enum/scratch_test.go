@@ -1,0 +1,74 @@
+package enum_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// TestEnumerateWithReuse drives one enum.Scratch through skylines of many
+// shapes — different k, shrinking and growing windows — and checks each
+// enumeration against a fresh run. Stale bucket or arena state from an
+// earlier, larger enumeration must never leak into a later one.
+func TestEnumerateWithReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := paperex.Graph()
+	s := &enum.Scratch{}
+	tmax := int(g.TMax())
+	for trial := 0; trial < 150; trial++ {
+		k := 1 + r.Intn(4)
+		a := 1 + r.Intn(tmax)
+		b := 1 + r.Intn(tmax)
+		if a > b {
+			a, b = b, a
+		}
+		w := tgraph.Window{Start: tgraph.TS(a), End: tgraph.TS(b)}
+		_, ecs, err := vct.Build(g, k, w)
+		if err != nil {
+			t.Fatalf("vct.Build(k=%d, %v): %v", k, w, err)
+		}
+		var got, want enum.CollectSink
+		if !enum.EnumerateWith(g, ecs, &got, s) {
+			t.Fatal("EnumerateWith stopped early")
+		}
+		if !enum.Enumerate(g, ecs, &want) {
+			t.Fatal("Enumerate stopped early")
+		}
+		enum.SortCores(got.Cores)
+		enum.SortCores(want.Cores)
+		if !reflect.DeepEqual(got.Cores, want.Cores) {
+			t.Fatalf("k=%d %v: scratch reuse diverged (%d vs %d cores)", k, w, len(got.Cores), len(want.Cores))
+		}
+	}
+}
+
+// TestEnumerateWithEarlyStop checks that a sink stopping the enumeration
+// leaves the scratch reusable.
+func TestEnumerateWithEarlyStop(t *testing.T) {
+	g := paperex.Graph()
+	_, ecs, err := vct.Build(g, paperex.K, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &enum.Scratch{}
+	var all enum.CollectSink
+	enum.EnumerateWith(g, ecs, &all, s)
+	lim := enum.LimitSink{Inner: &enum.CountSink{}, Max: 1}
+	if enum.EnumerateWith(g, ecs, &lim, s) {
+		t.Fatal("limited enumeration was not stopped")
+	}
+	var again enum.CollectSink
+	if !enum.EnumerateWith(g, ecs, &again, s) {
+		t.Fatal("re-enumeration stopped early")
+	}
+	enum.SortCores(all.Cores)
+	enum.SortCores(again.Cores)
+	if !reflect.DeepEqual(all.Cores, again.Cores) {
+		t.Fatal("scratch poisoned by early-stopped enumeration")
+	}
+}

@@ -1,6 +1,7 @@
 package vct
 
 import (
+	"cmp"
 	"fmt"
 	"slices"
 
@@ -12,16 +13,36 @@ import (
 // skylines of g for parameter k over the query range w (Algorithm 2 plus
 // the single-k PHC computation it builds on). k must be >= 1 and w must be a
 // valid window inside [1, g.TMax()].
+//
+// Build draws its working state from the shared scratch pool and returns
+// freshly allocated outputs that the caller may retain indefinitely. For
+// the repeated-query hot path that drops the outputs after enumerating,
+// BuildScratch avoids even the output allocations.
 func Build(g *tgraph.Graph, k int, w tgraph.Window) (*Index, *ECS, error) {
-	if k < 1 {
-		return nil, nil, fmt.Errorf("vct: k must be >= 1, got %d", k)
+	if err := validate(g, k, w); err != nil {
+		return nil, nil, err
 	}
-	if !w.Valid() || w.End > g.TMax() {
-		return nil, nil, fmt.Errorf("vct: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, g.TMax())
-	}
-	b := newBuilder(g, k, w)
+	s := GetScratch()
+	defer PutScratch(s)
+	b := newBuilder(g, k, w, s)
 	b.run()
 	return b.index(), b.skylines(), nil
+}
+
+// BuildScratch is Build with caller-owned working state: the returned Index
+// and ECS are backed by s's arenas and stay valid only until the next build
+// with s (or until s is returned to the pool). Between builds with separate
+// Scratch values there is no shared state, so concurrent use is safe as
+// long as each goroutine brings its own Scratch.
+func BuildScratch(g *tgraph.Graph, k int, w tgraph.Window, s *Scratch) (*Index, *ECS, error) {
+	if err := validate(g, k, w); err != nil {
+		return nil, nil, err
+	}
+	b := newBuilder(g, k, w, s)
+	b.run()
+	b.indexInto(&s.ix)
+	b.skylinesInto(&s.ecs)
+	return &s.ix, &s.ecs, nil
 }
 
 const inf = tgraph.InfTime
@@ -41,39 +62,25 @@ type builder struct {
 	k int
 	w tgraph.Window
 
-	ct      []tgraph.TS // current core time per vertex
-	lastRec []tgraph.TS // last value recorded into the index
-	pairPtr []int32     // per pair: first time index >= current start
-	incPtr  []int32     // per vertex: first incident edge with time >= current start
+	lo, hi tgraph.EID // edges inside w
 
-	lo, hi tgraph.EID  // edges inside w
-	ect    []tgraph.TS // per edge (eid-lo): current edge core time
-
-	q       ds.Queue
-	inQ     []bool
-	buf     []tgraph.TS
-	changed []tgraph.VID // vertices raised during the current transition
-	chMark  []bool
-
-	vctRecs []vctRec
-	ecsRecs []ecsRec
+	*Scratch
 }
 
-func newBuilder(g *tgraph.Graph, k int, w tgraph.Window) *builder {
-	n := g.NumVertices()
-	lo, hi := g.EdgesIn(w)
-	b := &builder{
-		g: g, k: k, w: w,
-		ct:      make([]tgraph.TS, n),
-		lastRec: make([]tgraph.TS, n),
-		pairPtr: make([]int32, g.NumPairs()),
-		incPtr:  make([]int32, n),
-		lo:      lo, hi: hi,
-		ect:    make([]tgraph.TS, hi-lo),
-		inQ:    make([]bool, n),
-		chMark: make([]bool, n),
+func validate(g *tgraph.Graph, k int, w tgraph.Window) error {
+	if k < 1 {
+		return fmt.Errorf("vct: k must be >= 1, got %d", k)
 	}
-	return b
+	if !w.Valid() || w.End > g.TMax() {
+		return fmt.Errorf("vct: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, g.TMax())
+	}
+	return nil
+}
+
+func newBuilder(g *tgraph.Graph, k int, w tgraph.Window, s *Scratch) builder {
+	lo, hi := g.EdgesIn(w)
+	s.prepare(g, int(hi-lo))
+	return builder{g: g, k: k, w: w, lo: lo, hi: hi, Scratch: s}
 }
 
 func (b *builder) run() {
@@ -81,21 +88,14 @@ func (b *builder) run() {
 
 	// Position every pair pointer at the first interaction >= w.Start, and
 	// every incidence pointer at the first incident edge inside the window.
+	// Both arrays are time sorted, so a binary search replaces the full
+	// linear scan; incident edge ids ascend with time, so the incidence
+	// search compares ids against b.lo directly.
 	for p := 0; p < g.NumPairs(); p++ {
-		times := g.PairTimes(int32(p))
-		j := 0
-		for j < len(times) && times[j] < w.Start {
-			j++
-		}
-		b.pairPtr[p] = int32(j)
+		b.pairPtr[p] = searchGE(g.PairTimes(int32(p)), w.Start)
 	}
 	for u := 0; u < g.NumVertices(); u++ {
-		inc := g.Incident(tgraph.VID(u))
-		j := 0
-		for j < len(inc) && g.Edge(inc[j]).T < w.Start {
-			j++
-		}
-		b.incPtr[u] = int32(j)
+		b.incPtr[u] = searchGE(g.Incident(tgraph.VID(u)), b.lo)
 	}
 
 	// Lower-bound initialisation: k-th smallest usable first time.
@@ -232,6 +232,29 @@ func (b *builder) push(u tgraph.VID) {
 	b.q.Push(int32(u))
 }
 
+// insertKth pushes v into the ascending k-slot selection buffer, keeping
+// only the k smallest values seen so far. Once the buffer is saturated most
+// candidates fail the single buf[k-1] comparison, so F(CT) evaluation costs
+// O(deg + k·shifts) instead of the O(deg·log deg) of a full sort.
+func (b *builder) insertKth(v tgraph.TS) {
+	buf := b.buf
+	i := len(buf)
+	if i == b.k {
+		if v >= buf[i-1] {
+			return
+		}
+		i--
+	} else {
+		buf = append(buf, 0)
+	}
+	for i > 0 && buf[i-1] > v {
+		buf[i] = buf[i-1]
+		i--
+	}
+	buf[i] = v
+	b.buf = buf
+}
+
 // eval computes F(CT)(u): the k-th smallest max(CT(v), firstTime(u,v)) over
 // usable neighbours.
 func (b *builder) eval(u tgraph.VID) tgraph.TS {
@@ -254,12 +277,11 @@ func (b *builder) eval(u tgraph.VID) tgraph.TS {
 		if ft > cv {
 			cv = ft
 		}
-		b.buf = append(b.buf, cv)
+		b.insertKth(cv)
 	}
 	if len(b.buf) < b.k {
 		return inf
 	}
-	slices.Sort(b.buf)
 	return b.buf[b.k-1]
 }
 
@@ -278,55 +300,82 @@ func (b *builder) lowerBound(u tgraph.VID) tgraph.TS {
 		if ft > b.w.End {
 			continue
 		}
-		b.buf = append(b.buf, ft)
+		b.insertKth(ft)
 	}
 	if len(b.buf) < b.k {
 		return inf
 	}
-	slices.Sort(b.buf)
 	return b.buf[b.k-1]
 }
 
-// index assembles the recorded labels into the final Index via a stable
-// counting sort by vertex (records are already in ascending start order).
+// index assembles the recorded labels into a freshly allocated Index.
 func (b *builder) index() *Index {
-	n := b.g.NumVertices()
-	ix := &Index{K: b.k, Range: b.w, off: make([]int32, n+1)}
-	for _, r := range b.vctRecs {
-		ix.off[r.u+1]++
-	}
-	for u := 0; u < n; u++ {
-		ix.off[u+1] += ix.off[u]
-	}
-	ix.entries = make([]Entry, len(b.vctRecs))
-	cur := make([]int32, n)
-	copy(cur, ix.off[:n])
-	for _, r := range b.vctRecs {
-		ix.entries[cur[r.u]] = r.entry
-		cur[r.u]++
-	}
+	ix := &Index{}
+	b.fillIndex(ix, make([]int32, b.g.NumVertices()+1), make([]Entry, len(b.vctRecs)))
 	return ix
 }
 
-// skylines assembles the recorded windows into the final ECS, stably
-// grouped by edge (per-edge order is ascending start = emission order).
+// indexInto assembles the recorded labels into ix reusing its arenas.
+func (b *builder) indexInto(ix *Index) {
+	b.fillIndex(ix, ds.GrowZero(ix.off, b.g.NumVertices()+1), ds.Grow(ix.entries, len(b.vctRecs)))
+}
+
+// fillIndex performs a stable counting sort of the records by vertex
+// (records are already in ascending start order). off must be zeroed.
+func (b *builder) fillIndex(ix *Index, off []int32, entries []Entry) {
+	n := b.g.NumVertices()
+	ix.K, ix.Range, ix.off, ix.entries = b.k, b.w, off, entries
+	for _, r := range b.vctRecs {
+		off[r.u+1]++
+	}
+	for u := 0; u < n; u++ {
+		off[u+1] += off[u]
+	}
+	cur := ds.Grow(b.cur, n)
+	copy(cur, off[:n])
+	for _, r := range b.vctRecs {
+		entries[cur[r.u]] = r.entry
+		cur[r.u]++
+	}
+	b.cur = cur
+}
+
+// skylines assembles the recorded windows into a freshly allocated ECS.
 func (b *builder) skylines() *ECS {
+	e := &ECS{}
+	b.fillSkylines(e, make([]int32, int(b.hi-b.lo)+1), make([]tgraph.Window, len(b.ecsRecs)))
+	return e
+}
+
+// skylinesInto assembles the recorded windows into e reusing its arenas.
+func (b *builder) skylinesInto(e *ECS) {
+	b.fillSkylines(e, ds.GrowZero(e.off, int(b.hi-b.lo)+1), ds.Grow(e.wins, len(b.ecsRecs)))
+}
+
+// fillSkylines performs a stable counting sort of the windows by edge
+// (per-edge order is ascending start = emission order). off must be zeroed.
+func (b *builder) fillSkylines(e *ECS, off []int32, wins []tgraph.Window) {
 	m := int(b.hi - b.lo)
-	e := &ECS{K: b.k, Range: b.w, lo: b.lo, hi: b.hi, off: make([]int32, m+1)}
+	e.K, e.Range, e.lo, e.hi, e.off, e.wins = b.k, b.w, b.lo, b.hi, off, wins
 	for _, r := range b.ecsRecs {
-		e.off[r.e-b.lo+1]++
+		off[r.e-b.lo+1]++
 	}
 	for i := 0; i < m; i++ {
-		e.off[i+1] += e.off[i]
+		off[i+1] += off[i]
 	}
-	e.wins = make([]tgraph.Window, len(b.ecsRecs))
-	cur := make([]int32, m)
-	copy(cur, e.off[:m])
+	cur := ds.Grow(b.cur, m)
+	copy(cur, off[:m])
 	for _, r := range b.ecsRecs {
-		e.wins[cur[r.e-b.lo]] = r.win
+		wins[cur[r.e-b.lo]] = r.win
 		cur[r.e-b.lo]++
 	}
-	return e
+	b.cur = cur
+}
+
+// searchGE returns the first index of xs (ascending) holding a value >= v.
+func searchGE[T cmp.Ordered](xs []T, v T) int32 {
+	i, _ := slices.BinarySearch(xs, v)
+	return int32(i)
 }
 
 func maxTS3(a, b, c tgraph.TS) tgraph.TS {

@@ -44,4 +44,19 @@
 // the last finite value is flushed when the edge expires at s = t. The
 // emitted windows per edge have strictly increasing starts and ends: they
 // are exactly the edge's core-window skyline (Definition 5).
+//
+// # Scratch-pool design
+//
+// The builder's entire working state — core-time and record vectors, pair
+// and incidence pointers, the worklist with its membership bits, the k-slot
+// selection buffer and both record arenas — lives in a Scratch, a
+// size-adaptive bundle cycled through a sync.Pool. Build borrows a pooled
+// Scratch and copies its outputs; BuildScratch runs on a caller-owned
+// Scratch and returns Index/ECS views aliasing its arenas, making a warm
+// repeated build allocation-free. Per-query setup is O(|pairs| + |V|)
+// pointer writes, each found by binary search restricted to the query
+// window rather than a scan of the full time lists, and F(CT) evaluation
+// selects the k-th smallest contribution with a bounded insertion buffer
+// instead of sorting whole neighbourhoods. Workers that run queries
+// concurrently each hold their own Scratch (see core.QueryBatch).
 package vct

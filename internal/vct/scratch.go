@@ -1,0 +1,71 @@
+package vct
+
+import (
+	"sync"
+
+	"temporalkcore/internal/ds"
+	"temporalkcore/internal/tgraph"
+)
+
+// Scratch holds every piece of working state the CoreTime builder needs —
+// the core-time and record vectors, the pair/incidence pointers, the
+// worklist and its membership bits, and the output arenas — so repeated
+// Build calls on the same graph reuse one allocation high-water mark
+// instead of re-allocating ~10 O(|V|)/O(|pairs|) slices per query.
+//
+// A Scratch is size-adaptive: prepare grows every buffer to the needs of
+// the (graph, k, window) at hand and retains the capacity afterwards, so a
+// Scratch cycled through a sync.Pool converges to the largest query it has
+// served. The zero value is ready to use. A Scratch must not be used by two
+// builds concurrently; use one Scratch per worker (see core.QueryBatch).
+type Scratch struct {
+	ct      []tgraph.TS // current core time per vertex
+	lastRec []tgraph.TS // last value recorded into the index
+	pairPtr []int32     // per pair: first time index >= current start
+	incPtr  []int32     // per vertex: first incident edge with time >= current start
+
+	ect []tgraph.TS // per edge (eid-lo): current edge core time
+
+	q       ds.Queue
+	inQ     []bool
+	buf     []tgraph.TS  // k-slot selection buffer of eval/lowerBound
+	changed []tgraph.VID // vertices raised during the current transition
+	chMark  []bool
+
+	vctRecs []vctRec
+	ecsRecs []ecsRec
+
+	cur []int32 // counting-sort cursor of the output assembly
+
+	// Arena-backed outputs of BuildScratch; aliased, not returned to
+	// callers of the copying Build.
+	ix  Index
+	ecs ECS
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch takes a Scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a Scratch to the shared pool. The caller must not use
+// the Scratch — or any BuildScratch output backed by it — afterwards.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
+// prepare sizes the scratch for one build. Buffers that the build fully
+// overwrites are only re-lengthed; the worklist state is cleared.
+func (s *Scratch) prepare(g *tgraph.Graph, nEdges int) {
+	n := g.NumVertices()
+	s.ct = ds.Grow(s.ct, n)
+	s.lastRec = ds.Grow(s.lastRec, n)
+	s.pairPtr = ds.Grow(s.pairPtr, g.NumPairs())
+	s.incPtr = ds.Grow(s.incPtr, n)
+	s.ect = ds.Grow(s.ect, nEdges)
+	s.inQ = ds.GrowZero(s.inQ, n)
+	s.chMark = ds.GrowZero(s.chMark, n)
+	s.q.Reset()
+	s.buf = s.buf[:0]
+	s.changed = s.changed[:0]
+	s.vctRecs = s.vctRecs[:0]
+	s.ecsRecs = s.ecsRecs[:0]
+}

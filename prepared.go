@@ -2,6 +2,7 @@ package temporalkcore
 
 import (
 	"fmt"
+	"time"
 
 	"temporalkcore/internal/enum"
 	"temporalkcore/internal/tgraph"
@@ -14,11 +15,12 @@ import (
 // share one O(|VCT|·deg_avg) construction. A PreparedQuery is immutable and
 // safe for concurrent use.
 type PreparedQuery struct {
-	g   *Graph
-	k   int
-	w   tgraph.Window
-	ix  *vct.Index
-	ecs *vct.ECS
+	g        *Graph
+	k        int
+	w        tgraph.Window
+	ix       *vct.Index
+	ecs      *vct.ECS
+	coreTime time.Duration // CoreTime phase cost paid by Prepare
 }
 
 // Prepare runs the CoreTime phase for (k, [start, end]) and returns a
@@ -31,11 +33,12 @@ func (g *Graph) Prepare(k int, start, end int64) (*PreparedQuery, error) {
 	if !ok {
 		return nil, ErrNoTimestamps
 	}
+	began := time.Now()
 	ix, ecs, err := vct.Build(g.g, k, w)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{g: g, k: k, w: w, ix: ix, ecs: ecs}, nil
+	return &PreparedQuery{g: g, k: k, w: w, ix: ix, ecs: ecs, coreTime: time.Since(began)}, nil
 }
 
 // K returns the query's core parameter.
@@ -50,12 +53,22 @@ func (p *PreparedQuery) VCTSize() int { return p.ix.Size() }
 // ECSSize returns |ECS|, the number of minimal core windows.
 func (p *PreparedQuery) ECSSize() int { return p.ecs.Size() }
 
+// PrepareTime returns the wall time the CoreTime phase took in Prepare.
+// It is deliberately not repeated in each CoresFunc call's QueryStats:
+// the cost was paid once, and summing per-call stats would over-count it.
+func (p *PreparedQuery) PrepareTime() time.Duration { return p.coreTime }
+
 // CoresFunc streams every distinct temporal k-core to fn; see
-// Graph.CoresFunc. Safe to call concurrently.
+// Graph.CoresFunc. Safe to call concurrently: each call draws its own
+// enumeration scratch from the shared pool, so repeated calls on a warm
+// process allocate almost nothing. QueryStats.CoreTime stays zero — the
+// CoreTime phase ran in Prepare; see PrepareTime.
 func (p *PreparedQuery) CoresFunc(fn func(Core) bool) (QueryStats, error) {
 	qs := QueryStats{VCTSize: p.ix.Size(), ECSSize: p.ecs.Size()}
 	sink := &funcSink{g: p.g.g, fn: fn, qs: &qs}
+	start := time.Now()
 	enum.Enumerate(p.g.g, p.ecs, sink)
+	qs.EnumTime = time.Since(start)
 	return qs, nil
 }
 

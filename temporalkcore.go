@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"temporalkcore/internal/core"
 	"temporalkcore/internal/enum"
@@ -131,6 +132,12 @@ type QueryStats struct {
 	ECSSize int
 	Cores   int64
 	Edges   int64 // |R|: summed edges over all cores
+
+	// CoreTime is the wall time of the CoreTime phase (VCT + ECS
+	// construction, Algorithm 2); EnumTime the wall time of the
+	// enumeration phase. For OTCD everything is EnumTime.
+	CoreTime time.Duration
+	EnumTime time.Duration
 }
 
 // CoresFunc streams every distinct temporal k-core of any window within
@@ -157,6 +164,8 @@ func (g *Graph) CoresFunc(k int, start, end int64, fn func(Core) bool, opts ...O
 	}
 	qs.VCTSize = st.VCTSize
 	qs.ECSSize = st.ECSSize
+	qs.CoreTime = st.CoreTime
+	qs.EnumTime = st.EnumTime
 	return qs, nil
 }
 
