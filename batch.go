@@ -58,9 +58,9 @@ func (g *Graph) QueryBatch(specs []QuerySpec, opts ...BatchOptions) []BatchResul
 			res[i].Err = fmt.Errorf("temporalkcore: k must be >= 1, got %d", sp.K)
 			continue
 		}
-		w, ok := g.g.CompressRange(sp.Start, sp.End)
-		if !ok {
-			res[i].Err = ErrNoTimestamps
+		w, err := g.window(sp.Start, sp.End)
+		if err != nil {
+			res[i].Err = err
 			continue
 		}
 		r := &res[i]

@@ -4,17 +4,27 @@
 //
 //	tkc -graph edges.txt -k 3 -start 0 -end 99999999 [-algo enum|base|otcd] [-count] [-limit 10]
 //	tkc -graph edges.txt -ks 2,3,4,5 -count [-parallel 4]
+//	tail -f stream.ndjson | tkc -follow -k 3 -span 3600 -every 500
 //
 // The graph file holds "u v t" (or KONECT "u v w t") lines. With -count only
 // the number of distinct cores and the total result size are reported; the
 // default prints every core's tightest time interval, vertices and edges.
 // -ks runs one query per listed k over the same range as a parallel batch
 // (Graph.QueryBatch) and prints a per-k summary table.
+//
+// -follow tails a live edge stream from stdin ("u v t" text or NDJSON
+// {"u":..,"v":..,"t":..} lines, timestamps non-decreasing), appends it to
+// the graph in batches of -every edges, and reports the k-core count over
+// the trailing -span raw timestamps after each batch, with the CoreTime
+// tables patched incrementally (Graph.Watch) rather than rebuilt. Without
+// -graph the first batch bootstraps the graph.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -41,9 +51,16 @@ func main() {
 		quiet     = flag.Bool("q", false, "do not print per-core edge lists")
 		ks        = flag.String("ks", "", "comma-separated k values run as one parallel batch (overrides -k)")
 		parallel  = flag.Int("parallel", -1, "batch worker-pool size for -ks (-1 = all CPUs)")
+		follow    = flag.Bool("follow", false, "tail an edge stream from stdin and report trailing-window cores per batch")
+		span      = flag.Int64("span", 0, "follow: trailing window span in raw time units (0 = entire history)")
+		every     = flag.Int("every", 1000, "follow: append batch size in edges")
 	)
 	flag.Parse()
 
+	if *follow {
+		runFollow(*graphPath, *k, *span, *every)
+		return
+	}
 	if *graphPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -118,6 +135,84 @@ func runBatch(g *tkc.Graph, ks string, start, end int64, algo tkc.Algorithm, par
 			r.Stats.CoreTime.Seconds(), r.Stats.EnumTime.Seconds())
 	}
 	fmt.Printf("batch of %d queries in %.3fs wall\n", len(specs), wall.Seconds())
+}
+
+// runFollow tails an edge stream from stdin. With -graph the stream
+// appends to a loaded graph; otherwise the first -every edges bootstrap
+// one. After each appended batch the trailing-window core count is
+// refreshed through a Watcher, so the CoreTime tables are patched for the
+// dirty time-suffix instead of rebuilt.
+func runFollow(graphPath string, k int, span int64, every int) {
+	if every < 1 {
+		every = 1
+	}
+	in := bufio.NewReaderSize(os.Stdin, 1<<16)
+
+	var g *tkc.Graph
+	var err error
+	if graphPath != "" {
+		if g, err = tkc.LoadFile(graphPath); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var boot []tkc.Edge
+		for len(boot) < every {
+			line, rerr := in.ReadString('\n')
+			if line != "" {
+				e, ok, perr := tkc.ParseEdgeLine(line)
+				if perr != nil {
+					log.Fatalf("stdin: %v", perr)
+				}
+				if ok {
+					boot = append(boot, e)
+				}
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		if len(boot) == 0 {
+			log.Fatal("follow: no edges on stdin to bootstrap a graph (pipe a stream or pass -graph)")
+		}
+		if g, err = tkc.NewGraph(boot); err != nil {
+			log.Fatal(err)
+		}
+	}
+	w, err := g.Watch(k, span)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := func(appended int, total int) {
+		t0 := time.Now()
+		qs, err := w.CountCores()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws, we, err := w.Window()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("+%5d edges (total %8d): window [%d,%d] %d-cores=%d |R|=%d refresh+count %.1fms\n",
+			appended, total, ws, we, k, qs.Cores, qs.Edges, float64(time.Since(t0).Microseconds())/1000)
+	}
+	report(g.NumEdges(), g.NumEdges())
+
+	ar := tkc.NewAppendReader(g, in)
+	ar.BatchSize = every
+	for {
+		n, err := ar.ReadBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(n, g.NumEdges())
+	}
+	st := w.Stats()
+	fmt.Printf("stream done: %d edges appended, %d patched refreshes (%.1fms) / %d rebuilds (%.1fms)\n",
+		ar.Total(), st.Patches, float64(st.PatchTime.Microseconds())/1000,
+		st.Rebuilds, float64(st.RebuildTime.Microseconds())/1000)
 }
 
 func printCore(i int, c tkc.Core, quiet bool) {

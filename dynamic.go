@@ -1,0 +1,308 @@
+package temporalkcore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"temporalkcore/internal/dyn"
+	"temporalkcore/internal/tgraph"
+)
+
+// Append extends the graph in place with a batch of edges whose timestamps
+// are all at or after the graph's current maximum (streams must arrive in
+// non-decreasing time order; an out-of-order batch is rejected and leaves
+// the graph untouched). Self loops are dropped and exact (u,v,t)
+// duplicates are collapsed, matching NewGraph. It returns the number of
+// temporal edges actually added.
+//
+// Append must not run concurrently with queries on the same Graph.
+// PreparedQuery and HistoricalIndex values built before an Append keep
+// answering for the graph as of their construction; windows touching the
+// append frontier may be stale. Use Watch for a view that follows appends
+// incrementally.
+func (g *Graph) Append(edges ...Edge) (int, error) {
+	raw := make([]tgraph.RawEdge, len(edges))
+	for i, e := range edges {
+		raw[i] = tgraph.RawEdge{U: e.U, V: e.V, Time: e.Time}
+	}
+	st, err := g.g.Append(raw)
+	if err != nil {
+		return 0, fmt.Errorf("temporalkcore: %w", err)
+	}
+	return st.Added, nil
+}
+
+// AppendReader incrementally parses an edge stream and appends it to a
+// graph in batches. Two line formats are auto-detected per line:
+//
+//   - NDJSON: {"u": 1, "v": 2, "t": 42}
+//   - text:   "u v t" (or "u v w t" with the weight ignored),
+//     whitespace-separated
+//
+// Blank lines and lines starting with '#' or '%' are skipped. Timestamps
+// must be non-decreasing across the stream, as required by Append.
+type AppendReader struct {
+	g *Graph
+
+	// BatchSize caps the number of edges one ReadBatch call appends.
+	// Defaults to 1024.
+	BatchSize int
+
+	sc     *bufio.Scanner
+	lineNo int
+	total  int
+	buf    []Edge
+}
+
+// NewAppendReader wraps r for batched appends into g.
+func NewAppendReader(g *Graph, r io.Reader) *AppendReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	return &AppendReader{g: g, BatchSize: 1024, sc: sc}
+}
+
+// ReadBatch parses up to BatchSize edges and appends them as one batch.
+// It returns the number of edges added (after self-loop and duplicate
+// collapsing) and io.EOF once the stream is exhausted and nothing was
+// appended.
+func (ar *AppendReader) ReadBatch() (int, error) {
+	limit := ar.BatchSize
+	if limit <= 0 {
+		limit = 1024
+	}
+	ar.buf = ar.buf[:0]
+	for len(ar.buf) < limit && ar.sc.Scan() {
+		ar.lineNo++
+		line := strings.TrimSpace(ar.sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		e, err := parseEdgeLine(line)
+		if err != nil {
+			return 0, fmt.Errorf("temporalkcore: stream line %d: %w", ar.lineNo, err)
+		}
+		ar.buf = append(ar.buf, e)
+	}
+	if err := ar.sc.Err(); err != nil {
+		return 0, fmt.Errorf("temporalkcore: reading edge stream: %w", err)
+	}
+	if len(ar.buf) == 0 {
+		return 0, io.EOF
+	}
+	added, err := ar.g.Append(ar.buf...)
+	if err != nil {
+		return 0, err
+	}
+	ar.total += added
+	return added, nil
+}
+
+// Total returns the number of edges appended so far.
+func (ar *AppendReader) Total() int { return ar.total }
+
+// ParseEdgeLine parses one line of an edge stream in the formats accepted
+// by AppendReader (NDJSON or whitespace text). ok is false for blank and
+// comment lines, which carry no edge. Tools tailing streams themselves
+// (for example to bootstrap a graph before switching to an AppendReader)
+// share the format through this function.
+func ParseEdgeLine(line string) (e Edge, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || line[0] == '#' || line[0] == '%' {
+		return Edge{}, false, nil
+	}
+	e, err = parseEdgeLine(line)
+	return e, err == nil, err
+}
+
+func parseEdgeLine(line string) (Edge, error) {
+	if line[0] == '{' {
+		var rec struct {
+			U *int64 `json:"u"`
+			V *int64 `json:"v"`
+			T *int64 `json:"t"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return Edge{}, fmt.Errorf("bad NDJSON edge: %w", err)
+		}
+		if rec.U == nil || rec.V == nil || rec.T == nil {
+			return Edge{}, fmt.Errorf("NDJSON edge needs \"u\", \"v\" and \"t\" fields")
+		}
+		return Edge{U: *rec.U, V: *rec.V, Time: *rec.T}, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Edge{}, fmt.Errorf("want >= 3 columns (u v t), got %d", len(fields))
+	}
+	tcol := 2
+	if len(fields) >= 4 {
+		tcol = 3 // KONECT style "u v w t"
+	}
+	u, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Edge{}, fmt.Errorf("bad vertex %q: %v", fields[0], err)
+	}
+	v, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Edge{}, fmt.Errorf("bad vertex %q: %v", fields[1], err)
+	}
+	t, err := strconv.ParseInt(fields[tcol], 10, 64)
+	if err != nil {
+		return Edge{}, fmt.Errorf("bad timestamp %q: %v", fields[tcol], err)
+	}
+	return Edge{U: u, V: v, Time: t}, nil
+}
+
+// Watcher is a live view of the temporal k-cores in a sliding window at
+// the graph's time frontier. After each append it re-targets the window to
+// the trailing Span raw timestamps and patches its CoreTime tables
+// incrementally (internal/dyn) instead of rebuilding them, so per-batch
+// refresh cost follows the size of the change, not the history.
+//
+// A Watcher is single-writer: its methods must not run concurrently with
+// each other or with appends to the underlying graph.
+type Watcher struct {
+	g    *Graph
+	k    int
+	span int64
+	dix  *dyn.Index
+}
+
+// WatchStats counts how the watcher's refreshes were served.
+type WatchStats struct {
+	Patches  int // incremental patched refreshes
+	Rebuilds int // full table rebuilds (the initial build included)
+	Noops    int // refreshes that found the tables current
+
+	PatchTime   time.Duration
+	RebuildTime time.Duration
+}
+
+// Watch creates a live view of the temporal k-cores in the trailing span
+// raw timestamps (for example, span=3600 on second-resolution data watches
+// the last hour). span <= 0 watches the entire history.
+func (g *Graph) Watch(k int, span int64) (*Watcher, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("temporalkcore: k must be >= 1, got %d", k)
+	}
+	w := &Watcher{g: g, k: k, span: span}
+	dix, err := dyn.New(g.g, k, w.target())
+	if err != nil {
+		return nil, err
+	}
+	w.dix = dix
+	return w, nil
+}
+
+// target is the compressed window currently covered by the watch span.
+func (w *Watcher) target() tgraph.Window {
+	tg := w.g.g
+	if w.span <= 0 {
+		return tg.FullWindow()
+	}
+	maxRaw := tg.RawTime(tg.TMax())
+	s := tg.RankCeil(maxRaw - w.span + 1)
+	if s < 1 {
+		s = 1
+	}
+	return tgraph.Window{Start: s, End: tg.TMax()}
+}
+
+// Append appends a batch of edges to the underlying graph (see
+// Graph.Append) and refreshes the view to the new time frontier.
+func (w *Watcher) Append(edges ...Edge) (int, error) {
+	n, err := w.g.Append(edges...)
+	if err != nil {
+		return n, err
+	}
+	return n, w.dix.Refresh(w.target())
+}
+
+// refresh brings the tables current; it also repairs staleness caused by
+// appends that bypassed the watcher (direct Graph.Append calls).
+func (w *Watcher) refresh() error {
+	t := w.target()
+	if !w.dix.Stale(t) {
+		return nil
+	}
+	return w.dix.Refresh(t)
+}
+
+// K returns the watched core parameter.
+func (w *Watcher) K() int { return w.k }
+
+// Span returns the watched raw-time span (0 = entire history).
+func (w *Watcher) Span() int64 { return w.span }
+
+// Window returns the raw time range the view currently covers.
+func (w *Watcher) Window() (start, end int64, err error) {
+	if err := w.refresh(); err != nil {
+		return 0, 0, err
+	}
+	start, end = w.g.g.RawWindow(w.dix.Window())
+	return start, end, nil
+}
+
+// CoresFunc streams every distinct temporal k-core of the current window
+// to fn; see Graph.CoresFunc. The view is refreshed first if stale.
+func (w *Watcher) CoresFunc(fn func(Core) bool) (QueryStats, error) {
+	var qs QueryStats
+	if err := w.refresh(); err != nil {
+		return qs, err
+	}
+	qs.VCTSize = w.dix.VCT().Size()
+	qs.ECSSize = w.dix.ECS().Size()
+	sink := &funcSink{g: w.g.g, fn: fn, qs: &qs}
+	began := time.Now()
+	w.dix.Enumerate(sink)
+	qs.EnumTime = time.Since(began)
+	return qs, nil
+}
+
+// Cores materialises every distinct temporal k-core of the current window.
+func (w *Watcher) Cores() ([]Core, error) {
+	var out []Core
+	_, err := w.CoresFunc(func(c Core) bool {
+		cp := c
+		cp.Edges = append([]Edge(nil), c.Edges...)
+		out = append(out, cp)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CountCores counts the distinct temporal k-cores of the current window
+// and their total edge size without materialising results.
+func (w *Watcher) CountCores() (QueryStats, error) {
+	var qs QueryStats
+	if err := w.refresh(); err != nil {
+		return qs, err
+	}
+	qs.VCTSize = w.dix.VCT().Size()
+	qs.ECSSize = w.dix.ECS().Size()
+	sink := &statsSink{qs: &qs}
+	began := time.Now()
+	w.dix.Enumerate(sink)
+	qs.EnumTime = time.Since(began)
+	return qs, nil
+}
+
+// Stats returns counters describing how refreshes were served; a healthy
+// streaming workload shows mostly patches.
+func (w *Watcher) Stats() WatchStats {
+	st := w.dix.Stats()
+	return WatchStats{
+		Patches:     st.Patches,
+		Rebuilds:    st.Rebuilds,
+		Noops:       st.Noops,
+		PatchTime:   st.PatchTime,
+		RebuildTime: st.RebuildTime,
+	}
+}

@@ -1,0 +1,137 @@
+package temporalkcore_test
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	tkc "temporalkcore"
+)
+
+// errGraph builds a small graph whose timestamps live in [10, 14], so
+// [100, 200] is a well-formed range that misses every timestamp and
+// (7, 1) is inverted.
+func errGraph(t *testing.T) *tkc.Graph {
+	t.Helper()
+	g, err := tkc.NewGraph([]tkc.Edge{
+		{U: 1, V: 2, Time: 10}, {U: 2, V: 3, Time: 11}, {U: 1, V: 3, Time: 12},
+		{U: 3, V: 4, Time: 13}, {U: 1, V: 4, Time: 14},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRangeErrorContract locks the uniform error contract of every public
+// entry point that takes a raw (start, end) range: start > end yields
+// ErrEmptyRange, a well-formed range covering no timestamp yields
+// ErrNoTimestamps — never a silent empty result, never the other sentinel.
+func TestRangeErrorContract(t *testing.T) {
+	g := errGraph(t)
+	entryPoints := []struct {
+		name string
+		call func(start, end int64) error
+	}{
+		{"Cores", func(s, e int64) error { _, err := g.Cores(2, s, e); return err }},
+		{"CoresFunc", func(s, e int64) error {
+			_, err := g.CoresFunc(2, s, e, func(tkc.Core) bool { return true })
+			return err
+		}},
+		{"CountCores", func(s, e int64) error { _, err := g.CountCores(2, s, e); return err }},
+		{"WriteCores", func(s, e int64) error { _, err := g.WriteCores(io.Discard, 2, s, e); return err }},
+		{"QueryBatch", func(s, e int64) error {
+			res := g.QueryBatch([]tkc.QuerySpec{{K: 2, Start: s, End: e}})
+			return res[0].Err
+		}},
+		{"CountBatch", func(s, e int64) error {
+			res := g.CountBatch([]tkc.QuerySpec{{K: 2, Start: s, End: e}}, 1)
+			return res[0].Err
+		}},
+		{"Prepare", func(s, e int64) error { _, err := g.Prepare(2, s, e); return err }},
+		{"CoreTimes", func(s, e int64) error { _, err := g.CoreTimes(1, 2, s, e); return err }},
+		{"VertexSets", func(s, e int64) error { _, err := g.VertexSets(2, s, e); return err }},
+		{"KHCore", func(s, e int64) error { _, err := g.KHCore(2, 1, s, e); return err }},
+		{"KHCoreEdges", func(s, e int64) error { _, err := g.KHCoreEdges(2, 1, s, e); return err }},
+		{"BuildHistoricalIndex", func(s, e int64) error { _, err := g.BuildHistoricalIndex(s, e); return err }},
+	}
+	cases := []struct {
+		name       string
+		start, end int64
+		want       error
+	}{
+		{"inverted", 14, 10, tkc.ErrEmptyRange},
+		{"inverted single", 11, 10, tkc.ErrEmptyRange},
+		{"misses all timestamps", 100, 200, tkc.ErrNoTimestamps},
+		{"before all timestamps", -50, 5, tkc.ErrNoTimestamps},
+		{"valid", 10, 14, nil},
+	}
+	for _, ep := range entryPoints {
+		for _, c := range cases {
+			err := ep.call(c.start, c.end)
+			if c.want == nil {
+				if err != nil {
+					t.Errorf("%s(%d, %d) = %v, want nil", ep.name, c.start, c.end, err)
+				}
+				continue
+			}
+			if !errors.Is(err, c.want) {
+				t.Errorf("%s(%d, %d) = %v, want %v", ep.name, c.start, c.end, err, c.want)
+			}
+		}
+	}
+}
+
+// TestHistoricalIndexRangeContract covers the query methods of a built
+// HistoricalIndex, which resolve ranges against the indexed window.
+func TestHistoricalIndexRangeContract(t *testing.T) {
+	g := errGraph(t)
+	h, err := g.BuildHistoricalIndex(10, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := []struct {
+		name string
+		call func(start, end int64) error
+	}{
+		{"Contains", func(s, e int64) error { _, err := h.Contains(1, 2, s, e); return err }},
+		{"CoreMembers", func(s, e int64) error { _, err := h.CoreMembers(2, s, e); return err }},
+		{"CoreEdges", func(s, e int64) error { _, err := h.CoreEdges(2, s, e); return err }},
+		{"CoreNumber", func(s, e int64) error { _, err := h.CoreNumber(1, s, e); return err }},
+	}
+	for _, c := range calls {
+		if err := c.call(14, 10); !errors.Is(err, tkc.ErrEmptyRange) {
+			t.Errorf("%s inverted = %v, want ErrEmptyRange", c.name, err)
+		}
+		if err := c.call(100, 200); !errors.Is(err, tkc.ErrNoTimestamps) {
+			t.Errorf("%s miss = %v, want ErrNoTimestamps", c.name, err)
+		}
+		if err := c.call(10, 14); err != nil {
+			t.Errorf("%s valid = %v, want nil", c.name, err)
+		}
+	}
+}
+
+// TestKValidationContract locks the k (and h) parameter validation of the
+// query entry points.
+func TestKValidationContract(t *testing.T) {
+	g := errGraph(t)
+	for name, call := range map[string]func() error{
+		"Cores":      func() error { _, err := g.Cores(0, 10, 14); return err },
+		"CountCores": func() error { _, err := g.CountCores(-1, 10, 14); return err },
+		"Prepare":    func() error { _, err := g.Prepare(0, 10, 14); return err },
+		"QueryBatch": func() error { return g.QueryBatch([]tkc.QuerySpec{{K: 0, Start: 10, End: 14}})[0].Err },
+		"KHCore k":   func() error { _, err := g.KHCore(0, 1, 10, 14); return err },
+		"KHCore h":   func() error { _, err := g.KHCore(1, 0, 10, 14); return err },
+		"Watch":      func() error { _, err := g.Watch(0, 0); return err },
+	} {
+		err := call()
+		if err == nil {
+			t.Errorf("%s accepted invalid k", name)
+			continue
+		}
+		if errors.Is(err, tkc.ErrEmptyRange) || errors.Is(err, tkc.ErrNoTimestamps) {
+			t.Errorf("%s returned a range sentinel for bad k: %v", name, err)
+		}
+	}
+}

@@ -21,9 +21,9 @@ type HistoricalIndex struct {
 // BuildHistoricalIndex constructs the index over the raw time range
 // [start, end].
 func (g *Graph) BuildHistoricalIndex(start, end int64) (*HistoricalIndex, error) {
-	w, ok := g.g.CompressRange(start, end)
-	if !ok {
-		return nil, ErrNoTimestamps
+	w, err := g.window(start, end)
+	if err != nil {
+		return nil, err
 	}
 	ix, err := phc.Build(g.g, w)
 	if err != nil {
@@ -41,9 +41,9 @@ func (h *HistoricalIndex) Size() int { return h.ix.Size() }
 
 // window converts a raw query range, requiring it inside the index range.
 func (h *HistoricalIndex) window(start, end int64) (tgraph.Window, error) {
-	w, ok := h.g.g.CompressRange(start, end)
-	if !ok {
-		return tgraph.Window{}, ErrNoTimestamps
+	w, err := h.g.window(start, end)
+	if err != nil {
+		return tgraph.Window{}, err
 	}
 	if !h.ix.Range.Contains(w) {
 		return tgraph.Window{}, fmt.Errorf("temporalkcore: query window outside indexed range")

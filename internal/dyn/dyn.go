@@ -1,0 +1,140 @@
+// Package dyn maintains time-range k-core query state over a growing
+// temporal graph. Where package core answers one-shot queries against a
+// frozen graph, dyn.Index follows a graph through tgraph.Append calls and
+// window moves: each Refresh patches the cached CoreTime tables (VCT +
+// ECS) for the dirty time-suffix via vct.PatchScratch instead of
+// rebuilding them, which is what makes continuously ingesting workloads
+// (fraud streams, contact traces) affordable.
+package dyn
+
+import (
+	"fmt"
+	"time"
+
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// Index is a dynamically maintained CoreTime view: one (k, window) whose
+// tables follow the graph through appends. An Index is single-writer:
+// Refresh and the query methods must not run concurrently with each other
+// or with Graph.Append.
+type Index struct {
+	g *tgraph.Graph
+	k int
+
+	w   tgraph.Window
+	ix  *vct.Index
+	ecs *vct.ECS
+
+	// Ping-pong arenas: the live tables are backed by cur; a refresh
+	// patches from them into spare, then the two swap. Two arenas instead
+	// of one is what lets the patcher read the cached index while it
+	// assembles the replacement.
+	cur, spare *vct.Scratch
+
+	enumScratch enum.Scratch
+
+	seq     int64     // graph mutation sequence the tables reflect
+	seqTMax tgraph.TS // graph TMax at that sequence
+
+	stats Stats
+}
+
+// Stats counts how refreshes were served.
+type Stats struct {
+	Patches  int // incremental patched refreshes
+	Rebuilds int // full scratch rebuilds, the initial build included
+	Noops    int // refreshes that found the tables current
+
+	// PatchTime and RebuildTime accumulate the wall time spent in each.
+	PatchTime   time.Duration
+	RebuildTime time.Duration
+}
+
+// New builds the initial tables for (k, w).
+func New(g *tgraph.Graph, k int, w tgraph.Window) (*Index, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dyn: nil graph")
+	}
+	d := &Index{g: g, k: k, cur: new(vct.Scratch), spare: new(vct.Scratch)}
+	began := time.Now()
+	ix, ecs, err := vct.BuildScratch(g, k, w, d.spare)
+	if err != nil {
+		return nil, err
+	}
+	d.adopt(w, ix, ecs)
+	d.stats.Rebuilds++
+	d.stats.RebuildTime += time.Since(began)
+	return d, nil
+}
+
+func (d *Index) adopt(w tgraph.Window, ix *vct.Index, ecs *vct.ECS) {
+	d.cur, d.spare = d.spare, d.cur
+	d.w, d.ix, d.ecs = w, ix, ecs
+	d.seq = d.g.MutSeq()
+	d.seqTMax = d.g.TMax()
+}
+
+// Refresh re-targets the view to w, reflecting every append since the last
+// refresh. The cached tables serve as the patch oracle: appends dirty only
+// ranks at or after the TMax recorded when the tables were built (appends
+// are time-ordered), so everything older is reused verbatim.
+func (d *Index) Refresh(w tgraph.Window) error {
+	if !w.Valid() || w.End > d.g.TMax() {
+		return fmt.Errorf("dyn: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, d.g.TMax())
+	}
+	if w == d.w && d.g.MutSeq() == d.seq {
+		d.stats.Noops++
+		return nil
+	}
+	dirtyFrom := tgraph.InfTime
+	if d.g.MutSeq() != d.seq {
+		dirtyFrom = d.seqTMax
+	}
+	began := time.Now()
+	ix, ecs, patched, err := vct.PatchScratch(d.g, d.k, w, d.ix, dirtyFrom, d.spare)
+	if err != nil {
+		return err
+	}
+	d.adopt(w, ix, ecs)
+	if patched {
+		d.stats.Patches++
+		d.stats.PatchTime += time.Since(began)
+	} else {
+		d.stats.Rebuilds++
+		d.stats.RebuildTime += time.Since(began)
+	}
+	return nil
+}
+
+// K returns the core parameter.
+func (d *Index) K() int { return d.k }
+
+// Window returns the compressed window the tables currently cover.
+func (d *Index) Window() tgraph.Window { return d.w }
+
+// VCT returns the live vertex core time index. It is only valid until the
+// next Refresh.
+func (d *Index) VCT() *vct.Index { return d.ix }
+
+// ECS returns the live edge core window skylines; valid until the next
+// Refresh.
+func (d *Index) ECS() *vct.ECS { return d.ecs }
+
+// Stale reports whether the graph has been appended to since the last
+// refresh, or the tables cover a different window than w.
+func (d *Index) Stale(w tgraph.Window) bool {
+	return w != d.w || d.g.MutSeq() != d.seq
+}
+
+// Enumerate streams every distinct temporal k-core of the current window
+// to sink, reusing the index's enumeration scratch. It returns false when
+// the sink stopped early.
+func (d *Index) Enumerate(sink enum.Sink) bool {
+	return enum.EnumerateWith(d.g, d.ecs, sink, &d.enumScratch)
+}
+
+// Stats returns the refresh counters.
+func (d *Index) Stats() Stats { return d.stats }

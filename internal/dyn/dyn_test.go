@@ -1,0 +1,158 @@
+package dyn_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"temporalkcore/internal/core"
+	"temporalkcore/internal/dyn"
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/tgraph"
+)
+
+// countQuery runs a one-shot count query and renders every observable
+// result dimension into a comparable string.
+func countQuery(t *testing.T, g *tgraph.Graph, k int, w tgraph.Window) string {
+	t.Helper()
+	sink := &enum.CountSink{}
+	st, err := core.Query(g, k, w, sink, core.Options{})
+	if err != nil {
+		t.Fatalf("core.Query(k=%d, w=%v): %v", k, w, err)
+	}
+	return fmt.Sprintf("cores=%d edges=%d vct=%d ecs=%d", sink.Cores, sink.EdgeTotal, st.VCTSize, st.ECSSize)
+}
+
+// countDyn renders the same dimensions out of a dyn.Index.
+func countDyn(t *testing.T, d *dyn.Index) string {
+	t.Helper()
+	sink := &enum.CountSink{}
+	d.Enumerate(sink)
+	return fmt.Sprintf("cores=%d edges=%d vct=%d ecs=%d", sink.Cores, sink.EdgeTotal, d.VCT().Size(), d.ECS().Size())
+}
+
+func randomEdges(r *rand.Rand, n, m int) []tgraph.RawEdge {
+	var edges []tgraph.RawEdge
+	time := int64(1)
+	for len(edges) < m {
+		if r.Intn(3) == 0 {
+			time++
+		}
+		edges = append(edges, tgraph.RawEdge{U: int64(r.Intn(n)), V: int64(r.Intn(n)), Time: time})
+	}
+	return edges
+}
+
+// TestIndexFollowsAppends grows a graph batch by batch; after every batch
+// the refreshed index must answer exactly like a one-shot query on the
+// current graph, over both the full range and a trailing window.
+func TestIndexFollowsAppends(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		edges := randomEdges(r, 6+r.Intn(20), 60+r.Intn(200))
+		nb := 2 + r.Intn(4)
+		cut := len(edges) / (nb + 1)
+		g, err := tgraph.FromRawEdges(edges[:cut])
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 2 + r.Intn(2)
+		d, err := dyn.New(g, k, g.FullWindow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := cut; i < len(edges); i += cut {
+			j := i + cut
+			if j > len(edges) {
+				j = len(edges)
+			}
+			if _, err := g.Append(edges[i:j]); err != nil {
+				t.Fatalf("seed %d: Append: %v", seed, err)
+			}
+			// Trailing window: last ~half of the ranks.
+			w := tgraph.Window{Start: 1 + g.TMax()/2, End: g.TMax()}
+			for _, win := range []tgraph.Window{g.FullWindow(), w} {
+				if err := d.Refresh(win); err != nil {
+					t.Fatalf("seed %d: Refresh(%v): %v", seed, win, err)
+				}
+				if got, want := countDyn(t, d), countQuery(t, g, k, win); got != want {
+					t.Fatalf("seed %d k=%d w=%v after append: dyn %q != one-shot %q", seed, k, win, got, want)
+				}
+			}
+		}
+		st := d.Stats()
+		if st.Patches == 0 {
+			t.Fatalf("seed %d: no refresh used the patch path (stats %+v)", seed, st)
+		}
+	}
+}
+
+// TestIndexShortCachedWindow regresses the cachedEnd-crossing bug: an
+// index whose cached window ends before the graph frontier must still
+// refresh to a wider window correctly (the transition crossing the cached
+// range end must not drop the leaving-edge worklist pushes of vertices
+// that were pinned until that very transition).
+func TestIndexShortCachedWindow(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		edges := randomEdges(r, 5+r.Intn(15), 40+r.Intn(150))
+		cut := len(edges) * 3 / 4
+		g, err := tgraph.FromRawEdges(edges[:cut])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.TMax() < 3 {
+			continue
+		}
+		k := 2
+		// Cached window ends 1-2 ranks before the pre-append frontier.
+		short := tgraph.Window{Start: 1, End: g.TMax() - tgraph.TS(1+r.Intn(2))}
+		d, err := dyn.New(g, k, short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Append(edges[cut:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Refresh(g.FullWindow()); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := countDyn(t, d), countQuery(t, g, k, g.FullWindow()); got != want {
+			t.Fatalf("seed %d: refresh from short cached window %v: dyn %q != one-shot %q", seed, short, got, want)
+		}
+	}
+}
+
+func TestIndexNoopAndStale(t *testing.T) {
+	g := tgraph.MustFromTriples(
+		[3]int64{1, 2, 1}, [3]int64{2, 3, 1}, [3]int64{1, 3, 2}, [3]int64{3, 4, 3},
+	)
+	d, err := dyn.New(g, 2, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stale(g.FullWindow()) {
+		t.Fatal("fresh index reported stale")
+	}
+	if err := d.Refresh(g.FullWindow()); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Noops != 1 {
+		t.Fatalf("stats = %+v, want one noop", st)
+	}
+	if _, err := g.Append([]tgraph.RawEdge{{U: 1, V: 4, Time: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Stale(g.FullWindow()) {
+		t.Fatal("index not stale after append")
+	}
+	if err := d.Refresh(tgraph.Window{Start: 1, End: g.TMax() + 1}); err == nil {
+		t.Fatal("refresh beyond TMax succeeded")
+	}
+	if err := d.Refresh(g.FullWindow()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stale(g.FullWindow()) {
+		t.Fatal("index stale after refresh")
+	}
+}

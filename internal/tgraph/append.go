@@ -1,0 +1,312 @@
+package tgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AppendStats summarises what one Append batch did.
+type AppendStats struct {
+	Added       int // temporal edges appended
+	SelfLoops   int // dropped self loops
+	Duplicates  int // dropped (u,v,t) duplicates, within the batch or vs the graph
+	NewVertices int
+	NewPairs    int
+
+	// FirstNewRank is the smallest compressed rank that received a new
+	// edge, the low-water mark of the dirty time-suffix for incremental
+	// index maintenance. 0 when Added == 0.
+	FirstNewRank TS
+}
+
+// Append extends the graph in place with a batch of raw edges whose
+// timestamps are all at or after the graph's current maximum raw timestamp
+// (streams must arrive in non-decreasing time order). Self loops are
+// dropped and exact (u,v,t) duplicates are collapsed, matching Builder's
+// default edge-set semantics.
+//
+// Unlike a full Build, Append never sorts or re-maps the existing history:
+// the edge array, timestamp table and vertex labels grow at the end, and
+// only the flat CSR adjacency arrays (pair times, neighbour and incidence
+// lists) are re-merged with a linear copy pass when the batch touches them.
+// Within one timestamp, appended edges follow the existing edges in batch
+// order instead of the builder's (U,V) order; no algorithm in this module
+// depends on intra-timestamp order.
+//
+// Append must not run concurrently with any reader of the graph, and it
+// invalidates indexes built on the previous state (see MutSeq).
+func (g *Graph) Append(batch []RawEdge) (AppendStats, error) {
+	var st AppendStats
+	if len(batch) == 0 {
+		return st, nil
+	}
+	maxRaw := g.rawTimes[len(g.rawTimes)-1]
+
+	// Validate before mutating anything, so a bad batch leaves the graph
+	// untouched.
+	for _, e := range batch {
+		if e.Time < maxRaw {
+			return st, fmt.Errorf("tgraph: append of edge (%d,%d) at time %d violates time order (current maximum %d)",
+				e.U, e.V, e.Time, maxRaw)
+		}
+	}
+
+	oldN := int(g.n)
+	oldTMax := g.TMax()
+	oldEdgeCount := len(g.edges)
+	oldPairCount := len(g.pairs)
+
+	// Normalise: drop self loops, map labels to dense ids (extending the
+	// vertex tables), canonicalise u < v on dense ids.
+	type work struct {
+		u, v VID
+		t    int64 // raw timestamp
+	}
+	ws := make([]work, 0, len(batch))
+	for _, e := range batch {
+		if e.U == e.V {
+			st.SelfLoops++
+			continue
+		}
+		u, v := g.vidOrAdd(e.U), g.vidOrAdd(e.V)
+		if u > v {
+			u, v = v, u
+		}
+		ws = append(ws, work{u: u, v: v, t: e.Time})
+	}
+	st.NewVertices = len(g.labels) - oldN
+	g.n = int32(len(g.labels))
+
+	// Sort by (t, u, v) and drop duplicates within the batch.
+	sort.Slice(ws, func(i, j int) bool {
+		a, b := ws[i], ws[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.u != b.u {
+			return a.u < b.u
+		}
+		return a.v < b.v
+	})
+	out := ws[:0]
+	for i, w := range ws {
+		if i > 0 && w == ws[i-1] {
+			st.Duplicates++
+			continue
+		}
+		out = append(out, w)
+	}
+	ws = out
+
+	// Drop duplicates against the existing graph. Only edges at exactly
+	// the current maximum timestamp can collide; the collision test is
+	// "the pair's last recorded interaction is the last rank".
+	out = ws[:0]
+	for _, w := range ws {
+		if w.t == maxRaw && int(w.u) < oldN && int(w.v) < oldN {
+			if p := g.findPair(w.u, w.v); p >= 0 {
+				times := g.PairTimes(p)
+				if times[len(times)-1] == oldTMax {
+					st.Duplicates++
+					continue
+				}
+			}
+		}
+		out = append(out, w)
+	}
+	ws = out
+	if len(ws) == 0 {
+		return st, nil
+	}
+
+	// Extend the timestamp table and rank every new edge. ws is time
+	// sorted, so a single forward walk suffices.
+	ranks := make([]TS, len(ws))
+	for i, w := range ws {
+		if w.t > g.rawTimes[len(g.rawTimes)-1] {
+			g.rawTimes = append(g.rawTimes, w.t)
+		}
+		ranks[i] = TS(len(g.rawTimes))
+		if w.t == maxRaw {
+			ranks[i] = oldTMax
+		}
+	}
+	st.FirstNewRank = ranks[0]
+
+	// Resolve the canonical pair of every new edge, creating pairs on
+	// first touch, and collect the new interaction times per pair.
+	type pairKey struct{ u, v VID }
+	batchPair := make(map[pairKey]int32, len(ws))
+	touched := make(map[int32][]TS, len(ws))
+	anyOldPair := false
+	pairOf := make([]int32, len(ws))
+	for i, w := range ws {
+		key := pairKey{w.u, w.v}
+		p, ok := batchPair[key]
+		if !ok {
+			p = -1
+			if int(w.u) < oldN && int(w.v) < oldN {
+				p = g.findPair(w.u, w.v)
+			}
+			if p < 0 {
+				p = int32(len(g.pairs))
+				g.pairs = append(g.pairs, Pair{U: w.u, V: w.v})
+				st.NewPairs++
+			}
+			batchPair[key] = p
+		}
+		if p < int32(oldPairCount) {
+			anyOldPair = true
+		}
+		pairOf[i] = p
+		// ws is time sorted and exact duplicates are gone, so per-pair
+		// times arrive strictly ascending.
+		touched[p] = append(touched[p], ranks[i])
+	}
+
+	// Merge the pair-time table. When only new pairs gained times the old
+	// packed array is untouched and the new times append at its end;
+	// otherwise one linear copy pass re-packs it.
+	if anyOldPair {
+		npt := make([]TS, 0, len(g.pairTimes)+len(ws))
+		for pi := range g.pairs {
+			p := &g.pairs[pi]
+			off := int32(len(npt))
+			if pi < oldPairCount {
+				npt = append(npt, g.pairTimes[p.Off:p.Off+p.Len]...)
+			}
+			npt = append(npt, touched[int32(pi)]...)
+			p.Off = off
+			p.Len = int32(len(npt)) - off
+		}
+		g.pairTimes = npt
+	} else {
+		for pi := oldPairCount; pi < len(g.pairs); pi++ {
+			p := &g.pairs[pi]
+			p.Off = int32(len(g.pairTimes))
+			g.pairTimes = append(g.pairTimes, touched[int32(pi)]...)
+			p.Len = int32(len(g.pairTimes)) - p.Off
+		}
+	}
+
+	// Append the edge array; new edge ids continue the time order.
+	for i, w := range ws {
+		g.edges = append(g.edges, TemporalEdge{U: w.u, V: w.v, T: ranks[i]})
+		g.edgePair = append(g.edgePair, pairOf[i])
+	}
+
+	// Extend the time groups. Offsets below the old last rank are
+	// unchanged; the last old group grows by the equal-time appends and
+	// new ranks continue after it.
+	newTMax := int(g.TMax())
+	addCnt := make([]int32, newTMax-int(oldTMax)+1)
+	for _, r := range ranks {
+		addCnt[int(r-oldTMax)]++
+	}
+	to := make([]int32, newTMax+2)
+	copy(to, g.timeOff[:oldTMax+1])
+	oldLast := g.timeOff[oldTMax+1] - g.timeOff[oldTMax]
+	to[oldTMax+1] = to[oldTMax] + oldLast + addCnt[0]
+	for t := int(oldTMax) + 1; t <= newTMax; t++ {
+		to[t+1] = to[t] + addCnt[t-int(oldTMax)]
+	}
+	g.timeOff = to
+
+	n := int(g.n)
+
+	// Re-merge the distinct-neighbour lists when new pairs appeared.
+	if st.NewPairs > 0 {
+		off := make([]int32, n+1)
+		for u := 0; u < oldN; u++ {
+			off[u+1] = g.nbrOff[u+1] - g.nbrOff[u]
+		}
+		for pi := oldPairCount; pi < len(g.pairs); pi++ {
+			p := g.pairs[pi]
+			off[p.U+1]++
+			off[p.V+1]++
+		}
+		for u := 0; u < n; u++ {
+			off[u+1] += off[u]
+		}
+		nbrs := make([]Nbr, off[n])
+		cur := make([]int32, n)
+		copy(cur, off[:n])
+		for u := 0; u < oldN; u++ {
+			cur[u] += int32(copy(nbrs[cur[u]:], g.nbrs[g.nbrOff[u]:g.nbrOff[u+1]]))
+		}
+		for pi := oldPairCount; pi < len(g.pairs); pi++ {
+			p := g.pairs[pi]
+			nbrs[cur[p.U]] = Nbr{V: p.V, Pair: int32(pi)}
+			cur[p.U]++
+			nbrs[cur[p.V]] = Nbr{V: p.U, Pair: int32(pi)}
+			cur[p.V]++
+		}
+		g.nbrOff, g.nbrs = off, nbrs
+	}
+
+	// Re-merge the incidence lists. New edge ids exceed every old id and
+	// their times are at or after the old maximum, so per-vertex lists
+	// stay ascending by time.
+	{
+		off := make([]int32, n+1)
+		for u := 0; u < oldN; u++ {
+			off[u+1] = g.incOff[u+1] - g.incOff[u]
+		}
+		for _, w := range ws {
+			off[w.u+1]++
+			off[w.v+1]++
+		}
+		for u := 0; u < n; u++ {
+			off[u+1] += off[u]
+		}
+		inc := make([]EID, off[n])
+		cur := make([]int32, n)
+		copy(cur, off[:n])
+		for u := 0; u < oldN; u++ {
+			cur[u] += int32(copy(inc[cur[u]:], g.incEIDs[g.incOff[u]:g.incOff[u+1]]))
+		}
+		for i, w := range ws {
+			e := EID(oldEdgeCount + i)
+			inc[cur[w.u]] = e
+			cur[w.u]++
+			inc[cur[w.v]] = e
+			cur[w.v]++
+		}
+		g.incOff, g.incEIDs = off, inc
+	}
+
+	st.Added = len(ws)
+	g.mutSeq++
+	return st, nil
+}
+
+// MutSeq returns the graph's mutation sequence number, incremented by every
+// Append that adds at least one edge. Indexes built over the graph record
+// it to detect staleness.
+func (g *Graph) MutSeq() int64 { return g.mutSeq }
+
+// vidOrAdd returns the dense id of a label, extending the vertex tables on
+// first sight.
+func (g *Graph) vidOrAdd(label int64) VID {
+	if v, ok := g.labelOf[label]; ok {
+		return v
+	}
+	v := VID(len(g.labels))
+	g.labelOf[label] = v
+	g.labels = append(g.labels, label)
+	return v
+}
+
+// findPair returns the canonical pair index of (u, v), or -1 when the pair
+// does not exist. It scans the shorter of the two neighbour lists.
+func (g *Graph) findPair(u, v VID) int32 {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	for _, nb := range g.Neighbours(u) {
+		if nb.V == v {
+			return nb.Pair
+		}
+	}
+	return -1
+}

@@ -1,0 +1,236 @@
+package tgraph_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"temporalkcore/internal/tgraph"
+)
+
+// rawTriple is one (u, v, t) edge in label space.
+type rawTriple struct{ u, v, t int64 }
+
+// canonicalForm flattens a graph into a sorted, label-space description of
+// every structure an algorithm can observe, so graphs built by different
+// paths can be compared without depending on intra-timestamp edge order.
+func canonicalForm(t *testing.T, g *tgraph.Graph) string {
+	t.Helper()
+	var out []string
+
+	out = append(out, fmt.Sprintf("n=%d m=%d tmax=%d", g.NumVertices(), g.NumEdges(), g.TMax()))
+
+	// Edge multiset in raw label/time space.
+	var edges []rawTriple
+	for e := 0; e < g.NumEdges(); e++ {
+		te := g.Edge(tgraph.EID(e))
+		u, v := g.Label(te.U), g.Label(te.V)
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, rawTriple{u, v, g.RawTime(te.T)})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.u != b.u {
+			return a.u < b.u
+		}
+		return a.v < b.v
+	})
+	for _, e := range edges {
+		out = append(out, fmt.Sprintf("e %d %d @%d", e.u, e.v, e.t))
+	}
+
+	// Per-pair interaction times, keyed by labels.
+	var pairLines []string
+	for p := 0; p < g.NumPairs(); p++ {
+		pr := g.Pair(int32(p))
+		u, v := g.Label(pr.U), g.Label(pr.V)
+		if u > v {
+			u, v = v, u
+		}
+		line := fmt.Sprintf("p %d %d:", u, v)
+		for _, ts := range g.PairTimes(int32(p)) {
+			line += fmt.Sprintf(" %d", g.RawTime(ts))
+		}
+		pairLines = append(pairLines, line)
+	}
+	sort.Strings(pairLines)
+	out = append(out, pairLines...)
+
+	// Per-vertex neighbour label sets and incident edge times.
+	var vertLines []string
+	for u := 0; u < g.NumVertices(); u++ {
+		vid := tgraph.VID(u)
+		var nbs []int64
+		for _, nb := range g.Neighbours(vid) {
+			nbs = append(nbs, g.Label(nb.V))
+		}
+		sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
+		var incs []int64
+		prev := tgraph.TS(0)
+		for _, e := range g.Incident(vid) {
+			te := g.Edge(e)
+			if te.T < prev {
+				t.Fatalf("vertex %d: incidence list not time sorted", u)
+			}
+			prev = te.T
+			incs = append(incs, g.RawTime(te.T))
+		}
+		vertLines = append(vertLines, fmt.Sprintf("v %d nbrs=%v inc=%v", g.Label(vid), nbs, incs))
+	}
+	sort.Strings(vertLines)
+	out = append(out, vertLines...)
+
+	// Time groups.
+	for ts := tgraph.TS(1); ts <= g.TMax(); ts++ {
+		lo, hi := g.EdgesAt(ts)
+		for e := lo; e < hi; e++ {
+			if g.Edge(e).T != ts {
+				t.Fatalf("EdgesAt(%d): edge %d has T=%d", ts, e, g.Edge(e).T)
+			}
+		}
+		out = append(out, fmt.Sprintf("t %d: %d edges", g.RawTime(ts), hi-lo))
+	}
+
+	s := ""
+	for _, l := range out {
+		s += l + "\n"
+	}
+	return s
+}
+
+func buildFrom(t *testing.T, triples []rawTriple) *tgraph.Graph {
+	t.Helper()
+	var b tgraph.Builder
+	for _, tr := range triples {
+		b.Add(tr.u, tr.v, tr.t)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// TestAppendEquivalentToBuild appends random time-ordered suffixes and
+// requires the result to be observationally identical to a from-scratch
+// build of the full edge list.
+func TestAppendEquivalentToBuild(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(20)
+		m := 10 + r.Intn(120)
+		var triples []rawTriple
+		time := int64(1)
+		for len(triples) < m {
+			u := int64(r.Intn(n))
+			v := int64(r.Intn(n))
+			if r.Intn(4) == 0 {
+				time++ // advance time in bursts so ranks repeat
+			}
+			triples = append(triples, rawTriple{u, v, time})
+		}
+		// Split into a prefix built normally and 1-3 appended batches.
+		// The split must respect time order: appended edges carry times
+		// >= the prefix maximum, so cut at a time boundary.
+		cutTime := triples[0].t + (time-triples[0].t)*int64(1+r.Intn(3))/4
+		var prefix, suffix []rawTriple
+		for _, tr := range triples {
+			if tr.t <= cutTime {
+				prefix = append(prefix, tr)
+			} else {
+				suffix = append(suffix, tr)
+			}
+		}
+		if len(prefix) == 0 || len(suffix) == 0 {
+			continue
+		}
+		// Also duplicate a few prefix-boundary edges into the suffix at
+		// the boundary time to exercise equal-time dedup... they must be
+		// at a time >= max(prefix) to be appendable; re-add the last
+		// prefix edge verbatim.
+		last := prefix[len(prefix)-1]
+		maxPrefixTime := int64(0)
+		for _, tr := range prefix {
+			if tr.t > maxPrefixTime {
+				maxPrefixTime = tr.t
+			}
+		}
+		if last.t == maxPrefixTime {
+			suffix = append([]rawTriple{last}, suffix...)
+		}
+
+		g := buildFrom(t, prefix)
+		batches := 1 + r.Intn(3)
+		per := (len(suffix) + batches - 1) / batches
+		for i := 0; i < len(suffix); i += per {
+			j := i + per
+			if j > len(suffix) {
+				j = len(suffix)
+			}
+			var raw []tgraph.RawEdge
+			for _, tr := range suffix[i:j] {
+				raw = append(raw, tgraph.RawEdge{U: tr.u, V: tr.v, Time: tr.t})
+			}
+			if _, err := g.Append(raw); err != nil {
+				t.Fatalf("seed %d: Append: %v", seed, err)
+			}
+		}
+
+		want := buildFrom(t, triples)
+		if got, exp := canonicalForm(t, g), canonicalForm(t, want); got != exp {
+			t.Fatalf("seed %d: appended graph differs from scratch build\n--- append ---\n%s--- build ---\n%s", seed, got, exp)
+		}
+	}
+}
+
+func TestAppendBasics(t *testing.T) {
+	g := buildFrom(t, []rawTriple{{1, 2, 10}, {2, 3, 11}})
+
+	// Out-of-order append is rejected and leaves the graph untouched.
+	if _, err := g.Append([]tgraph.RawEdge{{U: 4, V: 5, Time: 9}}); err == nil {
+		t.Fatal("Append before current maximum succeeded")
+	}
+	if g.NumEdges() != 2 || g.NumVertices() != 3 {
+		t.Fatalf("failed append mutated the graph: %d edges %d vertices", g.NumEdges(), g.NumVertices())
+	}
+
+	// Equal-time append, duplicate and self loop handling.
+	st, err := g.Append([]tgraph.RawEdge{
+		{U: 3, V: 2, Time: 11}, // exact duplicate of (2,3,11)
+		{U: 1, V: 3, Time: 11}, // new pair at the frontier time
+		{U: 4, V: 4, Time: 12}, // self loop
+		{U: 4, V: 1, Time: 12}, // new vertex
+		{U: 4, V: 1, Time: 12}, // in-batch duplicate
+	})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if st.Added != 2 || st.Duplicates != 2 || st.SelfLoops != 1 || st.NewVertices != 1 || st.NewPairs != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.FirstNewRank != 2 {
+		t.Fatalf("FirstNewRank = %d, want 2 (rank of time 11)", st.FirstNewRank)
+	}
+	want := buildFrom(t, []rawTriple{{1, 2, 10}, {2, 3, 11}, {1, 3, 11}, {1, 4, 12}})
+	if got, exp := canonicalForm(t, g), canonicalForm(t, want); got != exp {
+		t.Fatalf("appended graph differs:\n--- append ---\n%s--- build ---\n%s", got, exp)
+	}
+
+	// Empty and all-duplicate batches do not bump MutSeq.
+	seq := g.MutSeq()
+	if _, err := g.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := g.Append([]tgraph.RawEdge{{U: 1, V: 4, Time: 12}}); err != nil || st.Added != 0 || st.Duplicates != 1 {
+		t.Fatalf("duplicate re-append: st=%+v err=%v", st, err)
+	}
+	if g.MutSeq() != seq {
+		t.Fatalf("MutSeq moved on no-op appends: %d -> %d", seq, g.MutSeq())
+	}
+}

@@ -5,11 +5,16 @@ import (
 	"sort"
 )
 
-// Graph is an immutable undirected temporal graph.
+// Graph is a compact undirected temporal graph. It is immutable except for
+// Append, which extends it at the time frontier (see append.go); readers
+// and Append must not run concurrently.
 //
 // Layout invariants:
-//   - edges are sorted by (T, U, V); EID is the index into edges, so edge ids
-//     ascend with time and timeOff groups edges of equal timestamp.
+//   - edges are sorted by T; EID is the index into edges, so edge ids
+//     ascend with time and timeOff groups edges of equal timestamp. Within
+//     one timestamp, Build orders edges by (U, V) and Append adds batch
+//     edges after the existing ones; no algorithm depends on the
+//     intra-timestamp order.
 //   - pairs lists every distinct vertex pair (U < V); pairTimes[p.Off:p.Off+p.Len]
 //     are the pair's interaction times, strictly ascending.
 //   - nbrs[nbrOff[u]:nbrOff[u+1]] are u's distinct neighbours.
@@ -35,6 +40,8 @@ type Graph struct {
 	rawTimes []int64 // rank t (1-based) -> rawTimes[t-1]
 	labels   []int64 // vid -> original label
 	labelOf  map[int64]VID
+
+	mutSeq int64 // incremented by every edge-adding Append
 }
 
 // NumVertices returns the number of vertices.

@@ -139,11 +139,20 @@ func (b *builder) run() {
 
 // transition moves the start time from s to s+1.
 func (b *builder) transition(s tgraph.TS) {
-	g := b.g
+	b.expire(s)
 
-	// Edges timestamped s leave the window: flush their final skyline
-	// window ([s, ect] with last valid start s = t_e) and advance the pair
-	// pointers, seeding the worklist with the affected endpoints.
+	// Re-settle the fixed point for start time s+1.
+	b.settle(true)
+
+	b.record(s)
+}
+
+// expire handles the edges timestamped s leaving the window: it flushes
+// their final skyline window ([s, ect] with last valid start s = t_e) and
+// advances the pair pointers, seeding the worklist with the affected
+// endpoints.
+func (b *builder) expire(s tgraph.TS) {
+	g := b.g
 	elo, ehi := g.EdgesAt(s)
 	for e := elo; e < ehi; e++ {
 		if v := b.ect[e-b.lo]; v != inf {
@@ -162,12 +171,13 @@ func (b *builder) transition(s tgraph.TS) {
 		b.push(pr.U)
 		b.push(pr.V)
 	}
+}
 
-	// Re-settle the fixed point for start time s+1.
-	b.settle(true)
-
-	// Record changed vertices and update the core times of their alive
-	// incident edges (Algorithm 2 lines 6-11).
+// record logs the vertices whose core time changed in the transition from
+// start time s and updates the core times of their alive incident edges
+// (Algorithm 2 lines 6-11).
+func (b *builder) record(s tgraph.TS) {
+	g := b.g
 	for _, u := range b.changed {
 		b.chMark[u] = false
 		if b.ct[u] == b.lastRec[u] {
@@ -226,6 +236,11 @@ func (b *builder) settle(track bool) {
 
 func (b *builder) push(u tgraph.VID) {
 	if b.inQ[u] || b.ct[u] == inf {
+		return
+	}
+	// Patched builds pin vertices whose cached core time is still exact;
+	// they never enter the worklist (len(frozen) is 0 on normal builds).
+	if len(b.frozen) > 0 && b.frozen[u] {
 		return
 	}
 	b.inQ[u] = true

@@ -1,0 +1,240 @@
+package vct
+
+import (
+	"sort"
+
+	"temporalkcore/internal/ds"
+	"temporalkcore/internal/tgraph"
+)
+
+// PatchScratch rebuilds the CoreTime tables for (g, k, w) like BuildScratch,
+// but uses a previously built index as an oracle for everything that cannot
+// have changed, so the fixed-point work concentrates on the dirty
+// time-suffix instead of the whole window.
+//
+// cached must be a correct index for the same k whose range starts at or
+// before w.Start, built against an earlier (or identical) state of g, and
+// dirtyFrom must be a rank such that every snapshot [ts, te] with
+// te < dirtyFrom is unchanged since cached was built. For pure appends that
+// is the first rank that received a new edge (tgraph.AppendStats
+// FirstNewRank); PatchScratch additionally clamps dirtyFrom to one past the
+// cached range end (beyond it the cache proves nothing) and one past w.End
+// (a shrunk window invalidates core times that overshoot it). Cached
+// entries with CT < dirtyFrom are then exact for the current graph and are
+// pinned; everything else re-settles from valid lower bounds.
+//
+// cached must not be backed by s (ping-pong two Scratch values to patch an
+// index in a loop). The returned Index and ECS are backed by s exactly as
+// in BuildScratch. patched reports whether the cache was usable; when it is
+// false a full BuildScratch ran instead.
+func PatchScratch(g *tgraph.Graph, k int, w tgraph.Window, cached *Index, dirtyFrom tgraph.TS, s *Scratch) (ix *Index, ecs *ECS, patched bool, err error) {
+	if err := validate(g, k, w); err != nil {
+		return nil, nil, false, err
+	}
+	if cached != nil {
+		if dirtyFrom > cached.Range.End+1 {
+			dirtyFrom = cached.Range.End + 1
+		}
+		if dirtyFrom > w.End+1 {
+			dirtyFrom = w.End + 1
+		}
+	}
+	if cached == nil || cached.K != k || cached.Range.Start > w.Start || dirtyFrom <= w.Start {
+		ix, ecs, err := BuildScratch(g, k, w, s)
+		return ix, ecs, false, err
+	}
+
+	p := patcher{
+		builder:   newBuilder(g, k, w, s),
+		cached:    cached,
+		dirtyFrom: dirtyFrom,
+	}
+	p.cachedEnd = cached.Range.End
+	if p.cachedEnd > w.End {
+		p.cachedEnd = w.End
+	}
+	p.run()
+	p.indexInto(&s.ix)
+	p.skylinesInto(&s.ecs)
+	return &s.ix, &s.ecs, true, nil
+}
+
+type patcher struct {
+	builder
+	cached     *Index
+	dirtyFrom  tgraph.TS
+	cachedEnd  tgraph.TS // last start time the cache can vouch for
+	frozenLive bool      // some vertex may still be pinned
+}
+
+func (p *patcher) run() {
+	g, w := p.g, p.w
+	n := g.NumVertices()
+
+	// Position the pair and incidence pointers exactly like builder.run.
+	for pi := 0; pi < g.NumPairs(); pi++ {
+		p.pairPtr[pi] = searchGE(g.PairTimes(int32(pi)), w.Start)
+	}
+	for u := 0; u < n; u++ {
+		p.incPtr[u] = searchGE(g.Incident(tgraph.VID(u)), p.lo)
+	}
+
+	p.frozen = ds.GrowZero(p.frozen, n)
+	p.entIdx = ds.Grow(p.entIdx, n)
+	p.frozenLive = true
+	p.buildBuckets()
+
+	// First start time: pin vertices whose cached value is still exact;
+	// settle the rest from lower bounds (which the dirty threshold
+	// tightens — no unchanged snapshot below dirtyFrom holds a core for a
+	// dirty vertex, so its new core time is at least dirtyFrom).
+	cachedN := len(p.cached.off) - 1 // vertices appended since the cache was built have no entries
+	for u := 0; u < n; u++ {
+		uu := tgraph.VID(u)
+		c := inf
+		if u < cachedN {
+			ents := p.cached.Entries(uu)
+			i := sort.Search(len(ents), func(i int) bool { return ents[i].Start > w.Start }) - 1
+			p.entIdx[u] = p.cached.off[uu] + int32(i)
+			if i >= 0 {
+				c = ents[i].CT
+			}
+		}
+		if c < p.dirtyFrom {
+			p.ct[u] = c
+			p.frozen[u] = true
+			continue
+		}
+		lb := p.lowerBound(uu)
+		if lb != inf && lb < p.dirtyFrom {
+			lb = p.dirtyFrom
+		}
+		p.ct[u] = lb
+	}
+	for u := 0; u < n; u++ {
+		if !p.frozen[u] && p.ct[u] != inf {
+			p.push(tgraph.VID(u))
+		}
+	}
+	p.settle(false)
+
+	// Record the initial index labels and edge core times (as builder.run).
+	for u := 0; u < n; u++ {
+		p.lastRec[u] = p.ct[u]
+		if p.ct[u] != inf {
+			p.vctRecs = append(p.vctRecs, vctRec{u: tgraph.VID(u), entry: Entry{Start: w.Start, CT: p.ct[u]}})
+		}
+	}
+	for e := p.lo; e < p.hi; e++ {
+		te := g.Edge(e)
+		p.ect[e-p.lo] = maxTS3(p.ct[te.U], p.ct[te.V], te.T)
+	}
+
+	for s := w.Start; s < w.End; s++ {
+		// Past the cached range nothing is pinned any more: the remaining
+		// time-suffix rebuilds exactly like builder.run, starting from the
+		// exact values of the previous start. Unpin BEFORE expire so the
+		// leaving-edge worklist pushes of this very transition are not
+		// dropped by the frozen gate.
+		if s+1 > p.cachedEnd && p.frozenLive {
+			clear(p.frozen)
+			p.frozenLive = false
+		}
+		p.expire(s)
+		p.applyCache(s + 1)
+		p.settle(true)
+		p.record(s)
+	}
+
+	// Flush the final windows of edges alive at the last start time.
+	elo, ehi := g.EdgesAt(w.End)
+	for e := elo; e < ehi; e++ {
+		if v := p.ect[e-p.lo]; v != inf {
+			p.ecsRecs = append(p.ecsRecs, ecsRec{e: e, win: tgraph.Window{Start: w.End, End: v}})
+		}
+	}
+}
+
+// buildBuckets groups the cached entries with start times in
+// (w.Start, cachedEnd] by start, so each transition applies its start's
+// cached changes in O(changes) instead of scanning the index.
+func (p *patcher) buildBuckets() {
+	span := int(p.cachedEnd) - int(p.w.Start)
+	if span < 0 {
+		span = 0
+	}
+	p.bktOff = ds.GrowZero(p.bktOff, span+1)
+	total := 0
+	for _, e := range p.cached.entries {
+		if e.Start > p.w.Start && e.Start <= p.cachedEnd {
+			p.bktOff[e.Start-p.w.Start]++
+			total++
+		}
+	}
+	for b := 0; b < span; b++ {
+		p.bktOff[b+1] += p.bktOff[b]
+	}
+	p.bktU = ds.Grow(p.bktU, total)
+	cur := ds.Grow(p.cur, span)
+	copy(cur, p.bktOff[:span])
+	cachedN := len(p.cached.off) - 1
+	for u := 0; u < cachedN; u++ {
+		for _, e := range p.cached.Entries(tgraph.VID(u)) {
+			if e.Start > p.w.Start && e.Start <= p.cachedEnd {
+				b := e.Start - p.w.Start - 1
+				p.bktU[cur[b]] = tgraph.VID(u)
+				cur[b]++
+			}
+		}
+	}
+	p.cur = cur
+}
+
+// applyCache replays the cached core-time changes of start time target:
+// pinned vertices take their new exact value directly (no F evaluation),
+// and vertices whose cached value crosses the dirty threshold unpin into
+// the worklist with a tightened lower bound.
+func (p *patcher) applyCache(target tgraph.TS) {
+	if target > p.cachedEnd {
+		return // no oracle beyond the cached range; run() unpinned already
+	}
+	g := p.g
+	b := int(target - p.w.Start - 1)
+	for _, u := range p.bktU[p.bktOff[b]:p.bktOff[b+1]] {
+		p.entIdx[u]++ // the entry whose Start == target
+		if !p.frozen[u] {
+			continue // already dirty; the worklist owns it
+		}
+		if c := p.cached.entries[p.entIdx[u]].CT; c < p.dirtyFrom {
+			// Still exact: adopt the raise and wake the neighbours whose
+			// fixed point may depend on it.
+			if c > p.ct[u] {
+				p.ct[u] = c
+				p.markChanged(u)
+				for _, nb := range g.Neighbours(u) {
+					p.push(nb.V)
+				}
+			}
+			continue
+		}
+		// Crossed the dirty threshold: the cached value is no longer
+		// trustworthy. Its previous exact value and dirtyFrom are both
+		// valid lower bounds; settle computes the truth.
+		p.frozen[u] = false
+		if p.dirtyFrom > p.ct[u] {
+			p.ct[u] = p.dirtyFrom
+			p.markChanged(u)
+			for _, nb := range g.Neighbours(u) {
+				p.push(nb.V)
+			}
+		}
+		p.push(u)
+	}
+}
+
+func (p *patcher) markChanged(u tgraph.VID) {
+	if !p.chMark[u] {
+		p.chMark[u] = true
+		p.changed = append(p.changed, u)
+	}
+}

@@ -37,6 +37,13 @@ type Scratch struct {
 
 	cur []int32 // counting-sort cursor of the output assembly
 
+	// Patch-only state (see PatchScratch). frozen is truncated to zero
+	// length by prepare, so normal builds skip the frozen gate in push.
+	frozen []bool  // per vertex: cached core time is exact, keep pinned
+	entIdx []int32 // per vertex: absolute index of its active cached entry
+	bktOff []int32 // cached entries bucketed by start time
+	bktU   []tgraph.VID
+
 	// Arena-backed outputs of BuildScratch; aliased, not returned to
 	// callers of the copying Build.
 	ix  Index
@@ -64,6 +71,7 @@ func (s *Scratch) prepare(g *tgraph.Graph, nEdges int) {
 	s.inQ = ds.GrowZero(s.inQ, n)
 	s.chMark = ds.GrowZero(s.chMark, n)
 	s.q.Reset()
+	s.frozen = s.frozen[:0]
 	s.buf = s.buf[:0]
 	s.changed = s.changed[:0]
 	s.vctRecs = s.vctRecs[:0]

@@ -17,9 +17,9 @@ func (g *Graph) KHCore(k, h int, start, end int64) ([]int64, error) {
 	if k < 1 || h < 1 {
 		return nil, fmt.Errorf("temporalkcore: k and h must be >= 1, got k=%d h=%d", k, h)
 	}
-	w, ok := g.g.CompressRange(start, end)
-	if !ok {
-		return nil, ErrNoTimestamps
+	w, err := g.window(start, end)
+	if err != nil {
+		return nil, err
 	}
 	p := khcore.NewPeeler(g.g)
 	inCore, n := p.CoreOfWindow(k, h, w)
@@ -38,9 +38,9 @@ func (g *Graph) KHCoreEdges(k, h int, start, end int64) ([]Edge, error) {
 	if k < 1 || h < 1 {
 		return nil, fmt.Errorf("temporalkcore: k and h must be >= 1, got k=%d h=%d", k, h)
 	}
-	w, ok := g.g.CompressRange(start, end)
-	if !ok {
-		return nil, ErrNoTimestamps
+	w, err := g.window(start, end)
+	if err != nil {
+		return nil, err
 	}
 	p := khcore.NewPeeler(g.g)
 	eids := p.CoreEdges(k, h, w, nil)

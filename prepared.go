@@ -29,9 +29,9 @@ func (g *Graph) Prepare(k int, start, end int64) (*PreparedQuery, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("temporalkcore: k must be >= 1, got %d", k)
 	}
-	w, ok := g.g.CompressRange(start, end)
-	if !ok {
-		return nil, ErrNoTimestamps
+	w, err := g.window(start, end)
+	if err != nil {
+		return nil, err
 	}
 	began := time.Now()
 	ix, ecs, err := vct.Build(g.g, k, w)

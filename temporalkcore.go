@@ -48,6 +48,26 @@ type Graph struct {
 // graph.
 var ErrNoTimestamps = errors.New("temporalkcore: query range covers no timestamp of the graph")
 
+// ErrEmptyRange is returned when a query range has start > end. An inverted
+// range is a caller bug, distinguished from a well-formed range that merely
+// misses every timestamp (ErrNoTimestamps).
+var ErrEmptyRange = errors.New("temporalkcore: query range start exceeds end")
+
+// window validates a raw query range and compresses it. Every public entry
+// point that takes a (start, end) range resolves it here, so the error
+// contract is uniform: ErrEmptyRange for inverted ranges, ErrNoTimestamps
+// for ranges covering no timestamp.
+func (g *Graph) window(start, end int64) (tgraph.Window, error) {
+	if start > end {
+		return tgraph.Window{}, ErrEmptyRange
+	}
+	w, ok := g.g.CompressRange(start, end)
+	if !ok {
+		return tgraph.Window{}, ErrNoTimestamps
+	}
+	return w, nil
+}
+
 // NewGraph builds a graph from raw edges. Self loops are dropped and exact
 // duplicate edges are collapsed (the paper models the edge set as a set).
 func NewGraph(edges []Edge) (*Graph, error) {
@@ -149,9 +169,9 @@ func (g *Graph) CoresFunc(k int, start, end int64, fn func(Core) bool, opts ...O
 	if k < 1 {
 		return qs, fmt.Errorf("temporalkcore: k must be >= 1, got %d", k)
 	}
-	w, ok := g.g.CompressRange(start, end)
-	if !ok {
-		return qs, ErrNoTimestamps
+	w, err := g.window(start, end)
+	if err != nil {
+		return qs, err
 	}
 	opt := Options{}
 	if len(opts) > 0 {
@@ -231,9 +251,9 @@ func (g *Graph) CoreTimes(label int64, k int, start, end int64) ([]CoreTimeEntry
 	if !ok {
 		return nil, fmt.Errorf("temporalkcore: unknown vertex %d", label)
 	}
-	w, wok := g.g.CompressRange(start, end)
-	if !wok {
-		return nil, ErrNoTimestamps
+	w, err := g.window(start, end)
+	if err != nil {
+		return nil, err
 	}
 	ix, _, err := vct.Build(g.g, k, w)
 	if err != nil {
@@ -256,9 +276,9 @@ func (g *Graph) CoreTimes(label int64, k int, start, end int64) ([]CoreTimeEntry
 // [start, end] — the compact representation the paper's future-work section
 // proposes. Vertex labels are returned sorted per set.
 func (g *Graph) VertexSets(k int, start, end int64) ([][]int64, error) {
-	w, ok := g.g.CompressRange(start, end)
-	if !ok {
-		return nil, ErrNoTimestamps
+	w, err := g.window(start, end)
+	if err != nil {
+		return nil, err
 	}
 	sink := enum.NewVertexSetSink(g.g)
 	if _, err := core.Query(g.g, k, w, sink, core.Options{Algorithm: core.AlgoEnum}); err != nil {

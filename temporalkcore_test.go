@@ -113,7 +113,7 @@ func TestQueryErrors(t *testing.T) {
 	if _, err := g.Cores(2, 100, 200); err != tkc.ErrNoTimestamps {
 		t.Errorf("empty range: %v", err)
 	}
-	if _, err := g.Cores(2, 7, 1); err != tkc.ErrNoTimestamps {
+	if _, err := g.Cores(2, 7, 1); err != tkc.ErrEmptyRange {
 		t.Errorf("inverted range: %v", err)
 	}
 	if _, err := tkc.NewGraph(nil); err == nil {
