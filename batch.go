@@ -1,6 +1,7 @@
 package temporalkcore
 
 import (
+	"context"
 	"fmt"
 
 	"temporalkcore/internal/core"
@@ -17,79 +18,122 @@ type QuerySpec struct {
 	Algorithm  Algorithm
 }
 
-// BatchOptions tunes QueryBatch.
+// BatchOptions tunes RunBatch.
 type BatchOptions struct {
 	// Parallelism caps the number of worker goroutines; <= 0 means one per
 	// available CPU (GOMAXPROCS).
 	Parallelism int
-	// CountOnly skips materialising result cores: BatchResult.Cores stays
-	// nil and only BatchResult.Stats is populated. Use it for workloads
-	// that need counts, |R| or timings but not the edge sets.
+	// CountOnly skips materialising result cores for every request:
+	// BatchResult.Cores stays nil and only BatchResult.Stats is populated.
+	// Use it for workloads that need counts, |R| or timings but not the
+	// edge sets. Per-request Project(ProjectCount) does the same for a
+	// single item.
 	CountOnly bool
 }
 
-// BatchResult is the outcome of one QuerySpec.
+// BatchResult is the outcome of one batch request.
 type BatchResult struct {
 	Spec  QuerySpec
-	Cores []Core // nil under BatchOptions.CountOnly or on error
+	Cores []Core // nil under count-only; partial when Cancelled mid-query
 	Stats QueryStats
 	Err   error
+	// Cancelled reports that the batch context was cancelled before this
+	// request completed. Err carries the context error; Cores holds
+	// whatever prefix was enumerated before the cut (nil if it never ran).
+	Cancelled bool
 }
 
-// QueryBatch executes many (k, time-range) queries concurrently on a pool
-// of workers, each reusing pooled per-worker scratch state, so large query
-// workloads exploit every core without paying per-query setup allocations.
-// Results arrive at the index of their spec; a spec that fails validation
+// RunBatch executes many v2 Requests concurrently on a pool of workers,
+// each reusing pooled per-worker scratch state, so large query workloads
+// exploit every CPU without paying per-query setup allocations. Results
+// arrive at the index of their request; a request that fails validation
 // reports through its BatchResult.Err without failing the batch.
-func (g *Graph) QueryBatch(specs []QuerySpec, opts ...BatchOptions) []BatchResult {
+//
+// Only one-shot enumeration requests built with Graph.Query may be
+// batched (prepared, watcher, snapshot and historical requests have their
+// own engines); a request bound to another engine or another graph
+// reports an error in its slot. Per-request options — Window, Algorithm,
+// Project, EarlyStop — all apply.
+//
+// Cancelling ctx stops the batch early: completed requests keep their
+// results, the in-flight ones are cut at the next poll stride, and every
+// request that did not finish reports Cancelled with Err = ctx.Err(), so
+// callers always get the partial work that was already paid for.
+func (g *Graph) RunBatch(ctx context.Context, reqs []*Request, opts ...BatchOptions) []BatchResult {
 	opt := BatchOptions{}
 	if len(opts) > 0 {
 		opt = opts[0]
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
-	res := make([]BatchResult, len(specs))
-	queries := make([]core.BatchQuery, 0, len(specs))
-	sinks := make([]enum.Sink, 0, len(specs))
-	run := make([]int, 0, len(specs)) // batch item -> spec index
+	res := make([]BatchResult, len(reqs))
+	queries := make([]core.BatchQuery, 0, len(reqs))
+	sinks := make([]enum.Sink, 0, len(reqs))
+	run := make([]int, 0, len(reqs)) // batch item -> request index
 
-	for i, sp := range specs {
-		res[i].Spec = sp
-		if sp.K < 1 {
-			res[i].Err = fmt.Errorf("temporalkcore: k must be >= 1, got %d", sp.K)
+	for i, r := range reqs {
+		if r == nil {
+			res[i].Err = fmt.Errorf("temporalkcore: nil request in batch")
 			continue
 		}
-		w, err := g.window(sp.Start, sp.End)
+		res[i].Spec = QuerySpec{K: r.k, Start: r.start, End: r.end, Algorithm: r.algo}
+		if r.err != nil {
+			res[i].Err = r.err
+			continue
+		}
+		if r.prep != nil || r.watch != nil || r.hix != nil || r.h > 0 {
+			res[i].Err = fmt.Errorf("temporalkcore: only one-shot enumeration requests can be batched")
+			continue
+		}
+		if r.g != g {
+			res[i].Err = fmt.Errorf("temporalkcore: batched request belongs to a different graph")
+			continue
+		}
+		w, err := g.window(r.start, r.end)
 		if err != nil {
 			res[i].Err = err
 			continue
 		}
-		r := &res[i]
-		var sink enum.Sink
+		rr := &res[i]
+		proj := r.proj
 		if opt.CountOnly {
+			proj = ProjectCount
+		}
+		var sink enum.Sink
+		if proj == ProjectCount {
 			// Count straight off the edge-id slices: converting every edge
 			// to labels/raw times just to discard it would make count-only
 			// batches pay nearly the full materialisation CPU cost.
-			sink = &statsSink{qs: &r.Stats}
+			sink = &statsSink{qs: &rr.Stats}
 		} else {
-			sink = &funcSink{g: g.g, qs: &r.Stats, fn: func(c Core) bool {
+			sink = &projSink{g: g.g, proj: proj, qs: &rr.Stats, fn: func(c Core) bool {
 				cp := c
 				cp.Edges = append([]Edge(nil), c.Edges...)
-				r.Cores = append(r.Cores, cp)
+				cp.Vertices = append([]int64(nil), c.Vertices...)
+				rr.Cores = append(rr.Cores, cp)
 				return true
 			}}
 		}
-		queries = append(queries, core.BatchQuery{K: sp.K, W: w, Opts: core.Options{Algorithm: sp.Algorithm}})
+		if r.limit > 0 {
+			sink = &enum.LimitSink{Inner: sink, Max: int64(r.limit)}
+		}
+		queries = append(queries, core.BatchQuery{K: r.k, W: w, Opts: core.Options{Algorithm: r.algo}})
 		sinks = append(sinks, sink)
 		run = append(run, i)
 	}
 
-	batch := core.QueryBatch(g.g, queries, opt.Parallelism, func(i int) enum.Sink { return sinks[i] })
+	batch := core.QueryBatch(ctx, g.g, queries, opt.Parallelism, func(i int) enum.Sink { return sinks[i] })
 	for bi, br := range batch {
 		r := &res[run[bi]]
 		r.Err = br.Err
+		r.Cancelled = br.Cancelled
 		if br.Err != nil {
-			r.Cores = nil
-			r.Stats = QueryStats{}
+			if !br.Cancelled {
+				r.Cores = nil
+				r.Stats = QueryStats{}
+			}
 			continue
 		}
 		r.Stats.VCTSize = br.Stats.VCTSize
@@ -97,11 +141,40 @@ func (g *Graph) QueryBatch(specs []QuerySpec, opts ...BatchOptions) []BatchResul
 		r.Stats.CoreTime = br.Stats.CoreTime
 		r.Stats.EnumTime = br.Stats.EnumTime
 	}
+	// Honour each request's Stats destination, matching the direct
+	// executors (written after the run, cancelled or not).
+	for i, r := range reqs {
+		if r != nil && r.statsDst != nil {
+			*r.statsDst = res[i].Stats
+		}
+	}
+	return res
+}
+
+// QueryBatch executes many (k, time-range) query specs concurrently; see
+// RunBatch for the execution model.
+//
+// Deprecated: use the v2 builder with RunBatch, which adds context
+// cancellation and per-request projections/limits:
+//
+//	g.RunBatch(ctx, []*temporalkcore.Request{
+//	    g.Query(2).Window(s, e),
+//	    g.Query(3).Window(s, e).Project(temporalkcore.ProjectCount),
+//	}, opts)
+func (g *Graph) QueryBatch(specs []QuerySpec, opts ...BatchOptions) []BatchResult {
+	reqs := make([]*Request, len(specs))
+	for i, sp := range specs {
+		reqs[i] = g.Query(sp.K).Window(sp.Start, sp.End).Algorithm(sp.Algorithm)
+	}
+	res := g.RunBatch(context.Background(), reqs, opts...)
+	for i, sp := range specs {
+		res[i].Spec = sp // preserve the caller's spec verbatim
+	}
 	return res
 }
 
 // statsSink counts cores and |R| directly from the emitted edge-id slices,
-// with none of funcSink's per-edge label/time conversion.
+// with none of projSink's per-edge label/time conversion.
 type statsSink struct{ qs *QueryStats }
 
 func (s *statsSink) Emit(_ tgraph.Window, eids []tgraph.EID) bool {
@@ -113,6 +186,9 @@ func (s *statsSink) Emit(_ tgraph.Window, eids []tgraph.EID) bool {
 // CountBatch is QueryBatch with BatchOptions.CountOnly set: it returns the
 // per-query statistics (core counts, |R|, index sizes, phase timings)
 // without materialising any edges.
+//
+// Deprecated: use RunBatch with BatchOptions.CountOnly or per-request
+// Project(ProjectCount).
 func (g *Graph) CountBatch(specs []QuerySpec, parallelism int) []BatchResult {
 	return g.QueryBatch(specs, BatchOptions{Parallelism: parallelism, CountOnly: true})
 }

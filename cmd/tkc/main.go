@@ -22,12 +22,15 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -85,22 +88,39 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges, %d distinct timestamps in [%d, %d], kmax=%d\n",
 		g.NumVertices(), g.NumEdges(), g.TimestampCount(), lo, hi, g.KMax())
 
+	// Ctrl-C cancels the running query through the v2 context plumbing:
+	// both phases poll the context and return promptly with partial output.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *ks != "" {
-		runBatch(g, *ks, *start, *end, algo, *parallel)
+		runBatch(ctx, g, *ks, *start, *end, algo, *parallel)
 		return
 	}
 
+	req := g.Query(*k).Window(*start, *end).Algorithm(algo)
+	if *countOnly {
+		req.Project(tkc.ProjectCount)
+	}
+	if *limit > 0 {
+		req.EarlyStop(*limit)
+	}
+	var qs tkc.QueryStats
+	req.Stats(&qs)
 	t0 := time.Now()
 	n := 0
-	qs, err := g.CoresFunc(*k, *start, *end, func(c tkc.Core) bool {
+	for c, err := range req.Seq(ctx) {
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Printf("\ninterrupted after %d cores\n", n)
+				break
+			}
+			log.Fatal(err)
+		}
 		n++
 		if !*countOnly {
 			printCore(n, c, *quiet)
 		}
-		return *limit == 0 || n < *limit
-	}, tkc.Options{Algorithm: algo})
-	if err != nil {
-		log.Fatal(err)
 	}
 	fmt.Printf("\n%d distinct temporal %d-cores, |R|=%d edges, |VCT|=%d, |ECS|=%d, %.3fs (core %.3fs + enum %.3fs, %s)\n",
 		qs.Cores, *k, qs.Edges, qs.VCTSize, qs.ECSSize, time.Since(t0).Seconds(),
@@ -112,20 +132,26 @@ func main() {
 // batch always runs in count-only mode regardless of -count: materialising
 // every core of every k just to discard it could exhaust memory on large
 // graphs.
-func runBatch(g *tkc.Graph, ks string, start, end int64, algo tkc.Algorithm, parallel int) {
-	var specs []tkc.QuerySpec
+func runBatch(ctx context.Context, g *tkc.Graph, ks string, start, end int64, algo tkc.Algorithm, parallel int) {
+	var reqs []*tkc.Request
+	var kvals []int
 	for _, f := range strings.Split(ks, ",") {
 		k, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
 			log.Fatalf("bad -ks entry %q: %v", f, err)
 		}
-		specs = append(specs, tkc.QuerySpec{K: k, Start: start, End: end, Algorithm: algo})
+		kvals = append(kvals, k)
+		reqs = append(reqs, g.Query(k).Window(start, end).Algorithm(algo).Project(tkc.ProjectCount))
 	}
 	t0 := time.Now()
-	res := g.QueryBatch(specs, tkc.BatchOptions{Parallelism: parallel, CountOnly: true})
+	res := g.RunBatch(ctx, reqs, tkc.BatchOptions{Parallelism: parallel})
 	wall := time.Since(t0)
 	fmt.Printf("\n%6s %10s %12s %8s %8s %10s %10s\n", "k", "cores", "|R|", "|VCT|", "|ECS|", "core(s)", "enum(s)")
-	for _, r := range res {
+	for i, r := range res {
+		if r.Cancelled {
+			fmt.Printf("%6d interrupted\n", kvals[i])
+			continue
+		}
 		if r.Err != nil {
 			fmt.Printf("%6d error: %v\n", r.Spec.K, r.Err)
 			continue
@@ -134,7 +160,7 @@ func runBatch(g *tkc.Graph, ks string, start, end int64, algo tkc.Algorithm, par
 			r.Spec.K, r.Stats.Cores, r.Stats.Edges, r.Stats.VCTSize, r.Stats.ECSSize,
 			r.Stats.CoreTime.Seconds(), r.Stats.EnumTime.Seconds())
 	}
-	fmt.Printf("batch of %d queries in %.3fs wall\n", len(specs), wall.Seconds())
+	fmt.Printf("batch of %d queries in %.3fs wall\n", len(reqs), wall.Seconds())
 }
 
 // runFollow tails an edge stream from stdin. With -graph the stream

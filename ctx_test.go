@@ -1,0 +1,225 @@
+package temporalkcore_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	tkc "temporalkcore"
+)
+
+// bigGraph builds a graph whose full-range queries take long enough
+// (hundreds of ms on any hardware this runs on) that mid-flight
+// cancellation is observable; at k=3 the CoreTime phase dominates the
+// runtime (~85%), so an early cancellation lands inside the settle loop.
+func bigGraph(t testing.TB) *tkc.Graph {
+	t.Helper()
+	return reqGraph(t, 99, 900, 8000)
+}
+
+// TestCancelPreCancelled: an already-cancelled context returns ctx.Err()
+// from every execution mode without doing any work.
+func TestCancelPreCancelled(t *testing.T) {
+	g := reqGraph(t, 10, 30, 300)
+	lo, hi := g.TimeSpan()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := g.Query(2).Collect(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Collect = %v, want context.Canceled", err)
+	}
+	if _, err := g.Query(2).Count(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Count = %v, want context.Canceled", err)
+	}
+	p, err := g.Prepare(2, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Query().Collect(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("prepared Collect = %v, want context.Canceled", err)
+	}
+	w, err := g.Watch(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Query().Collect(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("watcher Collect = %v, want context.Canceled", err)
+	}
+	if _, _, err := g.Query(2).Snapshot(1).First(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("snapshot First = %v, want context.Canceled", err)
+	}
+	h, err := g.BuildHistoricalIndex(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.Query(2).First(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("historical First = %v, want context.Canceled", err)
+	}
+
+	// Seq yields exactly one element carrying the error.
+	n := 0
+	for _, err := range g.Query(2).Seq(ctx) {
+		n++
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Seq err = %v, want context.Canceled", err)
+		}
+	}
+	if n != 1 {
+		t.Errorf("Seq yielded %d elements, want 1", n)
+	}
+}
+
+// TestCancelMidCoreTime cancels a deliberately huge query while its
+// CoreTime phase is settling and requires a prompt ctx.Err() return,
+// bounded by the poll stride rather than the query size.
+func TestCancelMidCoreTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := bigGraph(t)
+
+	// Reference: the uncancelled query, also the warm-up for scratch pools.
+	began := time.Now()
+	full, err := g.Query(3).Count(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDur := time.Since(began)
+	if fullDur < 20*time.Millisecond {
+		t.Skipf("full query too fast to observe cancellation (%v)", fullDur)
+	}
+
+	// Cancel at ~5% of the full duration: the query is then still deep in
+	// the CoreTime phase (it dominates the runtime here).
+	ctx, cancel := context.WithTimeout(context.Background(), fullDur/20)
+	defer cancel()
+	began = time.Now()
+	_, err = g.Query(3).Count(ctx)
+	elapsed := time.Since(began)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled query returned %v (in %v), want context.DeadlineExceeded", err, elapsed)
+	}
+	if elapsed > fullDur/2 {
+		t.Errorf("cancelled query took %v of a %v query; cancellation is not prompt", elapsed, fullDur)
+	}
+	_ = full
+}
+
+// TestCancelMidEnumeration cancels from inside the result loop after the
+// first core: the engine must stop at its next poll and surface ctx.Err()
+// as the final stream element.
+func TestCancelMidEnumeration(t *testing.T) {
+	g := reqGraph(t, 11, 60, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var cores, errs int
+	var lastErr error
+	for _, err := range g.Query(2).Seq(ctx) {
+		if err != nil {
+			errs++
+			lastErr = err
+			continue
+		}
+		cores++
+		cancel() // cancel mid-enumeration, keep ranging
+	}
+	if errs != 1 || !errors.Is(lastErr, context.Canceled) {
+		t.Fatalf("stream after mid-enumeration cancel: %d cores, %d errs, last %v", cores, errs, lastErr)
+	}
+	// The enumeration polls every stride start times, so a handful of
+	// cores may still arrive after the cancel — but not the full result.
+	total, err := g.Query(2).Count(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(cores) >= total.Cores {
+		t.Errorf("cancel did not stop the enumeration: %d of %d cores emitted", cores, total.Cores)
+	}
+}
+
+// TestCancelBatchPartial cancels a batch mid-flight: finished items keep
+// results, unfinished ones report Cancelled with ctx.Err(), and at least
+// one item must have been cut (partial delivery, not all-or-nothing).
+func TestCancelBatchPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := bigGraph(t)
+	lo, hi := g.TimeSpan()
+
+	reqs := make([]*tkc.Request, 8)
+	for i := range reqs {
+		reqs[i] = g.Query(2).Window(lo, hi).Project(tkc.ProjectCount)
+	}
+	// Time one query to place the cancellation inside the batch run.
+	began := time.Now()
+	if _, err := reqs[0].Count(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	one := time.Since(began)
+
+	ctx, cancel := context.WithTimeout(context.Background(), one+one/2)
+	defer cancel()
+	res := g.RunBatch(ctx, reqs, tkc.BatchOptions{Parallelism: 1})
+
+	var done, cut int
+	for i, r := range res {
+		switch {
+		case r.Err == nil:
+			done++
+		case r.Cancelled:
+			cut++
+			if !errors.Is(r.Err, context.DeadlineExceeded) {
+				t.Errorf("item %d: cancelled with err %v", i, r.Err)
+			}
+		default:
+			t.Errorf("item %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if done == 0 {
+		t.Error("no batch item completed before the deadline")
+	}
+	if cut == 0 {
+		t.Error("no batch item was cancelled; cancellation did not interrupt the batch")
+	}
+}
+
+// TestCancelAllocSteady: repeatedly cancelled queries must not leak
+// scratch state — the allocation count per cancelled run stays small and
+// constant, proving pooled arenas are returned on the cancellation path.
+func TestCancelAllocSteady(t *testing.T) {
+	g := reqGraph(t, 12, 60, 2000)
+
+	// Warm the pools.
+	if _, err := g.Query(2).Count(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	preAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := g.Query(2).Count(cancelled); err == nil {
+			t.Fatal("cancelled query succeeded")
+		}
+	})
+	if preAllocs > 20 {
+		t.Errorf("pre-cancelled query allocates %.0f per run; scratch reuse broken", preAllocs)
+	}
+
+	midAllocs := testing.AllocsPerRun(50, func() {
+		ctx, cancelMid := context.WithCancel(context.Background())
+		first := true
+		for _, err := range g.Query(2).Project(tkc.ProjectCount).Seq(ctx) {
+			if err == nil && first {
+				first = false
+				cancelMid()
+			}
+		}
+		cancelMid()
+	})
+	if midAllocs > 200 {
+		t.Errorf("mid-enumeration cancelled query allocates %.0f per run; scratch leaks on the cancel path", midAllocs)
+	}
+}

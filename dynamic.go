@@ -2,6 +2,7 @@ package temporalkcore
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -249,29 +250,18 @@ func (w *Watcher) Window() (start, end int64, err error) {
 
 // CoresFunc streams every distinct temporal k-core of the current window
 // to fn; see Graph.CoresFunc. The view is refreshed first if stale.
+//
+// Deprecated: use the v2 builder, which adds context cancellation and
+// projections: for c, err := range w.Query().Seq(ctx).
 func (w *Watcher) CoresFunc(fn func(Core) bool) (QueryStats, error) {
-	var qs QueryStats
-	if err := w.refresh(); err != nil {
-		return qs, err
-	}
-	qs.VCTSize = w.dix.VCT().Size()
-	qs.ECSSize = w.dix.ECS().Size()
-	sink := &funcSink{g: w.g.g, fn: fn, qs: &qs}
-	began := time.Now()
-	w.dix.Enumerate(sink)
-	qs.EnumTime = time.Since(began)
-	return qs, nil
+	return w.Query().run(context.Background(), fn)
 }
 
 // Cores materialises every distinct temporal k-core of the current window.
+//
+// Deprecated: use the v2 builder: w.Query().Collect(ctx).
 func (w *Watcher) Cores() ([]Core, error) {
-	var out []Core
-	_, err := w.CoresFunc(func(c Core) bool {
-		cp := c
-		cp.Edges = append([]Edge(nil), c.Edges...)
-		out = append(out, cp)
-		return true
-	})
+	out, err := w.Query().Collect(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -280,18 +270,10 @@ func (w *Watcher) Cores() ([]Core, error) {
 
 // CountCores counts the distinct temporal k-cores of the current window
 // and their total edge size without materialising results.
+//
+// Deprecated: use the v2 builder: w.Query().Count(ctx).
 func (w *Watcher) CountCores() (QueryStats, error) {
-	var qs QueryStats
-	if err := w.refresh(); err != nil {
-		return qs, err
-	}
-	qs.VCTSize = w.dix.VCT().Size()
-	qs.ECSSize = w.dix.ECS().Size()
-	sink := &statsSink{qs: &qs}
-	began := time.Now()
-	w.dix.Enumerate(sink)
-	qs.EnumTime = time.Since(began)
-	return qs, nil
+	return w.Query().Count(context.Background())
 }
 
 // Stats returns counters describing how refreshes were served; a healthy

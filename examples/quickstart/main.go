@@ -1,10 +1,12 @@
-// Quickstart: build a small temporal graph, enumerate all temporal 2-cores
-// in a time range, and inspect a vertex's core times.
+// Quickstart: build a small temporal graph and enumerate temporal 2-cores
+// through the v2 query builder — composable requests, streaming iterator
+// results and context cancellation.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +14,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The running example of the paper (Figure 1): nine vertices, fourteen
 	// timestamped interactions.
 	edges := []tkc.Edge{
@@ -30,7 +34,7 @@ func main() {
 
 	// Every distinct temporal 2-core of any window within [1, 4] — this is
 	// exactly Figure 2 of the paper: two cores.
-	cores, err := g.Cores(2, 1, 4)
+	cores, err := g.Query(2).Window(1, 4).Collect(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,17 +43,28 @@ func main() {
 		fmt.Printf("  TTI=[%d,%d]: %v\n", c.Start, c.End, c.Edges)
 	}
 
-	// Streaming over a wider range without materialising results.
+	// Streaming over a wider range: cores are produced as the loop consumes
+	// them, so breaking out stops the engine after the cores you paid for.
+	var stats tkc.QueryStats
 	fmt.Println("\ntemporal 2-cores in range [1,7]:")
-	stats, err := g.CoresFunc(2, 1, 7, func(c tkc.Core) bool {
+	for c, err := range g.Query(2).Window(1, 7).Stats(&stats).Seq(ctx) {
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  TTI=[%d,%d] with %d edges\n", c.Start, c.End, len(c.Edges))
-		return true
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 	fmt.Printf("total: %d cores, |R|=%d edges, |VCT|=%d, |ECS|=%d\n",
 		stats.Cores, stats.Edges, stats.VCTSize, stats.ECSSize)
+
+	// Projections skip the work you don't need: the vertex view of the
+	// same result stream, one sorted label set per core.
+	fmt.Println("\nvertex sets of the 2-cores in [1,7]:")
+	for c, err := range g.Query(2).Window(1, 7).Project(tkc.ProjectVertices).Seq(ctx) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  TTI=[%d,%d]: %v\n", c.Start, c.End, c.Vertices)
+	}
 
 	// Core times answer "from when is this vertex part of dense activity".
 	ents, err := g.CoreTimes(1, 2, 1, 7)

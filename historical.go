@@ -1,12 +1,39 @@
 package temporalkcore
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"temporalkcore/internal/phc"
 	"temporalkcore/internal/tgraph"
 )
+
+// runHistorical executes a Using(index)/HistoricalIndex.Query request: the
+// single snapshot k-core over the window, answered from the PHC index and
+// emitted as one Core (or none when empty).
+func (r *Request) runHistorical(ctx context.Context, qs *QueryStats, fn func(Core) bool) (QueryStats, error) {
+	h := r.hix
+	w, err := h.window(r.start, r.end)
+	if err != nil {
+		return *qs, err
+	}
+	if err := ctx.Err(); err != nil {
+		return *qs, err
+	}
+	began := time.Now()
+	var vids []tgraph.VID
+	var eids []tgraph.EID
+	if r.proj == ProjectVertices {
+		vids = h.ix.CoreVertices(h.g.g, r.k, w, nil)
+	} else {
+		eids = h.ix.CoreEdges(h.g.g, r.k, w, nil)
+	}
+	r.emitSnapshot(qs, fn, w, vids, eids)
+	qs.EnumTime = time.Since(began)
+	return *qs, nil
+}
 
 // HistoricalIndex answers historical k-core queries — "which vertices form
 // the k-core of the snapshot over [ts, te]?" — for every k at once, after a
@@ -65,35 +92,38 @@ func (h *HistoricalIndex) Contains(label int64, k int, start, end int64) (bool, 
 	return h.ix.InCore(v, k, w), nil
 }
 
-// CoreMembers returns the vertex labels of the k-core of the snapshot over
-// [start, end].
+// CoreMembers returns the vertex labels (sorted ascending) of the k-core
+// of the snapshot over [start, end].
+//
+// Deprecated: use the v2 builder, which adds context cancellation:
+// h.Query(k).Window(start, end).Project(ProjectVertices).First(ctx).
+// Since v2 the returned labels are sorted ascending (pre-v2 they followed
+// internal vertex-id order).
 func (h *HistoricalIndex) CoreMembers(k int, start, end int64) ([]int64, error) {
-	w, err := h.window(start, end)
+	c, ok, err := h.Query(k).Window(start, end).Project(ProjectVertices).First(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	vids := h.ix.CoreVertices(h.g.g, k, w, nil)
-	out := make([]int64, len(vids))
-	for i, v := range vids {
-		out[i] = h.g.g.Label(v)
+	if !ok {
+		return []int64{}, nil
 	}
-	return out, nil
+	return c.Vertices, nil
 }
 
 // CoreEdges returns the temporal edges of the k-core of the snapshot over
 // [start, end].
+//
+// Deprecated: use the v2 builder:
+// h.Query(k).Window(start, end).First(ctx).
 func (h *HistoricalIndex) CoreEdges(k int, start, end int64) ([]Edge, error) {
-	w, err := h.window(start, end)
+	c, ok, err := h.Query(k).Window(start, end).First(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	eids := h.ix.CoreEdges(h.g.g, k, w, nil)
-	out := make([]Edge, len(eids))
-	for i, e := range eids {
-		te := h.g.g.Edge(e)
-		out[i] = Edge{U: h.g.g.Label(te.U), V: h.g.g.Label(te.V), Time: h.g.g.RawTime(te.T)}
+	if !ok {
+		return []Edge{}, nil
 	}
-	return out, nil
+	return c.Edges, nil
 }
 
 // CoreNumber returns the largest k such that the vertex is in the k-core

@@ -144,7 +144,7 @@ func Run(d *Dataset, k int, queries []tgraph.Window, algo core.Algorithm, opts R
 			items[i] = core.BatchQuery{K: k, W: w, Opts: core.Options{Algorithm: algo, Stop: stop}}
 		}
 		wall := time.Now()
-		res := core.QueryBatch(d.G, items, opts.Parallelism, func(i int) enum.Sink { return &sinks[i] })
+		res := core.QueryBatch(nil, d.G, items, opts.Parallelism, func(i int) enum.Sink { return &sinks[i] })
 		m.Total = time.Since(wall)
 		for i, r := range res {
 			if r.Err != nil {

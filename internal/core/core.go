@@ -9,6 +9,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -75,6 +77,43 @@ type Options struct {
 	// Stop, when non-nil, imposes a time limit on the quadratic algorithms
 	// (EnumBase, OTCD); it is polled once per start time.
 	Stop func() bool
+	// Ctx, when non-nil, cancels the whole query: both the CoreTime settle
+	// loop and the enumeration poll it with a bounded stride and the query
+	// returns Ctx.Err(). A nil Ctx (the zero value) never cancels.
+	Ctx context.Context
+}
+
+// StopFromCtx converts a context into a poll hook for the stride-gated
+// cancellation checks of the engines, or nil when the context can never be
+// cancelled. Shared by every execution layer so the polling semantics live
+// in one place.
+func StopFromCtx(ctx context.Context) func() bool {
+	if ctx == nil {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// mergeStop combines two optional poll hooks.
+func mergeStop(a, b func() bool) func() bool {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func() bool { return a() || b() }
 }
 
 // Stats reports per-phase measurements of one query run.
@@ -109,22 +148,37 @@ func QueryWith(g *tgraph.Graph, k int, w tgraph.Window, sink enum.Sink, opts Opt
 	if !w.Valid() || w.End > g.TMax() {
 		return st, fmt.Errorf("core: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, g.TMax())
 	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+	cancel := StopFromCtx(opts.Ctx)
 
 	if opts.Algorithm == AlgoOTCD {
 		oo := opts.OTCD
 		if oo.Stop == nil {
 			oo.Stop = opts.Stop
 		}
+		oo.Stop = mergeStop(oo.Stop, cancel)
 		start := time.Now()
 		ok := otcd.Enumerate(g, k, w, sink, oo)
 		st.EnumTime = time.Since(start)
 		st.Stopped = !ok
+		if err := ctxErr(opts.Ctx); err != nil {
+			return st, err
+		}
 		return st, nil
 	}
 
 	start := time.Now()
-	ix, ecs, err := vct.BuildScratch(g, k, w, &s.vct)
+	ix, ecs, err := vct.BuildScratchStop(g, k, w, &s.vct, cancel)
 	if err != nil {
+		if errors.Is(err, vct.ErrStopped) {
+			if cerr := ctxErr(opts.Ctx); cerr != nil {
+				err = cerr
+			}
+		}
 		return st, err
 	}
 	st.CoreTime = time.Since(start)
@@ -135,13 +189,32 @@ func QueryWith(g *tgraph.Graph, k int, w tgraph.Window, sink enum.Sink, opts Opt
 	var ok bool
 	switch opts.Algorithm {
 	case AlgoEnum:
-		ok = enum.EnumerateWith(g, ecs, sink, &s.enum)
+		var cancelled bool
+		ok, cancelled = enum.EnumerateStop(g, ecs, sink, &s.enum, cancel)
+		if cancelled {
+			st.EnumTime = time.Since(start)
+			if err := ctxErr(opts.Ctx); err != nil {
+				return st, err
+			}
+		}
 	case AlgoEnumBase:
-		ok = enum.EnumerateBase(g, ecs, sink, enum.BaseOptions{HashOnlyDedup: opts.HashOnlyDedup, Stop: opts.Stop})
+		ok = enum.EnumerateBase(g, ecs, sink, enum.BaseOptions{HashOnlyDedup: opts.HashOnlyDedup, Stop: mergeStop(opts.Stop, cancel)})
+		if err := ctxErr(opts.Ctx); err != nil {
+			st.EnumTime = time.Since(start)
+			return st, err
+		}
 	default:
 		return st, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
 	}
 	st.EnumTime = time.Since(start)
 	st.Stopped = !ok
 	return st, nil
+}
+
+// ctxErr is ctx.Err() tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }

@@ -133,7 +133,14 @@ func (d *Index) Stale(w tgraph.Window) bool {
 // to sink, reusing the index's enumeration scratch. It returns false when
 // the sink stopped early.
 func (d *Index) Enumerate(sink enum.Sink) bool {
-	return enum.EnumerateWith(d.g, d.ecs, sink, &d.enumScratch)
+	done, _ := d.EnumerateStop(sink, nil)
+	return done
+}
+
+// EnumerateStop is Enumerate with a cancellation hook polled with a
+// bounded stride; see enum.EnumerateStop.
+func (d *Index) EnumerateStop(sink enum.Sink, stop func() bool) (done, cancelled bool) {
+	return enum.EnumerateStop(d.g, d.ecs, sink, &d.enumScratch, stop)
 }
 
 // Stats returns the refresh counters.

@@ -60,6 +60,19 @@ func Enumerate(g *tgraph.Graph, ecs *vct.ECS, sink Sink) bool {
 // makes repeated enumeration allocation-free. Each concurrent enumeration
 // needs its own Scratch.
 func EnumerateWith(g *tgraph.Graph, ecs *vct.ECS, sink Sink, s *Scratch) bool {
+	done, _ := EnumerateStop(g, ecs, sink, s, nil)
+	return done
+}
+
+// stopStride bounds how many start times the enumeration advances between
+// cancellation polls.
+const stopStride = 64
+
+// EnumerateStop is EnumerateWith with a cancellation hook: stop (when
+// non-nil) is polled every stopStride start times of the outer sweep.
+// done is false when the sink stopped the enumeration early or stop fired;
+// cancelled reports which of the two it was.
+func EnumerateStop(g *tgraph.Graph, ecs *vct.ECS, sink Sink, s *Scratch, stop func() bool) (done, cancelled bool) {
 	w := ecs.Range
 	tlen := int(w.End-w.Start) + 1
 	lo, hi := ecs.EdgeRange()
@@ -137,6 +150,9 @@ func EnumerateWith(g *tgraph.Graph, ecs *vct.ECS, sink Sink, s *Scratch) bool {
 	defer func() { s.edgeBuf = edgeBuf }()
 
 	for off := 0; off < tlen; off++ {
+		if stop != nil && off&(stopStride-1) == 0 && stop() {
+			return false, true
+		}
 		t := w.Start + tgraph.TS(off)
 
 		// Remove windows whose start time has passed (lines 14-16).
@@ -188,11 +204,11 @@ func EnumerateWith(g *tgraph.Graph, ecs *vct.ECS, sink Sink, s *Scratch) bool {
 			nx := n.next
 			if valid && (nx == nilNode || nodes[nx].end != n.end) {
 				if !sink.Emit(tgraph.Window{Start: t, End: n.end}, edgeBuf) {
-					return false
+					return false, false
 				}
 			}
 			cur = nx
 		}
 	}
-	return true
+	return true, false
 }

@@ -13,11 +13,24 @@ type AppendStats struct {
 	NewVertices int
 	NewPairs    int
 
+	// Relocations counts CSR segments (incidence, neighbour or pair-time)
+	// moved to the array tail with geometrically grown capacity because the
+	// batch overflowed their gap. Compactions counts full array rebuilds
+	// reclaiming relocation holes. Both stay near zero on a warm stream:
+	// each segment relocates O(log degree) times over its lifetime.
+	Relocations int
+	Compactions int
+
 	// FirstNewRank is the smallest compressed rank that received a new
 	// edge, the low-water mark of the dirty time-suffix for incremental
 	// index maintenance. 0 when Added == 0.
 	FirstNewRank TS
 }
+
+// gapCap returns the geometric segment capacity for a segment holding used
+// entries: ~1.25x headroom plus a constant, so repeated single-edge appends
+// to one vertex relocate its segment only O(log degree) times.
+func gapCap(used int32) int32 { return used + used>>2 + 4 }
 
 // Append extends the graph in place with a batch of raw edges whose
 // timestamps are all at or after the graph's current maximum raw timestamp
@@ -27,11 +40,15 @@ type AppendStats struct {
 //
 // Unlike a full Build, Append never sorts or re-maps the existing history:
 // the edge array, timestamp table and vertex labels grow at the end, and
-// only the flat CSR adjacency arrays (pair times, neighbour and incidence
-// lists) are re-merged with a linear copy pass when the batch touches them.
-// Within one timestamp, appended edges follow the existing edges in batch
-// order instead of the builder's (U,V) order; no algorithm in this module
-// depends on intra-timestamp order.
+// the flat CSR adjacency arrays (pair times, neighbour and incidence
+// lists) carry per-segment gap capacity. A batch that fits in the gaps
+// costs O(batch); a segment that overflows is relocated to the array tail
+// with geometrically doubled capacity, and the holes relocations leave
+// behind are reclaimed by an O(V+E) compaction only once they exceed half
+// the array — so edge-at-a-time streaming is amortised O(1) per edge
+// rather than O(V+E) per batch. Within one timestamp, appended edges
+// follow the existing edges in batch order instead of the builder's (U,V)
+// order; no algorithm in this module depends on intra-timestamp order.
 //
 // Append must not run concurrently with any reader of the graph, and it
 // invalidates indexes built on the previous state (see MutSeq).
@@ -116,6 +133,9 @@ func (g *Graph) Append(batch []RawEdge) (AppendStats, error) {
 	}
 	ws = out
 	if len(ws) == 0 {
+		// The batch may still have introduced vertices (as self-loop or
+		// duplicate endpoints they cannot, but keep the tables coherent).
+		g.growVertexTables()
 		return st, nil
 	}
 
@@ -138,7 +158,6 @@ func (g *Graph) Append(batch []RawEdge) (AppendStats, error) {
 	type pairKey struct{ u, v VID }
 	batchPair := make(map[pairKey]int32, len(ws))
 	touched := make(map[int32][]TS, len(ws))
-	anyOldPair := false
 	pairOf := make([]int32, len(ws))
 	for i, w := range ws {
 		key := pairKey{w.u, w.v}
@@ -151,12 +170,10 @@ func (g *Graph) Append(batch []RawEdge) (AppendStats, error) {
 			if p < 0 {
 				p = int32(len(g.pairs))
 				g.pairs = append(g.pairs, Pair{U: w.u, V: w.v})
+				g.pairCap = append(g.pairCap, 0)
 				st.NewPairs++
 			}
 			batchPair[key] = p
-		}
-		if p < int32(oldPairCount) {
-			anyOldPair = true
 		}
 		pairOf[i] = p
 		// ws is time sorted and exact duplicates are gone, so per-pair
@@ -164,29 +181,19 @@ func (g *Graph) Append(batch []RawEdge) (AppendStats, error) {
 		touched[p] = append(touched[p], ranks[i])
 	}
 
-	// Merge the pair-time table. When only new pairs gained times the old
-	// packed array is untouched and the new times append at its end;
-	// otherwise one linear copy pass re-packs it.
-	if anyOldPair {
-		npt := make([]TS, 0, len(g.pairTimes)+len(ws))
-		for pi := range g.pairs {
-			p := &g.pairs[pi]
-			off := int32(len(npt))
-			if pi < oldPairCount {
-				npt = append(npt, g.pairTimes[p.Off:p.Off+p.Len]...)
-			}
-			npt = append(npt, touched[int32(pi)]...)
-			p.Off = off
-			p.Len = int32(len(npt)) - off
+	// Grow the per-vertex segment tables for vertices first seen in this
+	// batch (empty segments; the inserts below open their capacity).
+	g.growVertexTables()
+
+	// Merge the pair-time table: each touched pair appends into its gap,
+	// relocating its segment with grown capacity when the gap is too small.
+	for p, ts := range touched {
+		pr := &g.pairs[p]
+		if pr.Len+int32(len(ts)) > g.pairCap[p] {
+			g.growPairSegment(p, int32(len(ts)), &st)
 		}
-		g.pairTimes = npt
-	} else {
-		for pi := oldPairCount; pi < len(g.pairs); pi++ {
-			p := &g.pairs[pi]
-			p.Off = int32(len(g.pairTimes))
-			g.pairTimes = append(g.pairTimes, touched[int32(pi)]...)
-			p.Len = int32(len(g.pairTimes)) - p.Off
-		}
+		copy(g.pairTimes[pr.Off+pr.Len:], ts)
+		pr.Len += int32(len(ts))
 	}
 
 	// Append the edge array; new edge ids continue the time order.
@@ -195,89 +202,152 @@ func (g *Graph) Append(batch []RawEdge) (AppendStats, error) {
 		g.edgePair = append(g.edgePair, pairOf[i])
 	}
 
-	// Extend the time groups. Offsets below the old last rank are
-	// unchanged; the last old group grows by the equal-time appends and
-	// new ranks continue after it.
+	// Extend the time groups in place. Offsets below the old last rank are
+	// unchanged; the last old group grows by the equal-time appends and new
+	// ranks continue after it.
 	newTMax := int(g.TMax())
 	addCnt := make([]int32, newTMax-int(oldTMax)+1)
 	for _, r := range ranks {
 		addCnt[int(r-oldTMax)]++
 	}
-	to := make([]int32, newTMax+2)
-	copy(to, g.timeOff[:oldTMax+1])
-	oldLast := g.timeOff[oldTMax+1] - g.timeOff[oldTMax]
-	to[oldTMax+1] = to[oldTMax] + oldLast + addCnt[0]
+	g.timeOff[oldTMax+1] += addCnt[0]
 	for t := int(oldTMax) + 1; t <= newTMax; t++ {
-		to[t+1] = to[t] + addCnt[t-int(oldTMax)]
-	}
-	g.timeOff = to
-
-	n := int(g.n)
-
-	// Re-merge the distinct-neighbour lists when new pairs appeared.
-	if st.NewPairs > 0 {
-		off := make([]int32, n+1)
-		for u := 0; u < oldN; u++ {
-			off[u+1] = g.nbrOff[u+1] - g.nbrOff[u]
-		}
-		for pi := oldPairCount; pi < len(g.pairs); pi++ {
-			p := g.pairs[pi]
-			off[p.U+1]++
-			off[p.V+1]++
-		}
-		for u := 0; u < n; u++ {
-			off[u+1] += off[u]
-		}
-		nbrs := make([]Nbr, off[n])
-		cur := make([]int32, n)
-		copy(cur, off[:n])
-		for u := 0; u < oldN; u++ {
-			cur[u] += int32(copy(nbrs[cur[u]:], g.nbrs[g.nbrOff[u]:g.nbrOff[u+1]]))
-		}
-		for pi := oldPairCount; pi < len(g.pairs); pi++ {
-			p := g.pairs[pi]
-			nbrs[cur[p.U]] = Nbr{V: p.V, Pair: int32(pi)}
-			cur[p.U]++
-			nbrs[cur[p.V]] = Nbr{V: p.U, Pair: int32(pi)}
-			cur[p.V]++
-		}
-		g.nbrOff, g.nbrs = off, nbrs
+		g.timeOff = append(g.timeOff, g.timeOff[t]+addCnt[t-int(oldTMax)])
 	}
 
-	// Re-merge the incidence lists. New edge ids exceed every old id and
-	// their times are at or after the old maximum, so per-vertex lists
-	// stay ascending by time.
-	{
-		off := make([]int32, n+1)
-		for u := 0; u < oldN; u++ {
-			off[u+1] = g.incOff[u+1] - g.incOff[u]
-		}
-		for _, w := range ws {
-			off[w.u+1]++
-			off[w.v+1]++
-		}
-		for u := 0; u < n; u++ {
-			off[u+1] += off[u]
-		}
-		inc := make([]EID, off[n])
-		cur := make([]int32, n)
-		copy(cur, off[:n])
-		for u := 0; u < oldN; u++ {
-			cur[u] += int32(copy(inc[cur[u]:], g.incEIDs[g.incOff[u]:g.incOff[u+1]]))
-		}
-		for i, w := range ws {
-			e := EID(oldEdgeCount + i)
-			inc[cur[w.u]] = e
-			cur[w.u]++
-			inc[cur[w.v]] = e
-			cur[w.v]++
-		}
-		g.incOff, g.incEIDs = off, inc
+	// Insert the new pairs into the endpoint neighbour lists.
+	for pi := oldPairCount; pi < len(g.pairs); pi++ {
+		p := g.pairs[pi]
+		g.insertNbr(p.U, Nbr{V: p.V, Pair: int32(pi)}, &st)
+		g.insertNbr(p.V, Nbr{V: p.U, Pair: int32(pi)}, &st)
 	}
+
+	// Insert the new edges into the endpoint incidence lists. New edge ids
+	// exceed every old id and their times are at or after the old maximum,
+	// so per-vertex lists stay ascending by time.
+	for i, w := range ws {
+		e := EID(oldEdgeCount + i)
+		g.insertInc(w.u, e, &st)
+		g.insertInc(w.v, e, &st)
+	}
+
+	// Reclaim relocation holes once they dominate the arrays.
+	g.maybeCompact(&st)
 
 	st.Added = len(ws)
 	g.mutSeq++
 	return st, nil
+}
+
+// growVertexTables extends the per-vertex CSR segment tables to the current
+// vertex count; new vertices start with empty zero-capacity segments.
+func (g *Graph) growVertexTables() {
+	for u := len(g.incCap); u < int(g.n); u++ {
+		it := int32(len(g.incEIDs))
+		g.incSeg = append(g.incSeg, packSeg(it, it))
+		g.incCap = append(g.incCap, 0)
+		nt := int32(len(g.nbrs))
+		g.nbrSeg = append(g.nbrSeg, packSeg(nt, nt))
+		g.nbrCap = append(g.nbrCap, 0)
+	}
+}
+
+// growPairSegment relocates pair p's time segment to the tail of pairTimes
+// with capacity for need more entries, grown geometrically so a hot pair
+// relocates only O(log interactions) times.
+func (g *Graph) growPairSegment(p, need int32, st *AppendStats) {
+	pr := &g.pairs[p]
+	newCap := max(2*g.pairCap[p], gapCap(pr.Len+need))
+	off := int32(len(g.pairTimes))
+	g.pairTimes = append(g.pairTimes, make([]TS, newCap)...)
+	copy(g.pairTimes[off:], g.pairTimes[pr.Off:pr.Off+pr.Len])
+	g.ptWaste += g.pairCap[p]
+	pr.Off = off
+	g.pairCap[p] = newCap
+	st.Relocations++
+}
+
+// insertNbr appends nb to u's neighbour segment, relocating it on overflow.
+func (g *Graph) insertNbr(u VID, nb Nbr, st *AppendStats) {
+	off, end := unpackSeg(g.nbrSeg[u])
+	if end-off == g.nbrCap[u] {
+		used := end - off
+		newCap := max(2*g.nbrCap[u], gapCap(used+1))
+		no := int32(len(g.nbrs))
+		g.nbrs = append(g.nbrs, make([]Nbr, newCap)...)
+		copy(g.nbrs[no:], g.nbrs[off:end])
+		g.nbrWaste += g.nbrCap[u]
+		g.nbrCap[u] = newCap
+		off, end = no, no+used
+		st.Relocations++
+	}
+	g.nbrs[end] = nb
+	g.nbrSeg[u] = packSeg(off, end+1)
+}
+
+// insertInc appends e to u's incidence segment, relocating it on overflow.
+func (g *Graph) insertInc(u VID, e EID, st *AppendStats) {
+	off, end := unpackSeg(g.incSeg[u])
+	if end-off == g.incCap[u] {
+		used := end - off
+		newCap := max(2*g.incCap[u], gapCap(used+1))
+		no := int32(len(g.incEIDs))
+		g.incEIDs = append(g.incEIDs, make([]EID, newCap)...)
+		copy(g.incEIDs[no:], g.incEIDs[off:end])
+		g.incWaste += g.incCap[u]
+		g.incCap[u] = newCap
+		off, end = no, no+used
+		st.Relocations++
+	}
+	g.incEIDs[end] = e
+	g.incSeg[u] = packSeg(off, end+1)
+}
+
+// maybeCompact rebuilds any CSR array whose relocation holes exceed half
+// its length, re-packing segments in index order with geometric gaps
+// preserved. Amortised against the relocations that created the holes.
+func (g *Graph) maybeCompact(st *AppendStats) {
+	if int(g.incWaste) > len(g.incEIDs)/2 && len(g.incEIDs) > 1024 {
+		inc := make([]EID, 0, len(g.incEIDs)-int(g.incWaste))
+		for u := 0; u < int(g.n); u++ {
+			o, e := unpackSeg(g.incSeg[u])
+			off, used := int32(len(inc)), e-o
+			inc = append(inc, g.incEIDs[o:e]...)
+			c := gapCap(used)
+			inc = append(inc, make([]EID, c-used)...)
+			g.incSeg[u] = packSeg(off, off+used)
+			g.incCap[u] = c
+		}
+		g.incEIDs, g.incWaste = inc, 0
+		st.Compactions++
+	}
+	if int(g.nbrWaste) > len(g.nbrs)/2 && len(g.nbrs) > 1024 {
+		nbrs := make([]Nbr, 0, len(g.nbrs)-int(g.nbrWaste))
+		for u := 0; u < int(g.n); u++ {
+			o, e := unpackSeg(g.nbrSeg[u])
+			off, used := int32(len(nbrs)), e-o
+			nbrs = append(nbrs, g.nbrs[o:e]...)
+			c := gapCap(used)
+			nbrs = append(nbrs, make([]Nbr, c-used)...)
+			g.nbrSeg[u] = packSeg(off, off+used)
+			g.nbrCap[u] = c
+		}
+		g.nbrs, g.nbrWaste = nbrs, 0
+		st.Compactions++
+	}
+	if int(g.ptWaste) > len(g.pairTimes)/2 && len(g.pairTimes) > 1024 {
+		pt := make([]TS, 0, len(g.pairTimes)-int(g.ptWaste))
+		for pi := range g.pairs {
+			p := &g.pairs[pi]
+			off := int32(len(pt))
+			pt = append(pt, g.pairTimes[p.Off:p.Off+p.Len]...)
+			c := gapCap(p.Len)
+			pt = append(pt, make([]TS, c-p.Len)...)
+			p.Off, g.pairCap[pi] = off, c
+		}
+		g.pairTimes, g.ptWaste = pt, 0
+		st.Compactions++
+	}
 }
 
 // MutSeq returns the graph's mutation sequence number, incremented by every

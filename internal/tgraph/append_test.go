@@ -234,3 +234,60 @@ func TestAppendBasics(t *testing.T) {
 		t.Fatalf("MutSeq moved on no-op appends: %d -> %d", seq, g.MutSeq())
 	}
 }
+
+// TestAppendOneByOneAmortised streams thousands of single-edge batches and
+// checks both correctness (identical to a from-scratch build) and the
+// amortisation accounting: segment relocations must be logarithmic per
+// vertex, not linear in the number of appends, and compactions rare.
+func TestAppendOneByOneAmortised(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n, base, stream = 120, 400, 4000
+	var triples []rawTriple
+	time := int64(0)
+	for len(triples) < base {
+		u, v := int64(r.Intn(n)), int64(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if r.Intn(3) == 0 {
+			time++
+		}
+		triples = append(triples, rawTriple{u, v, time})
+	}
+	g := buildFrom(t, triples)
+
+	var reloc, compact int
+	for i := 0; i < stream; i++ {
+		if r.Intn(3) == 0 {
+			time++
+		}
+		u, v := int64(r.Intn(n)), int64(r.Intn(n))
+		if u == v {
+			v = (v + 1) % n
+		}
+		st, err := g.Append([]tgraph.RawEdge{{U: u, V: v, Time: time}})
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		reloc += st.Relocations
+		compact += st.Compactions
+		if st.Added == 1 {
+			triples = append(triples, rawTriple{u, v, time})
+		}
+	}
+
+	want := buildFrom(t, triples)
+	if got, exp := canonicalForm(t, g), canonicalForm(t, want); got != exp {
+		t.Fatalf("streamed graph differs from scratch build\n--- append ---\n%s--- build ---\n%s", got, exp)
+	}
+
+	// Each of the ~n vertices/pairs relocates O(log degree) times; with
+	// 2x growth and 1.25x compaction slack the total must stay well below
+	// one relocation per appended edge.
+	if reloc > stream {
+		t.Errorf("relocations = %d for %d single-edge appends; amortisation failed", reloc, stream)
+	}
+	if compact > 40 {
+		t.Errorf("compactions = %d for %d single-edge appends; compaction threshold broken", compact, stream)
+	}
+}

@@ -60,3 +60,46 @@ func BenchmarkEdgesIn(b *testing.B) {
 		g.EdgesIn(tgraph.Window{Start: s, End: e})
 	}
 }
+
+// BenchmarkAppendOneByOne measures worst-case streaming ingestion: one edge
+// per Append call. With exact-packed CSR arrays every call re-merged
+// O(V+E) state, making N single-edge appends quadratic in N; with
+// per-segment gap capacity each call amortises to O(1) (relocations are
+// geometric, compactions reclaim holes), so ns/op should stay flat as the
+// graph grows.
+func BenchmarkAppendOneByOne(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	base := make([]tgraph.RawEdge, 5000)
+	for i := range base {
+		base[i] = tgraph.RawEdge{
+			U:    int64(r.Intn(1500)),
+			V:    int64(r.Intn(1500)),
+			Time: int64(i / 2),
+		}
+	}
+	var bd tgraph.Builder
+	for _, e := range base {
+		if e.U != e.V {
+			bd.AddEdge(e)
+		}
+	}
+	g, err := bd.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := int64(len(base) / 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%3 == 0 {
+			t++ // mix same-timestamp and frontier-advancing appends
+		}
+		u, v := int64(r.Intn(1500)), int64(r.Intn(1500))
+		if u == v {
+			v = (v + 1) % 1500
+		}
+		if _, err := g.Append([]tgraph.RawEdge{{U: u, V: v, Time: t}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -201,19 +201,27 @@ func (b *Builder) Build() (*Graph, error) {
 		g.timeOff[t+1] += g.timeOff[t]
 	}
 
-	// Distinct-neighbour lists.
+	// Distinct-neighbour lists. Build packs every CSR segment exactly: used
+	// length == capacity, segments in vertex order, no gaps. Overflowing
+	// Appends open geometric gaps later (see append.go).
 	n := int(g.n)
-	g.nbrOff = make([]int32, n+1)
+	bnd := make([]int32, n+1)
 	for _, p := range g.pairs {
-		g.nbrOff[p.U+1]++
-		g.nbrOff[p.V+1]++
+		bnd[p.U+1]++
+		bnd[p.V+1]++
 	}
 	for u := 0; u < n; u++ {
-		g.nbrOff[u+1] += g.nbrOff[u]
+		bnd[u+1] += bnd[u]
 	}
-	g.nbrs = make([]Nbr, g.nbrOff[n])
+	g.nbrs = make([]Nbr, bnd[n])
+	g.nbrSeg = make([]uint64, n)
+	g.nbrCap = make([]int32, n)
 	cur := make([]int32, n)
-	copy(cur, g.nbrOff[:n])
+	copy(cur, bnd[:n])
+	for u := 0; u < n; u++ {
+		g.nbrSeg[u] = packSeg(bnd[u], bnd[u+1])
+		g.nbrCap[u] = bnd[u+1] - bnd[u]
+	}
 	for pi, p := range g.pairs {
 		g.nbrs[cur[p.U]] = Nbr{V: p.V, Pair: int32(pi)}
 		cur[p.U]++
@@ -222,21 +230,34 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 
 	// Incidence lists, ascending by time because edge ids are time sorted.
-	g.incOff = make([]int32, n+1)
+	for u := range bnd {
+		bnd[u] = 0
+	}
 	for _, e := range g.edges {
-		g.incOff[e.U+1]++
-		g.incOff[e.V+1]++
+		bnd[e.U+1]++
+		bnd[e.V+1]++
 	}
 	for u := 0; u < n; u++ {
-		g.incOff[u+1] += g.incOff[u]
+		bnd[u+1] += bnd[u]
 	}
-	g.incEIDs = make([]EID, g.incOff[n])
-	copy(cur, g.incOff[:n])
+	g.incEIDs = make([]EID, bnd[n])
+	g.incSeg = make([]uint64, n)
+	g.incCap = make([]int32, n)
+	copy(cur, bnd[:n])
+	for u := 0; u < n; u++ {
+		g.incSeg[u] = packSeg(bnd[u], bnd[u+1])
+		g.incCap[u] = bnd[u+1] - bnd[u]
+	}
 	for i, e := range g.edges {
 		g.incEIDs[cur[e.U]] = EID(i)
 		cur[e.U]++
 		g.incEIDs[cur[e.V]] = EID(i)
 		cur[e.V]++
+	}
+
+	g.pairCap = make([]int32, len(g.pairs))
+	for pi := range g.pairs {
+		g.pairCap[pi] = g.pairs[pi].Len
 	}
 
 	return g, nil

@@ -16,10 +16,25 @@ import (
 //     edges after the existing ones; no algorithm depends on the
 //     intra-timestamp order.
 //   - pairs lists every distinct vertex pair (U < V); pairTimes[p.Off:p.Off+p.Len]
-//     are the pair's interaction times, strictly ascending.
-//   - nbrs[nbrOff[u]:nbrOff[u+1]] are u's distinct neighbours.
-//   - incEIDs[incOff[u]:incOff[u+1]] are the temporal edges incident to u,
-//     ascending by time.
+//     are the pair's interaction times, strictly ascending. The pair owns
+//     the segment [p.Off, p.Off+pairCap[pi]); entries past p.Len are spare
+//     gap capacity for Append (garbage, never read).
+//   - nbrs[off:end] with (off, end) = unpacked nbrSeg[u] are u's distinct
+//     neighbours; the vertex owns [off, off+nbrCap[u]) with the tail past
+//     end as gap capacity. The segment is packed into one uint64
+//     (off | end<<32) so the hot read path costs a single load and bounds
+//     check, measurably faster than two separate index loads on the
+//     CoreTime fixed-point loop.
+//   - incEIDs[off:end] with (off, end) = unpacked incSeg[u] are the
+//     temporal edges incident to u, ascending by time; the vertex owns
+//     [off, off+incCap[u]) with the tail as gap capacity.
+//
+// Build packs every segment exactly (zero gaps, segments in vertex order).
+// Append opens geometric per-segment gaps on overflow by relocating the
+// overflowing segment to the array tail with doubled capacity, so streaming
+// ingestion amortises to O(batch) instead of re-merging the whole CSR per
+// batch; abandoned holes are reclaimed by a compaction pass once they
+// exceed half the array (see append.go).
 type Graph struct {
 	n int32
 
@@ -28,12 +43,18 @@ type Graph struct {
 
 	pairs     []Pair
 	pairTimes []TS
+	pairCap   []int32 // per pair: segment capacity in pairTimes
+	ptWaste   int32   // dead entries abandoned by pair-segment relocations
 
-	nbrOff []int32
-	nbrs   []Nbr
+	nbrSeg   []uint64 // per vertex: packed (offset | end<<32) into nbrs
+	nbrCap   []int32  // per vertex: segment capacity
+	nbrs     []Nbr
+	nbrWaste int32
 
-	incOff  []int32
-	incEIDs []EID
+	incSeg   []uint64 // per vertex: packed (offset | end<<32) into incEIDs
+	incCap   []int32  // per vertex: segment capacity
+	incEIDs  []EID
+	incWaste int32
 
 	timeOff []int32 // len TMax+2; edges with T==t are edges[timeOff[t]:timeOff[t+1]]
 
@@ -74,14 +95,29 @@ func (g *Graph) PairTimes(p int32) []TS {
 	return g.pairTimes[pr.Off : pr.Off+pr.Len]
 }
 
+// packSeg packs a segment's (offset, end) into the uint64 the per-vertex
+// CSR tables store; unpackSeg reverses it.
+func packSeg(off, end int32) uint64 { return uint64(uint32(off)) | uint64(uint32(end))<<32 }
+
+func unpackSeg(s uint64) (off, end int32) { return int32(uint32(s)), int32(uint32(s >> 32)) }
+
 // Neighbours returns the distinct-neighbour list of u.
-func (g *Graph) Neighbours(u VID) []Nbr { return g.nbrs[g.nbrOff[u]:g.nbrOff[u+1]] }
+func (g *Graph) Neighbours(u VID) []Nbr {
+	s := g.nbrSeg[u]
+	return g.nbrs[uint32(s):uint32(s>>32)]
+}
 
 // Degree returns the number of distinct neighbours of u over the whole graph.
-func (g *Graph) Degree(u VID) int { return int(g.nbrOff[u+1] - g.nbrOff[u]) }
+func (g *Graph) Degree(u VID) int {
+	s := g.nbrSeg[u]
+	return int(uint32(s>>32) - uint32(s))
+}
 
 // Incident returns the temporal edges incident to u, ascending by time.
-func (g *Graph) Incident(u VID) []EID { return g.incEIDs[g.incOff[u]:g.incOff[u+1]] }
+func (g *Graph) Incident(u VID) []EID {
+	s := g.incSeg[u]
+	return g.incEIDs[uint32(s):uint32(s>>32)]
+}
 
 // EdgesAt returns the edge-id range [lo, hi) of edges with timestamp t.
 func (g *Graph) EdgesAt(t TS) (lo, hi EID) {

@@ -2,12 +2,18 @@ package vct
 
 import (
 	"cmp"
+	"errors"
 	"fmt"
 	"slices"
 
 	"temporalkcore/internal/ds"
 	"temporalkcore/internal/tgraph"
 )
+
+// ErrStopped is returned by BuildScratchStop when its stop hook fired
+// before the build completed. Callers translate it to their own
+// cancellation error (typically ctx.Err()).
+var ErrStopped = errors.New("vct: build stopped")
 
 // Build computes the vertex core time index and the edge core window
 // skylines of g for parameter k over the query range w (Algorithm 2 plus
@@ -35,11 +41,24 @@ func Build(g *tgraph.Graph, k int, w tgraph.Window) (*Index, *ECS, error) {
 // Scratch values there is no shared state, so concurrent use is safe as
 // long as each goroutine brings its own Scratch.
 func BuildScratch(g *tgraph.Graph, k int, w tgraph.Window, s *Scratch) (*Index, *ECS, error) {
+	return BuildScratchStop(g, k, w, s, nil)
+}
+
+// BuildScratchStop is BuildScratch with a cancellation hook: stop (when
+// non-nil) is polled every stopStride worklist pops of the settle loop and
+// once per start-time transition. When it fires the build abandons its
+// partial state (the Scratch stays reusable) and returns ErrStopped, so a
+// runaway CoreTime phase cancels within one stride of work.
+func BuildScratchStop(g *tgraph.Graph, k int, w tgraph.Window, s *Scratch, stop func() bool) (*Index, *ECS, error) {
 	if err := validate(g, k, w); err != nil {
 		return nil, nil, err
 	}
 	b := newBuilder(g, k, w, s)
+	b.stop = stop
 	b.run()
+	if b.stopped {
+		return nil, nil, ErrStopped
+	}
 	b.indexInto(&s.ix)
 	b.skylinesInto(&s.ecs)
 	return &s.ix, &s.ecs, nil
@@ -57,12 +76,18 @@ type ecsRec struct {
 	win tgraph.Window
 }
 
+// stopStride bounds how much settle work runs between cancellation polls.
+const stopStride = 2048
+
 type builder struct {
 	g *tgraph.Graph
 	k int
 	w tgraph.Window
 
 	lo, hi tgraph.EID // edges inside w
+
+	stop    func() bool // optional cancellation hook, polled with a stride
+	stopped bool
 
 	*Scratch
 }
@@ -109,6 +134,9 @@ func (b *builder) run() {
 		}
 	}
 	b.settle(false)
+	if b.stopped {
+		return
+	}
 
 	// Record the initial index labels and edge core times.
 	for u := 0; u < g.NumVertices(); u++ {
@@ -125,6 +153,9 @@ func (b *builder) run() {
 	// Advance the start time.
 	for s := w.Start; s < w.End; s++ {
 		b.transition(s)
+		if b.stopped {
+			return
+		}
 	}
 
 	// Flush the final windows of edges alive at the last start time (their
@@ -143,6 +174,9 @@ func (b *builder) transition(s tgraph.TS) {
 
 	// Re-settle the fixed point for start time s+1.
 	b.settle(true)
+	if b.stopped {
+		return
+	}
 
 	b.record(s)
 }
@@ -212,9 +246,20 @@ func (b *builder) record(s tgraph.TS) {
 }
 
 // settle runs the worklist until no core time can be raised. When track is
-// true the raised vertices are appended to b.changed.
+// true the raised vertices are appended to b.changed. A cancelled build
+// abandons the worklist mid-settle; callers check b.stopped. The stop hook
+// poll is hoisted behind a single predictable branch plus a local stride
+// counter so uncancellable builds pay nothing on this hot loop.
 func (b *builder) settle(track bool) {
+	poll := b.stop != nil
+	tick := 0
 	for b.q.Len() > 0 {
+		if poll {
+			if tick++; tick&(stopStride-1) == 0 && b.stop() {
+				b.stopped = true
+				return
+			}
+		}
 		u := tgraph.VID(b.q.Pop())
 		b.inQ[u] = false
 		nv := b.eval(u)

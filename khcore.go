@@ -1,11 +1,42 @@
 package temporalkcore
 
 import (
-	"fmt"
+	"context"
+	"time"
 
 	"temporalkcore/internal/khcore"
 	"temporalkcore/internal/tgraph"
 )
+
+// runSnapshot executes a Snapshot(h) request: the single (k, h)-core of
+// the snapshot over the window, emitted as one Core (or none when empty).
+func (r *Request) runSnapshot(ctx context.Context, qs *QueryStats, fn func(Core) bool) (QueryStats, error) {
+	w, err := r.g.window(r.start, r.end)
+	if err != nil {
+		return *qs, err
+	}
+	if err := ctx.Err(); err != nil {
+		return *qs, err
+	}
+	began := time.Now()
+	p := khcore.NewPeeler(r.g.g)
+	var vids []tgraph.VID
+	var eids []tgraph.EID
+	if r.proj == ProjectVertices {
+		inCore, n := p.CoreOfWindow(r.k, r.h, w)
+		vids = make([]tgraph.VID, 0, n)
+		for v, in := range inCore {
+			if in {
+				vids = append(vids, tgraph.VID(v))
+			}
+		}
+	} else {
+		eids = p.CoreEdges(r.k, r.h, w, nil)
+	}
+	r.emitSnapshot(qs, fn, w, vids, eids)
+	qs.EnumTime = time.Since(began)
+	return *qs, nil
+}
 
 // KHCore returns the members of the (k, h)-core of the snapshot over the
 // raw range [start, end]: the maximal subgraph in which every vertex has
@@ -13,41 +44,34 @@ import (
 // the range. It implements the related temporal cohesion model of Wu et
 // al. (IEEE BigData 2015), surveyed in Section III-B of the reproduced
 // paper; (k, 1)-cores coincide with ordinary snapshot k-cores.
+//
+// Deprecated: use the v2 builder, which adds context cancellation and
+// projections: g.Query(k).Window(start, end).Snapshot(h).First(ctx).
+// Since v2 the returned labels are sorted ascending (pre-v2 they followed
+// internal vertex-id order).
 func (g *Graph) KHCore(k, h int, start, end int64) ([]int64, error) {
-	if k < 1 || h < 1 {
-		return nil, fmt.Errorf("temporalkcore: k and h must be >= 1, got k=%d h=%d", k, h)
-	}
-	w, err := g.window(start, end)
+	c, ok, err := g.Query(k).Window(start, end).Snapshot(h).Project(ProjectVertices).First(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	p := khcore.NewPeeler(g.g)
-	inCore, n := p.CoreOfWindow(k, h, w)
-	out := make([]int64, 0, n)
-	for v, in := range inCore {
-		if in {
-			out = append(out, g.g.Label(tgraph.VID(v)))
-		}
+	if !ok {
+		return []int64{}, nil
 	}
-	return out, nil
+	return c.Vertices, nil
 }
 
 // KHCoreEdges returns the temporal edges of the (k, h)-core over the raw
 // range [start, end]; see KHCore.
+//
+// Deprecated: use the v2 builder:
+// g.Query(k).Window(start, end).Snapshot(h).First(ctx).
 func (g *Graph) KHCoreEdges(k, h int, start, end int64) ([]Edge, error) {
-	if k < 1 || h < 1 {
-		return nil, fmt.Errorf("temporalkcore: k and h must be >= 1, got k=%d h=%d", k, h)
-	}
-	w, err := g.window(start, end)
+	c, ok, err := g.Query(k).Window(start, end).Snapshot(h).First(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	p := khcore.NewPeeler(g.g)
-	eids := p.CoreEdges(k, h, w, nil)
-	out := make([]Edge, len(eids))
-	for i, e := range eids {
-		te := g.g.Edge(e)
-		out[i] = Edge{U: g.g.Label(te.U), V: g.g.Label(te.V), Time: g.g.RawTime(te.T)}
+	if !ok {
+		return []Edge{}, nil
 	}
-	return out, nil
+	return c.Edges, nil
 }

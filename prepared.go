@@ -1,10 +1,10 @@
 package temporalkcore
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"temporalkcore/internal/enum"
 	"temporalkcore/internal/tgraph"
 	"temporalkcore/internal/vct"
 )
@@ -63,30 +63,25 @@ func (p *PreparedQuery) PrepareTime() time.Duration { return p.coreTime }
 // enumeration scratch from the shared pool, so repeated calls on a warm
 // process allocate almost nothing. QueryStats.CoreTime stays zero — the
 // CoreTime phase ran in Prepare; see PrepareTime.
+//
+// Deprecated: use the v2 builder, which adds context cancellation and
+// projections: for c, err := range p.Query().Seq(ctx).
 func (p *PreparedQuery) CoresFunc(fn func(Core) bool) (QueryStats, error) {
-	qs := QueryStats{VCTSize: p.ix.Size(), ECSSize: p.ecs.Size()}
-	sink := &funcSink{g: p.g.g, fn: fn, qs: &qs}
-	start := time.Now()
-	enum.Enumerate(p.g.g, p.ecs, sink)
-	qs.EnumTime = time.Since(start)
-	return qs, nil
+	return p.Query().run(context.Background(), fn)
 }
 
 // Cores materialises every distinct temporal k-core.
+//
+// Deprecated: use the v2 builder: p.Query().Collect(ctx).
 func (p *PreparedQuery) Cores() ([]Core, error) {
-	var out []Core
-	_, err := p.CoresFunc(func(c Core) bool {
-		cp := c
-		cp.Edges = append([]Edge(nil), c.Edges...)
-		out = append(out, cp)
-		return true
-	})
-	return out, err
+	return p.Query().Collect(context.Background())
 }
 
 // Count counts cores and |R| without materialising anything.
+//
+// Deprecated: use the v2 builder: p.Query().Count(ctx).
 func (p *PreparedQuery) Count() (QueryStats, error) {
-	return p.CoresFunc(func(Core) bool { return true })
+	return p.Query().Count(context.Background())
 }
 
 // CoreTime returns the core time of a vertex label for a raw start time:

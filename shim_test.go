@@ -1,0 +1,93 @@
+package temporalkcore_test
+
+import (
+	"os/exec"
+	"testing"
+
+	tkc "temporalkcore"
+)
+
+// TestOldAPIExamplesCompile is the deprecation-shim smoke test: the
+// pre-v2 example programs (contact tracing, fraud rings, misinformation,
+// historical, streaming fraud) are kept on the v1 surface on purpose and
+// must keep compiling unchanged against the shims.
+func TestOldAPIExamplesCompile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cmd := exec.Command("go", "build", "./examples/...")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("old-API examples no longer compile: %v\n%s", err, out)
+	}
+}
+
+// TestShimsDelegateToV2 spot-checks that every deprecated entry point
+// still answers and agrees with its v2 replacement on a tiny graph, so a
+// shim can never silently drift from the engine it delegates to.
+func TestShimsDelegateToV2(t *testing.T) {
+	g, err := tkc.NewGraph([]tkc.Edge{
+		{U: 1, V: 2, Time: 1}, {U: 2, V: 3, Time: 2}, {U: 1, V: 3, Time: 3},
+		{U: 3, V: 4, Time: 4}, {U: 1, V: 4, Time: 5}, {U: 2, V: 4, Time: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := g.TimeSpan()
+
+	v1, err := g.Cores(2, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := g.CountCores(2, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(v1)) != qs.Cores {
+		t.Fatalf("Cores (%d) and CountCores (%d) disagree", len(v1), qs.Cores)
+	}
+	var streamed int
+	if _, err := g.CoresFunc(2, lo, hi, func(tkc.Core) bool { streamed++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != len(v1) {
+		t.Fatalf("CoresFunc streamed %d, Cores returned %d", streamed, len(v1))
+	}
+
+	p, err := g.Prepare(2, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := p.Cores()
+	if err != nil || len(pc) != len(v1) {
+		t.Fatalf("PreparedQuery.Cores = %d cores, err %v; want %d", len(pc), err, len(v1))
+	}
+
+	batch := g.QueryBatch([]tkc.QuerySpec{{K: 2, Start: lo, End: hi}})
+	if batch[0].Err != nil || len(batch[0].Cores) != len(v1) {
+		t.Fatalf("QueryBatch = %d cores, err %v; want %d", len(batch[0].Cores), batch[0].Err, len(v1))
+	}
+	cb := g.CountBatch([]tkc.QuerySpec{{K: 2, Start: lo, End: hi}}, 1)
+	if cb[0].Err != nil || cb[0].Stats.Cores != qs.Cores {
+		t.Fatalf("CountBatch = %+v; want %d cores", cb[0], qs.Cores)
+	}
+
+	if _, err := g.KHCore(2, 1, lo, hi); err != nil {
+		t.Fatalf("KHCore: %v", err)
+	}
+	h, err := g.BuildHistoricalIndex(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CoreMembers(2, lo, hi); err != nil {
+		t.Fatalf("CoreMembers: %v", err)
+	}
+	w, err := g.Watch(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := w.Cores()
+	if err != nil || len(wc) != len(v1) {
+		t.Fatalf("Watcher.Cores = %d cores, err %v; want %d", len(wc), err, len(v1))
+	}
+}

@@ -2,33 +2,50 @@ package temporalkcore
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 )
 
-// WriteCores streams every distinct temporal k-core of [start, end] to w
-// as NDJSON (one JSON object per line, in emission order). Because |R| can
+// WriteTo executes the request and streams every result core to w as
+// NDJSON (one JSON object per line, in emission order). Because |R| can
 // exceed the graph size by orders of magnitude, results are serialised as
-// they are produced and never accumulated. It returns the query stats.
-func (g *Graph) WriteCores(w io.Writer, k int, start, end int64, opts ...Options) (QueryStats, error) {
+// they are produced and never accumulated; cancelling ctx stops the
+// stream after the line being written. The wire format matches WriteCores
+// (Vertices appear as a "vertices" field under ProjectVertices).
+func (r *Request) WriteTo(ctx context.Context, w io.Writer) (QueryStats, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	enc := json.NewEncoder(bw)
 	var encErr error
-	qs, err := g.CoresFunc(k, start, end, func(c Core) bool {
-		if err := enc.Encode(coreJSON{Start: c.Start, End: c.End, Edges: edgeJSONs(c.Edges)}); err != nil {
+	qs, err := r.run(ctx, func(c Core) bool {
+		if err := enc.Encode(coreJSON{Start: c.Start, End: c.End, Edges: edgeJSONs(c.Edges), Vertices: c.Vertices}); err != nil {
 			encErr = err
 			return false
 		}
 		return true
-	}, opts...)
+	})
 	if err != nil {
+		// Deliver the complete lines already encoded (partial-delivery
+		// contract, matching Collect/RunBatch); the engine error wins
+		// over any flush failure.
+		bw.Flush()
 		return qs, err
 	}
 	if encErr != nil {
+		bw.Flush()
 		return qs, fmt.Errorf("temporalkcore: encoding cores: %w", encErr)
 	}
 	return qs, bw.Flush()
+}
+
+// WriteCores streams every distinct temporal k-core of [start, end] to w
+// as NDJSON; see Request.WriteTo. It returns the query stats.
+//
+// Deprecated: use the v2 builder, which adds context cancellation and
+// projections: g.Query(k).Window(start, end).WriteTo(ctx, w).
+func (g *Graph) WriteCores(w io.Writer, k int, start, end int64, opts ...Options) (QueryStats, error) {
+	return g.request(k, start, end, opts).WriteTo(context.Background(), w)
 }
 
 // ReadCores parses an NDJSON stream written by WriteCores, invoking fn per
@@ -53,10 +70,13 @@ func ReadCores(r io.Reader, fn func(Core) bool) error {
 }
 
 // coreJSON is the NDJSON schema: the TTI plus [u, v, t] edge triples.
+// Vertices appears only under ProjectVertices (WriteCores never sets it,
+// keeping its golden wire format unchanged).
 type coreJSON struct {
-	Start int64      `json:"start"`
-	End   int64      `json:"end"`
-	Edges [][3]int64 `json:"edges"`
+	Start    int64      `json:"start"`
+	End      int64      `json:"end"`
+	Edges    [][3]int64 `json:"edges"`
+	Vertices []int64    `json:"vertices,omitempty"`
 }
 
 func edgeJSONs(edges []Edge) [][3]int64 {

@@ -5,20 +5,36 @@
 // the snapshot of any sub-window, each exactly once, in time proportional
 // to the size of the output.
 //
-// Quick start:
+// Quick start (API v2 — the composable request builder):
 //
 //	g, err := temporalkcore.NewGraph([]temporalkcore.Edge{
 //		{U: 1, V: 2, Time: 10}, {U: 2, V: 3, Time: 11}, {U: 1, V: 3, Time: 12},
 //	})
-//	cores, err := g.Cores(2, 10, 12)
+//	cores, err := g.Query(2).Window(10, 12).Collect(ctx)
+//
+//	for c, err := range g.Query(2).Window(10, 12).Seq(ctx) {
+//		... // streamed; break stops the engine after the cores consumed
+//	}
+//
+// Every execution mode — one-shot, prepared (PreparedQuery.Query), batch
+// (RunBatch), the live sliding window (Watcher.Query), snapshot
+// (k,h)-cores (Request.Snapshot) and the historical PHC index
+// (HistoricalIndex.Query) — is reachable through the same Request type,
+// and every execution takes a context.Context. The enumeration engines
+// cancel both query phases promptly (bounded poll strides in the CoreTime
+// settle loop and the enumeration sweep); the single-pass snapshot and
+// historical lookups check the context once up front. The pre-v2 methods
+// (Cores, CoresFunc, CountCores, QueryBatch, ...) remain as thin
+// deprecated shims over the builder.
 //
 // The package speaks raw timestamps and vertex labels; compression to the
 // dense ranks the algorithms need happens internally. Algorithms other than
 // the default optimal one (the EnumBase strawman and the OTCD baseline from
-// the literature) are exposed for comparison via Options.
+// the literature) are exposed for comparison via Request.Algorithm.
 package temporalkcore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -125,10 +141,13 @@ func (g *Graph) TimeSpan() (min, max int64) {
 func (g *Graph) KMax() int { return kcore.KMax(g.g) }
 
 // Core is one temporal k-core result: its tightest time interval in raw
-// timestamps and its temporal edges.
+// timestamps and, depending on the request's Projection, its temporal
+// edges (ProjectEdges, the default) or its sorted distinct vertex labels
+// (ProjectVertices). Under ProjectCount both slices are nil.
 type Core struct {
 	Start, End int64
 	Edges      []Edge
+	Vertices   []int64
 }
 
 // Algorithm selects the enumeration strategy; see the internal/core docs.
@@ -160,68 +179,34 @@ type QueryStats struct {
 	EnumTime time.Duration
 }
 
+// request compiles the legacy (k, range, Options) triple into a v2
+// Request — the single execution plan every shimmed method delegates to.
+func (g *Graph) request(k int, start, end int64, opts []Options) *Request {
+	r := g.Query(k).Window(start, end)
+	if len(opts) > 0 {
+		r.Algorithm(opts[0].Algorithm)
+	}
+	return r
+}
+
 // CoresFunc streams every distinct temporal k-core of any window within
 // [start, end] (raw timestamps, inclusive) to fn, each exactly once. fn may
 // return false to stop early. The Core passed to fn (including its edge
 // slice) is only valid during the call unless copied.
+//
+// Deprecated: use the v2 builder, which adds context cancellation and owns
+// result copies: for c, err := range g.Query(k).Window(start, end).Seq(ctx).
 func (g *Graph) CoresFunc(k int, start, end int64, fn func(Core) bool, opts ...Options) (QueryStats, error) {
-	var qs QueryStats
-	if k < 1 {
-		return qs, fmt.Errorf("temporalkcore: k must be >= 1, got %d", k)
-	}
-	w, err := g.window(start, end)
-	if err != nil {
-		return qs, err
-	}
-	opt := Options{}
-	if len(opts) > 0 {
-		opt = opts[0]
-	}
-	sink := &funcSink{g: g.g, fn: fn, qs: &qs}
-	st, err := core.Query(g.g, k, w, sink, core.Options{Algorithm: opt.Algorithm})
-	if err != nil {
-		return qs, err
-	}
-	qs.VCTSize = st.VCTSize
-	qs.ECSSize = st.ECSSize
-	qs.CoreTime = st.CoreTime
-	qs.EnumTime = st.EnumTime
-	return qs, nil
-}
-
-type funcSink struct {
-	g   *tgraph.Graph
-	fn  func(Core) bool
-	qs  *QueryStats
-	buf []Edge
-}
-
-func (s *funcSink) Emit(tti tgraph.Window, eids []tgraph.EID) bool {
-	s.buf = s.buf[:0]
-	for _, e := range eids {
-		te := s.g.Edge(e)
-		s.buf = append(s.buf, Edge{
-			U:    s.g.Label(te.U),
-			V:    s.g.Label(te.V),
-			Time: s.g.RawTime(te.T),
-		})
-	}
-	rs, re := s.g.RawWindow(tti)
-	s.qs.Cores++
-	s.qs.Edges += int64(len(eids))
-	return s.fn(Core{Start: rs, End: re, Edges: s.buf})
+	return g.request(k, start, end, opts).run(context.Background(), fn)
 }
 
 // Cores materialises every distinct temporal k-core of any window within
 // [start, end].
+//
+// Deprecated: use the v2 builder:
+// g.Query(k).Window(start, end).Collect(ctx).
 func (g *Graph) Cores(k int, start, end int64, opts ...Options) ([]Core, error) {
-	var out []Core
-	_, err := g.CoresFunc(k, start, end, func(c Core) bool {
-		cp := c
-		cp.Edges = append([]Edge(nil), c.Edges...)
-		out = append(out, cp)
-		return true
-	}, opts...)
+	out, err := g.request(k, start, end, opts).Collect(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -230,8 +215,11 @@ func (g *Graph) Cores(k int, start, end int64, opts ...Options) ([]Core, error) 
 
 // CountCores counts the distinct temporal k-cores and their total edge size
 // (the paper's |R|) without materialising results.
+//
+// Deprecated: use the v2 builder:
+// g.Query(k).Window(start, end).Count(ctx).
 func (g *Graph) CountCores(k int, start, end int64, opts ...Options) (QueryStats, error) {
-	return g.CoresFunc(k, start, end, func(Core) bool { return true }, opts...)
+	return g.request(k, start, end, opts).Count(context.Background())
 }
 
 // CoreTimeEntry is one label of a vertex's core time index in raw
