@@ -52,8 +52,10 @@ type BatchResult struct {
 // Only one-shot enumeration requests built with Graph.Query may be
 // batched (prepared, watcher, snapshot and historical requests have their
 // own engines); a request bound to another engine or another graph
-// reports an error in its slot. Per-request options — Window, Algorithm,
-// Project, EarlyStop — all apply.
+// reports an error in its slot. Requests built from Snapshots of the same
+// graph are accepted and execute pinned to their own epoch, so a serving
+// batch can mix epochs while the writer appends. Per-request options —
+// Window, Algorithm, Project, EarlyStop — all apply.
 //
 // Cancelling ctx stops the batch early: completed requests keep their
 // results, the in-flight ones are cut at the next poll stride, and every
@@ -87,11 +89,15 @@ func (g *Graph) RunBatch(ctx context.Context, reqs []*Request, opts ...BatchOpti
 			res[i].Err = fmt.Errorf("temporalkcore: only one-shot enumeration requests can be batched")
 			continue
 		}
-		if r.g != g {
+		// Requests pinned to any epoch of the same underlying graph are
+		// accepted: each item executes against the graph state it was
+		// built from (live graph or frozen snapshot), so one batch can mix
+		// epochs while the writer keeps appending.
+		if r.g != g && r.g.origin != g.origin {
 			res[i].Err = fmt.Errorf("temporalkcore: batched request belongs to a different graph")
 			continue
 		}
-		w, err := g.window(r.start, r.end)
+		w, err := r.g.window(r.start, r.end)
 		if err != nil {
 			res[i].Err = err
 			continue
@@ -108,7 +114,7 @@ func (g *Graph) RunBatch(ctx context.Context, reqs []*Request, opts ...BatchOpti
 			// batches pay nearly the full materialisation CPU cost.
 			sink = &statsSink{qs: &rr.Stats}
 		} else {
-			sink = &projSink{g: g.g, proj: proj, qs: &rr.Stats, fn: func(c Core) bool {
+			sink = &projSink{g: r.g.g, proj: proj, qs: &rr.Stats, fn: func(c Core) bool {
 				cp := c
 				cp.Edges = append([]Edge(nil), c.Edges...)
 				cp.Vertices = append([]int64(nil), c.Vertices...)
@@ -119,7 +125,7 @@ func (g *Graph) RunBatch(ctx context.Context, reqs []*Request, opts ...BatchOpti
 		if r.limit > 0 {
 			sink = &enum.LimitSink{Inner: sink, Max: int64(r.limit)}
 		}
-		queries = append(queries, core.BatchQuery{K: r.k, W: w, Opts: core.Options{Algorithm: r.algo}})
+		queries = append(queries, core.BatchQuery{G: r.g.g, K: r.k, W: w, Opts: core.Options{Algorithm: r.algo}})
 		sinks = append(sinks, sink)
 		run = append(run, i)
 	}

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	tkc "temporalkcore"
@@ -57,11 +58,12 @@ func main() {
 		follow    = flag.Bool("follow", false, "tail an edge stream from stdin and report trailing-window cores per batch")
 		span      = flag.Int64("span", 0, "follow: trailing window span in raw time units (0 = entire history)")
 		every     = flag.Int("every", 1000, "follow: append batch size in edges")
+		readers   = flag.Int("readers", 0, "follow: serve this many concurrent query readers during ingest (0 = report inline only)")
 	)
 	flag.Parse()
 
 	if *follow {
-		runFollow(*graphPath, *k, *span, *every)
+		runFollow(*graphPath, *k, *span, *every, *readers)
 		return
 	}
 	if *graphPath == "" {
@@ -168,7 +170,15 @@ func runBatch(ctx context.Context, g *tkc.Graph, ks string, start, end int64, al
 // one. After each appended batch the trailing-window core count is
 // refreshed through a Watcher, so the CoreTime tables are patched for the
 // dirty time-suffix instead of rebuilt.
-func runFollow(graphPath string, k int, span int64, every int) {
+//
+// With -readers N the command also serves queries concurrently with the
+// ingest: N goroutines continuously run trailing-window count queries
+// against the watcher's lock-free read path (each query pins the epoch
+// published by the last batch), demonstrating snapshot-isolated serving —
+// readers never block the appending writer and never see a half-applied
+// batch. A per-reader query count and aggregate QPS are reported at the
+// end of the stream.
+func runFollow(graphPath string, k int, span int64, every, readers int) {
 	if every < 1 {
 		every = 1
 	}
@@ -223,8 +233,31 @@ func runFollow(graphPath string, k int, span int64, every int) {
 	}
 	report(g.NumEdges(), g.NumEdges())
 
+	// Concurrent serving: readers hammer the watcher's lock-free read path
+	// while the loop below keeps appending.
+	ctx, stopServe := context.WithCancel(context.Background())
+	var served sync.WaitGroup
+	queries := make([]int64, readers)
+	serveStart := time.Now()
+	for ri := 0; ri < readers; ri++ {
+		served.Add(1)
+		go func(ri int) {
+			defer served.Done()
+			for ctx.Err() == nil {
+				if _, err := w.Query().Count(ctx); err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					log.Fatalf("reader %d: %v", ri, err)
+				}
+				queries[ri]++
+			}
+		}(ri)
+	}
+
 	ar := tkc.NewAppendReader(g, in)
 	ar.BatchSize = every
+	ar.Via = w // batches publish epochs, so the readers above stay isolated
 	for {
 		n, err := ar.ReadBatch()
 		if err == io.EOF {
@@ -235,10 +268,21 @@ func runFollow(graphPath string, k int, span int64, every int) {
 		}
 		report(n, g.NumEdges())
 	}
+	stopServe()
+	served.Wait()
 	st := w.Stats()
 	fmt.Printf("stream done: %d edges appended, %d patched refreshes (%.1fms) / %d rebuilds (%.1fms)\n",
 		ar.Total(), st.Patches, float64(st.PatchTime.Microseconds())/1000,
 		st.Rebuilds, float64(st.RebuildTime.Microseconds())/1000)
+	if readers > 0 {
+		var total int64
+		for _, q := range queries {
+			total += q
+		}
+		secs := time.Since(serveStart).Seconds()
+		fmt.Printf("served %d concurrent queries from %d readers during ingest (%.0f QPS, per-reader %v)\n",
+			total, readers, float64(total)/secs, queries)
+	}
 }
 
 func printCore(i int, c tkc.Core, quiet bool) {

@@ -1,0 +1,74 @@
+package temporalkcore
+
+import (
+	"sync/atomic"
+
+	"temporalkcore/internal/tgraph"
+)
+
+// epochHub carries the epoch-publication state shared between a live Graph
+// and every Snapshot derived from it: the atomically published latest
+// epoch readers serve from.
+type epochHub struct {
+	latest atomic.Pointer[Snapshot]
+}
+
+// newGraph wraps an internal graph as a public one with a fresh epoch hub.
+func newGraph(tg *tgraph.Graph) *Graph {
+	return &Graph{g: tg, hub: &epochHub{}, origin: tg}
+}
+
+// Snapshot is an immutable point-in-time view of a Graph under the
+// snapshot-isolation model: the entire read API — Query and every
+// execution mode, Prepare, RunBatch, Watch, CoreTimes, stats accessors —
+// works on a Snapshot exactly as on the Graph it was frozen from, and
+// keeps answering for that exact state while the live graph appends
+// concurrently. Plans compiled from a Snapshot (requests, prepared
+// queries, batches) are pinned to its epoch for their whole execution.
+//
+// A Snapshot is cheap: it copies only the graph's segment directories
+// (O(V + pairs + timestamps) words) and shares the edge history arrays
+// with the live graph; see the internal Freeze documentation for the
+// memory model that makes the sharing safe. Snapshots need no explicit
+// release — a retired epoch is reclaimed by the garbage collector once the
+// last reader drops it (the refresh-table arenas inside a Watcher are
+// refcounted and recycled more aggressively; see Watcher).
+//
+// Appending to a Snapshot returns an error; append to the live Graph and
+// freeze again.
+type Snapshot struct {
+	*Graph
+}
+
+// Seq returns the epoch's mutation sequence number: the number of
+// edge-adding appends the live graph had absorbed when this snapshot was
+// frozen. It is the key callers use to pair a served result with the
+// exact graph state that produced it.
+func (s *Snapshot) Seq() int64 { return s.g.MutSeq() }
+
+// Freeze returns a Snapshot of the graph's current state without
+// publishing it. Freeze reads the mutable graph, so it must be called from
+// the writer goroutine (or while no Append runs); the returned Snapshot
+// may then be read from any goroutine, concurrently with further appends.
+func (g *Graph) Freeze() *Snapshot {
+	return &Snapshot{Graph: &Graph{g: g.g.Freeze(), hub: g.hub, origin: g.origin}}
+}
+
+// Publish freezes the graph's current state and publishes it as the
+// latest epoch, retiring the previous one; it returns the new Snapshot.
+// Like Freeze it is writer-only. Readers obtain the published epoch with
+// Latest, so the writer's cadence of Publish calls is the granularity at
+// which appended edges become visible to concurrent readers.
+func (g *Graph) Publish() *Snapshot {
+	s := g.Freeze()
+	g.hub.latest.Store(s)
+	return s
+}
+
+// Latest returns the most recently published epoch, or nil when the graph
+// has never been published. It is a single atomic load — safe from any
+// goroutine, any number of times, concurrently with the writer — and the
+// returned Snapshot stays consistent no matter how far the live graph
+// moves on. Epoch visibility is monotone: once a reader has seen sequence
+// number S, no later Latest call returns an older epoch.
+func (g *Graph) Latest() *Snapshot { return g.hub.latest.Load() }

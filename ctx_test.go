@@ -3,6 +3,7 @@ package temporalkcore_test
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -221,5 +222,89 @@ func TestCancelAllocSteady(t *testing.T) {
 	})
 	if midAllocs > 200 {
 		t.Errorf("mid-enumeration cancelled query allocates %.0f per run; scratch leaks on the cancel path", midAllocs)
+	}
+}
+
+// TestCancelMidPatchRefresh cancels a watcher query whose stale view
+// forces an incremental patch refresh (the dyn.Index.Refresh path): the
+// cancellation must land inside vct.PatchScratchStop's settle loop and
+// surface promptly as ctx.Err(), the watcher must stay serviceable, and
+// an uncancelled retry must agree with a one-shot query.
+func TestCancelMidPatchRefresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Two identical graph+watcher pairs: one times the uncancelled repair,
+	// the other is cancelled mid-patch.
+	mk := func() (*tkc.Graph, *tkc.Watcher, []tkc.Edge) {
+		g := reqGraph(t, 99, 900, 8000)
+		w, err := g.Watch(3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A large time-ordered batch: the dirty suffix the repair patch
+		// must re-settle.
+		_, hi := g.TimeSpan()
+		r := rand.New(rand.NewSource(17))
+		batch := make([]tkc.Edge, 0, 6000)
+		tme := hi
+		for len(batch) < cap(batch) {
+			u, v := int64(r.Intn(900)), int64(r.Intn(900))
+			if u == v {
+				continue
+			}
+			if r.Intn(3) == 0 {
+				tme++
+			}
+			batch = append(batch, tkc.Edge{U: u, V: v, Time: tme})
+		}
+		return g, w, batch
+	}
+
+	gRef, wRef, batch := mk()
+	if _, err := gRef.Append(batch...); err != nil { // direct append: watcher view now stale
+		t.Fatal(err)
+	}
+	began := time.Now()
+	if _, err := wRef.Query().Count(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	repairDur := time.Since(began)
+	if repairDur < 20*time.Millisecond {
+		t.Skipf("repair too fast to observe cancellation (%v)", repairDur)
+	}
+	st := wRef.Stats()
+	if st.Patches == 0 {
+		t.Fatalf("reference repair did not use the patch path (stats %+v)", st)
+	}
+
+	gCut, wCut, batch2 := mk()
+	if _, err := gCut.Append(batch2...); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), repairDur/20)
+	defer cancel()
+	began = time.Now()
+	_, err := wCut.Query().Count(ctx)
+	elapsed := time.Since(began)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled mid-patch query returned %v (in %v), want context.DeadlineExceeded", err, elapsed)
+	}
+	if elapsed > repairDur/2 {
+		t.Errorf("cancelled repair took %v of a %v repair; mid-patch cancellation is not prompt", elapsed, repairDur)
+	}
+
+	// The watcher survives the cancelled repair and converges on retry.
+	got, err := wCut.Query().Count(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := gCut.TimeSpan()
+	want, err := gCut.Query(3).Window(lo, hi).Count(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cores != want.Cores || got.Edges != want.Edges {
+		t.Fatalf("post-cancel watcher cores=%d |R|=%d, one-shot cores=%d |R|=%d", got.Cores, got.Edges, want.Cores, want.Edges)
 	}
 }

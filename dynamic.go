@@ -8,6 +8,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"temporalkcore/internal/dyn"
@@ -21,7 +22,15 @@ import (
 // duplicates are collapsed, matching NewGraph. It returns the number of
 // temporal edges actually added.
 //
-// Append must not run concurrently with queries on the same Graph.
+// Memory model: Append must not run concurrently with queries on the same
+// Graph value — but it never disturbs a Snapshot. Append writes only
+// memory no frozen epoch references (array growth past frozen lengths,
+// per-segment gap capacity beyond frozen segment ends), so one goroutine
+// may Append while any number of goroutines query epochs obtained from
+// Freeze, Publish or Latest, with no locking. Appended edges become
+// visible to those readers only at the next Publish (or Watcher.Append,
+// which publishes internally). Appending to a frozen Snapshot is an error.
+//
 // PreparedQuery and HistoricalIndex values built before an Append keep
 // answering for the graph as of their construction; windows touching the
 // append frontier may be stale. Use Watch for a view that follows appends
@@ -53,6 +62,12 @@ type AppendReader struct {
 	// BatchSize caps the number of edges one ReadBatch call appends.
 	// Defaults to 1024.
 	BatchSize int
+
+	// Via, when non-nil, routes every batch through Watcher.Append instead
+	// of Graph.Append, so each batch publishes a fresh epoch and refreshes
+	// the watch window — required when concurrent readers serve queries
+	// while the stream is ingested.
+	Via *Watcher
 
 	sc     *bufio.Scanner
 	lineNo int
@@ -95,7 +110,13 @@ func (ar *AppendReader) ReadBatch() (int, error) {
 	if len(ar.buf) == 0 {
 		return 0, io.EOF
 	}
-	added, err := ar.g.Append(ar.buf...)
+	var added int
+	var err error
+	if ar.Via != nil {
+		added, err = ar.Via.Append(ar.buf...)
+	} else {
+		added, err = ar.g.Append(ar.buf...)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -164,13 +185,32 @@ func parseEdgeLine(line string) (Edge, error) {
 // incrementally (internal/dyn) instead of rebuilding them, so per-batch
 // refresh cost follows the size of the change, not the history.
 //
-// A Watcher is single-writer: its methods must not run concurrently with
-// each other or with appends to the underlying graph.
+// Concurrency: a Watcher separates one writer from many readers. Append
+// (and implicit stale-repair) is writer-side — one goroutine at a time,
+// the same one that appends the graph. The query methods (Query and the
+// deprecated Cores/CoresFunc/CountCores, Window) are the read path: they
+// are safe from any number of goroutines concurrently with the writer, and
+// in steady state they are lock-free — each query pins the current
+// refcounted table view (built against a published graph epoch) with one
+// atomic operation, serves from it even if the writer publishes newer
+// views meanwhile, and releases it when done; a retired view's arena is
+// recycled when its last reader drains. Readers observe batches atomically
+// (a query sees a batch entirely or not at all) with monotone visibility.
+//
+// The one exception to lock-freedom is repairing staleness caused by
+// appends that bypassed the watcher (direct Graph.Append): a reader then
+// patches the tables itself under the writer lock, which is only safe when
+// no concurrent writer exists — under concurrent serving, route every
+// append through Watcher.Append.
 type Watcher struct {
 	g    *Graph
 	k    int
 	span int64
 	dix  *dyn.Index
+
+	// mu is the writer lock: it serialises Append, explicit refreshes and
+	// reader-side stale repair. The steady-state read path never takes it.
+	mu sync.Mutex
 }
 
 // WatchStats counts how the watcher's refreshes were served.
@@ -186,12 +226,20 @@ type WatchStats struct {
 // Watch creates a live view of the temporal k-cores in the trailing span
 // raw timestamps (for example, span=3600 on second-resolution data watches
 // the last hour). span <= 0 watches the entire history.
+//
+// Watch is writer-side: on a live graph it publishes the current state as
+// an epoch (see Publish) and binds the initial table view to it, so
+// concurrent readers never touch the mutable graph.
 func (g *Graph) Watch(k int, span int64) (*Watcher, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("temporalkcore: k must be >= 1, got %d", k)
 	}
 	w := &Watcher{g: g, k: k, span: span}
-	dix, err := dyn.New(g.g, k, w.target())
+	at := g.g
+	if !at.Frozen() {
+		at = g.Publish().Graph.g
+	}
+	dix, err := dyn.New(at, k, w.targetAt(at))
 	if err != nil {
 		return nil, err
 	}
@@ -199,9 +247,9 @@ func (g *Graph) Watch(k int, span int64) (*Watcher, error) {
 	return w, nil
 }
 
-// target is the compressed window currently covered by the watch span.
-func (w *Watcher) target() tgraph.Window {
-	tg := w.g.g
+// targetAt is the compressed window covered by the watch span on graph
+// state tg (the live graph under the writer lock, or a frozen epoch).
+func (w *Watcher) targetAt(tg *tgraph.Graph) tgraph.Window {
 	if w.span <= 0 {
 		return tg.FullWindow()
 	}
@@ -214,23 +262,68 @@ func (w *Watcher) target() tgraph.Window {
 }
 
 // Append appends a batch of edges to the underlying graph (see
-// Graph.Append) and refreshes the view to the new time frontier.
+// Graph.Append), publishes the new state as the graph's latest epoch and
+// refreshes the view to the new time frontier. Readers keep serving the
+// previous epoch lock-free until the refreshed view is published, then
+// pick up the new one — they never block on the writer and never see a
+// partially applied batch.
 func (w *Watcher) Append(edges ...Edge) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	n, err := w.g.Append(edges...)
-	if err != nil {
+	if err != nil || n == 0 {
 		return n, err
 	}
-	return n, w.dix.Refresh(w.target())
+	ep := w.g.Publish()
+	return n, w.dix.RefreshAt(ep.Graph.g, w.targetAt(ep.Graph.g), nil)
 }
 
-// refresh brings the tables current; it also repairs staleness caused by
-// appends that bypassed the watcher (direct Graph.Append calls).
-func (w *Watcher) refresh() error {
-	t := w.target()
-	if !w.dix.Stale(t) {
-		return nil
+// acquireView pins the current table view for a reader, returning the
+// release closure the reader must call when done. The fast path — the view
+// is current — is lock-free. A stale view (the graph advanced without the
+// watcher noticing, i.e. a direct Graph.Append) is repaired under the
+// writer lock first; while a concurrent writer holds that lock the reader
+// instead serves the still-published previous epoch rather than blocking.
+// stop cancels a repair patch mid-settle (the caller maps vct.ErrStopped
+// to its context error).
+func (w *Watcher) acquireView(stop func() bool) (*dyn.View, func(), error) {
+	for {
+		v, release := w.dix.Acquire()
+		if v.Seq == w.g.g.MutSeq() {
+			return v, release, nil
+		}
+		if w.mu.TryLock() {
+			release()
+		} else {
+			// A writer is mid-append or mid-refresh. Its batch becomes
+			// visible when it publishes; snapshot isolation lets us serve
+			// the current epoch-bound view meanwhile.
+			if v.G.Frozen() {
+				return v, release, nil
+			}
+			// The view is bound to the mutable graph (never-published
+			// usage): wait for the writer rather than race it.
+			release()
+			w.mu.Lock()
+		}
+		// Under the writer lock: repair if still stale, then retry. The
+		// repair publishes the graph's current state as a fresh epoch and
+		// binds the new view to it, never to the mutable graph — a view
+		// published here must stay safe for fast-path readers even if the
+		// caller later goes concurrent.
+		var err error
+		if w.dix.StaleAt(w.g.g, w.targetAt(w.g.g)) {
+			at := w.g.g
+			if !at.Frozen() {
+				at = w.g.Publish().Graph.g
+			}
+			err = w.dix.RefreshAt(at, w.targetAt(at), stop)
+		}
+		w.mu.Unlock()
+		if err != nil {
+			return nil, nil, err
+		}
 	}
-	return w.dix.Refresh(t)
 }
 
 // K returns the watched core parameter.
@@ -239,12 +332,16 @@ func (w *Watcher) K() int { return w.k }
 // Span returns the watched raw-time span (0 = entire history).
 func (w *Watcher) Span() int64 { return w.span }
 
-// Window returns the raw time range the view currently covers.
+// Window returns the raw time range the view currently covers. Like the
+// query methods it serves from the pinned view, so it is safe for
+// concurrent use with the writer.
 func (w *Watcher) Window() (start, end int64, err error) {
-	if err := w.refresh(); err != nil {
+	v, release, err := w.acquireView(nil)
+	if err != nil {
 		return 0, 0, err
 	}
-	start, end = w.g.g.RawWindow(w.dix.Window())
+	defer release()
+	start, end = v.G.RawWindow(v.W)
 	return start, end, nil
 }
 
@@ -277,9 +374,12 @@ func (w *Watcher) CountCores() (QueryStats, error) {
 }
 
 // Stats returns counters describing how refreshes were served; a healthy
-// streaming workload shows mostly patches.
+// streaming workload shows mostly patches. It takes the writer lock
+// briefly, so it may be called from any goroutine.
 func (w *Watcher) Stats() WatchStats {
+	w.mu.Lock()
 	st := w.dix.Stats()
+	w.mu.Unlock()
 	return WatchStats{
 		Patches:     st.Patches,
 		Rebuilds:    st.Rebuilds,

@@ -1,0 +1,133 @@
+package temporalkcore_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	tkc "temporalkcore"
+)
+
+// epochProbe renders every cheap observable dimension of a graph state —
+// shape counters, time span, and the k=2 full-range core count stats —
+// into one comparable string. Any torn segment read (a snapshot directory
+// pointing into writer-mutated memory) perturbs at least one of them.
+func epochProbe(g *tkc.Graph) (string, error) {
+	lo, hi := g.TimeSpan()
+	qs, err := g.Query(2).Window(lo, hi).Count(context.Background())
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("v=%d e=%d t=%d span=[%d,%d] cores=%d r=%d",
+		g.NumVertices(), g.NumEdges(), g.TimestampCount(), lo, hi, qs.Cores, qs.Edges), nil
+}
+
+// FuzzEpochPublish drives a fuzzed deterministic schedule of
+// append/publish/freeze/query operations against one graph and asserts
+// the two epoch invariants: no torn reads (every snapshot, probed at any
+// later point of the schedule, answers byte-identically to its probe at
+// freeze time AND to a quiesced graph rebuilt from its exact edge prefix)
+// and monotone epoch visibility (Latest never goes backwards).
+func FuzzEpochPublish(f *testing.F) {
+	f.Add([]byte{0, 1, 3, 0, 0, 2, 4, 0, 1, 3, 4, 2, 0, 0, 1, 3})
+	f.Add([]byte{2, 0, 4, 0, 4, 1, 0, 3, 0, 2, 0, 4, 1, 3})
+	f.Add([]byte{1, 1, 0, 3, 3, 0, 0, 0, 2, 2, 4, 4, 0, 1, 0, 3, 4})
+	f.Fuzz(func(t *testing.T, schedule []byte) {
+		if len(schedule) > 64 {
+			schedule = schedule[:64]
+		}
+		// A deterministic time-ordered edge stream with unique (u,v,t)
+		// triples: timestamps strictly increase, so appends never collapse
+		// duplicates and a prefix length pins a graph state exactly.
+		stream := make([]tkc.Edge, 600)
+		for i := range stream {
+			u := int64(i*7%23) + 1
+			v := int64(i*11%19) + 24
+			stream[i] = tkc.Edge{U: u, V: v, Time: int64(100 + i)}
+		}
+		next := 40 // edges applied so far
+		g, err := tkc.NewGraph(stream[:next])
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		type frozen struct {
+			s     *tkc.Snapshot
+			edges int
+			probe string
+		}
+		var held []frozen
+		freeze := func(s *tkc.Snapshot) {
+			p, err := epochProbe(s.Graph)
+			if err != nil {
+				t.Fatalf("probe at freeze: %v", err)
+			}
+			held = append(held, frozen{s: s, edges: s.NumEdges(), probe: p})
+		}
+		recheck := func(fi int) {
+			fz := held[fi]
+			p, err := epochProbe(fz.s.Graph)
+			if err != nil {
+				t.Fatalf("probe of held snapshot %d: %v", fi, err)
+			}
+			if p != fz.probe {
+				t.Fatalf("torn read: snapshot %d drifted under later ops:\n got %s\nwant %s", fi, p, fz.probe)
+			}
+		}
+
+		lastSeq := int64(-1)
+		for oi, op := range schedule {
+			switch op % 5 {
+			case 0: // append a batch
+				n := 1 + int(op)/16
+				if next+n > len(stream) {
+					continue
+				}
+				if _, err := g.Append(stream[next : next+n]...); err != nil {
+					t.Fatal(err)
+				}
+				next += n
+			case 1: // publish the current state
+				freeze(g.Publish())
+			case 2: // freeze without publishing
+				freeze(g.Freeze())
+			case 3: // observe the latest published epoch
+				s := g.Latest()
+				if s == nil {
+					continue
+				}
+				if s.Seq() < lastSeq {
+					t.Fatalf("epoch visibility went backwards: %d after %d", s.Seq(), lastSeq)
+				}
+				lastSeq = s.Seq()
+				if s.NumEdges() > g.NumEdges() {
+					t.Fatalf("published epoch ahead of the live graph: %d > %d edges", s.NumEdges(), g.NumEdges())
+				}
+			case 4: // re-probe a held snapshot
+				if len(held) > 0 {
+					recheck(int(op/5) % len(held))
+				}
+			}
+			_ = oi
+		}
+
+		// Epilogue: every held snapshot must still probe identically, and
+		// must match a quiesced graph rebuilt from its exact edge prefix.
+		for fi := range held {
+			recheck(fi)
+			fz := held[fi]
+			rebuilt, err := tkc.NewGraph(stream[:fz.edges])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := epochProbe(rebuilt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fz.probe != want {
+				t.Fatalf("snapshot %d differs from quiesced rebuild of its prefix (%d edges):\n got %s\nwant %s",
+					fi, fz.edges, fz.probe, want)
+			}
+		}
+	})
+}

@@ -10,8 +10,11 @@ import (
 	"temporalkcore/internal/tgraph"
 )
 
-// BatchQuery is one (k, window) item of a batch run.
+// BatchQuery is one (k, window) item of a batch run. G, when non-nil,
+// overrides the batch-wide graph for this item — the hook that lets one
+// batch mix requests pinned to different frozen epochs of the same graph.
 type BatchQuery struct {
+	G    *tgraph.Graph
 	K    int
 	W    tgraph.Window
 	Opts Options
@@ -73,7 +76,11 @@ func QueryBatch(ctx context.Context, g *tgraph.Graph, queries []BatchQuery, para
 				if q.Opts.Ctx == nil {
 					q.Opts.Ctx = ctx
 				}
-				res[i].Stats, res[i].Err = QueryWith(g, q.K, q.W, sinkFor(i), q.Opts, s)
+				qg := q.G
+				if qg == nil {
+					qg = g
+				}
+				res[i].Stats, res[i].Err = QueryWith(qg, q.K, q.W, sinkFor(i), q.Opts, s)
 				if res[i].Err != nil && ctx != nil && res[i].Err == ctx.Err() {
 					res[i].Cancelled = true
 				}

@@ -155,3 +155,61 @@ func TestMix64NotIdentity(t *testing.T) {
 		t.Error("adjacent inputs collide")
 	}
 }
+
+func TestGrowReusesCapacity(t *testing.T) {
+	s := make([]int32, 8, 64)
+	g := ds.Grow(s, 32)
+	if len(g) != 32 {
+		t.Fatalf("len = %d, want 32", len(g))
+	}
+	if &g[0] != &s[0] {
+		t.Error("Grow within capacity reallocated")
+	}
+	g2 := ds.Grow(g, 128)
+	if len(g2) != 128 {
+		t.Fatalf("len = %d, want 128", len(g2))
+	}
+	if cap(g2) < 128 {
+		t.Fatalf("cap = %d, want >= 128", cap(g2))
+	}
+	// Shrinking keeps the backing array.
+	g3 := ds.Grow(g2, 4)
+	if len(g3) != 4 || &g3[0] != &g2[0] {
+		t.Error("Grow shrink reallocated")
+	}
+}
+
+func TestGrowZeroClears(t *testing.T) {
+	s := []int32{1, 2, 3, 4, 5, 6, 7, 8}
+	g := ds.GrowZero(s[:8], 5)
+	for i, v := range g {
+		if v != 0 {
+			t.Fatalf("g[%d] = %d after GrowZero, want 0", i, v)
+		}
+	}
+	if &g[0] != &s[0] {
+		t.Error("GrowZero within capacity reallocated")
+	}
+	// Growth path allocates fresh (and therefore zeroed) storage.
+	g2 := ds.GrowZero(g, 1000)
+	if len(g2) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(g2))
+	}
+	for i, v := range g2 {
+		if v != 0 {
+			t.Fatalf("g2[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestGrowGenericTypes(t *testing.T) {
+	type pair struct{ a, b int64 }
+	p := ds.Grow([]pair(nil), 3)
+	if len(p) != 3 {
+		t.Fatalf("len = %d", len(p))
+	}
+	b := ds.GrowZero([]bool{true, true}, 2)
+	if b[0] || b[1] {
+		t.Error("GrowZero left true values")
+	}
+}

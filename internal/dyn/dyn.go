@@ -5,39 +5,59 @@
 // ECS) for the dirty time-suffix via vct.PatchScratch instead of
 // rebuilding them, which is what makes continuously ingesting workloads
 // (fraud streams, contact traces) affordable.
+//
+// Concurrency. The tables live in refcounted generations (Views): the
+// single writer Refreshes — building the next generation in a spare arena
+// while the current one keeps serving — and publishes it atomically; any
+// number of readers Acquire the current View lock-free and enumerate it
+// for as long as they hold the pin, regardless of how many refreshes
+// happen meanwhile. A retired View's arena returns to the index's free
+// list when its last reader drains, so steady-state serving ping-pongs
+// between a bounded set of arenas instead of allocating per refresh.
 package dyn
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"temporalkcore/internal/enum"
+	"temporalkcore/internal/epoch"
 	"temporalkcore/internal/tgraph"
 	"temporalkcore/internal/vct"
 )
 
+// View is one immutable generation of the maintained tables: the CoreTime
+// index and edge core window skylines over window W, built against graph
+// state G (the live graph for quiescent use, a frozen epoch under
+// concurrent serving). A View acquired from Index.Acquire stays valid —
+// tables unmodified, arena unreclaimed — until its release fn is called.
+type View struct {
+	G   *tgraph.Graph // graph state the tables were built against
+	Ix  *vct.Index
+	Ecs *vct.ECS
+	W   tgraph.Window
+	Seq int64 // G.MutSeq() when the tables were built
+
+	seqTMax tgraph.TS // G.TMax() at build: the dirty watermark for the next patch
+	s       *vct.Scratch
+}
+
 // Index is a dynamically maintained CoreTime view: one (k, window) whose
-// tables follow the graph through appends. An Index is single-writer:
-// Refresh and the query methods must not run concurrently with each other
-// or with Graph.Append.
+// tables follow the graph through appends. Refresh and the other write
+// methods are single-writer (one goroutine at a time, not concurrent with
+// Append on the live graph); Acquire is lock-free and safe from any
+// goroutine.
 type Index struct {
 	g *tgraph.Graph
 	k int
 
-	w   tgraph.Window
-	ix  *vct.Index
-	ecs *vct.ECS
+	guard epoch.Guard[*View]
 
-	// Ping-pong arenas: the live tables are backed by cur; a refresh
-	// patches from them into spare, then the two swap. Two arenas instead
-	// of one is what lets the patcher read the cached index while it
-	// assembles the replacement.
-	cur, spare *vct.Scratch
+	mu   sync.Mutex // guards free (drains release arenas on reader goroutines)
+	free []*vct.Scratch
 
 	enumScratch enum.Scratch
-
-	seq     int64     // graph mutation sequence the tables reflect
-	seqTMax tgraph.TS // graph TMax at that sequence
 
 	stats Stats
 }
@@ -58,47 +78,80 @@ func New(g *tgraph.Graph, k int, w tgraph.Window) (*Index, error) {
 	if g == nil {
 		return nil, fmt.Errorf("dyn: nil graph")
 	}
-	d := &Index{g: g, k: k, cur: new(vct.Scratch), spare: new(vct.Scratch)}
+	d := &Index{g: g, k: k}
 	began := time.Now()
-	ix, ecs, err := vct.BuildScratch(g, k, w, d.spare)
+	s := new(vct.Scratch)
+	ix, ecs, err := vct.BuildScratch(g, k, w, s)
 	if err != nil {
 		return nil, err
 	}
-	d.adopt(w, ix, ecs)
+	d.publish(&View{G: g, Ix: ix, Ecs: ecs, W: w, Seq: g.MutSeq(), seqTMax: g.TMax(), s: s})
 	d.stats.Rebuilds++
 	d.stats.RebuildTime += time.Since(began)
 	return d, nil
 }
 
-func (d *Index) adopt(w tgraph.Window, ix *vct.Index, ecs *vct.ECS) {
-	d.cur, d.spare = d.spare, d.cur
-	d.w, d.ix, d.ecs = w, ix, ecs
-	d.seq = d.g.MutSeq()
-	d.seqTMax = d.g.TMax()
+func (d *Index) publish(v *View) {
+	d.guard.Publish(v, func(old *View) {
+		d.mu.Lock()
+		d.free = append(d.free, old.s)
+		d.mu.Unlock()
+	})
 }
 
-// Refresh re-targets the view to w, reflecting every append since the last
-// refresh. The cached tables serve as the patch oracle: appends dirty only
-// ranks at or after the TMax recorded when the tables were built (appends
-// are time-ordered), so everything older is reused verbatim.
-func (d *Index) Refresh(w tgraph.Window) error {
-	if !w.Valid() || w.End > d.g.TMax() {
-		return fmt.Errorf("dyn: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, d.g.TMax())
+// spare returns an arena no live or pinned View references.
+func (d *Index) spare() *vct.Scratch {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n := len(d.free); n > 0 {
+		s := d.free[n-1]
+		d.free = d.free[:n-1]
+		return s
 	}
-	if w == d.w && d.g.MutSeq() == d.seq {
+	return new(vct.Scratch)
+}
+
+// Refresh re-targets the view to w against the live graph, reflecting
+// every append since the last refresh. See RefreshAt for the general form.
+func (d *Index) Refresh(w tgraph.Window) error { return d.RefreshAt(d.g, w, nil) }
+
+// RefreshAt re-targets the view to w against graph state at — the live
+// graph, or a frozen epoch of it under concurrent serving, in which case
+// the published View is bound to that epoch and readers never touch the
+// mutable graph. The cached tables serve as the patch oracle: appends
+// dirty only ranks at or after the TMax recorded when they were built
+// (appends are time-ordered), so everything older is reused verbatim.
+//
+// stop, when non-nil, cancels the patch (and its full-rebuild fallback)
+// with a bounded poll stride: RefreshAt then returns vct.ErrStopped, the
+// current View keeps serving unchanged, and the spare arena returns to the
+// free list — cancelled refreshes leak nothing.
+func (d *Index) RefreshAt(at *tgraph.Graph, w tgraph.Window, stop func() bool) error {
+	if at == nil {
+		at = d.g
+	}
+	if !w.Valid() || w.End > at.TMax() {
+		return fmt.Errorf("dyn: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, at.TMax())
+	}
+	cur, _ := d.guard.Current()
+	if at == cur.G && w == cur.W && at.MutSeq() == cur.Seq {
 		d.stats.Noops++
 		return nil
 	}
 	dirtyFrom := tgraph.InfTime
-	if d.g.MutSeq() != d.seq {
-		dirtyFrom = d.seqTMax
+	if at.MutSeq() != cur.Seq {
+		dirtyFrom = cur.seqTMax
 	}
 	began := time.Now()
-	ix, ecs, patched, err := vct.PatchScratch(d.g, d.k, w, d.ix, dirtyFrom, d.spare)
+	s := d.spare()
+	ix, ecs, patched, err := vct.PatchScratchStop(at, d.k, w, cur.Ix, dirtyFrom, s, stop)
 	if err != nil {
+		d.mu.Lock()
+		d.free = append(d.free, s)
+		d.mu.Unlock()
 		return err
 	}
-	d.adopt(w, ix, ecs)
+	d.publish(&View{G: at, Ix: ix, Ecs: ecs, W: w, Seq: at.MutSeq(), seqTMax: at.TMax(), s: s})
 	if patched {
 		d.stats.Patches++
 		d.stats.PatchTime += time.Since(began)
@@ -109,29 +162,48 @@ func (d *Index) Refresh(w tgraph.Window) error {
 	return nil
 }
 
+// Acquire pins the current View for a reader and returns it with the
+// release closure the reader must call exactly once when done. It is
+// lock-free and safe from any goroutine, concurrently with Refresh.
+func (d *Index) Acquire() (*View, func()) {
+	v, release, _ := d.guard.Acquire() // New always publishes; ok cannot be false
+	return v, release
+}
+
 // K returns the core parameter.
 func (d *Index) K() int { return d.k }
 
+// current returns the live View without pinning (writer-side only).
+func (d *Index) current() *View {
+	v, _ := d.guard.Current()
+	return v
+}
+
 // Window returns the compressed window the tables currently cover.
-func (d *Index) Window() tgraph.Window { return d.w }
+func (d *Index) Window() tgraph.Window { return d.current().W }
 
-// VCT returns the live vertex core time index. It is only valid until the
-// next Refresh.
-func (d *Index) VCT() *vct.Index { return d.ix }
+// VCT returns the live vertex core time index. Writer-side: it is only
+// guaranteed valid until the next Refresh (readers pin a View instead).
+func (d *Index) VCT() *vct.Index { return d.current().Ix }
 
-// ECS returns the live edge core window skylines; valid until the next
-// Refresh.
-func (d *Index) ECS() *vct.ECS { return d.ecs }
+// ECS returns the live edge core window skylines; same contract as VCT.
+func (d *Index) ECS() *vct.ECS { return d.current().Ecs }
 
-// Stale reports whether the graph has been appended to since the last
+// Stale reports whether the live graph has been appended to since the last
 // refresh, or the tables cover a different window than w.
-func (d *Index) Stale(w tgraph.Window) bool {
-	return w != d.w || d.g.MutSeq() != d.seq
+func (d *Index) Stale(w tgraph.Window) bool { return d.StaleAt(d.g, w) }
+
+// StaleAt is Stale against an explicit graph state (a frozen epoch under
+// concurrent serving).
+func (d *Index) StaleAt(at *tgraph.Graph, w tgraph.Window) bool {
+	cur := d.current()
+	return w != cur.W || at.MutSeq() != cur.Seq
 }
 
 // Enumerate streams every distinct temporal k-core of the current window
-// to sink, reusing the index's enumeration scratch. It returns false when
-// the sink stopped early.
+// to sink, reusing the index's enumeration scratch (writer-side; readers
+// Acquire a View and run package enum with their own scratch). It returns
+// false when the sink stopped early.
 func (d *Index) Enumerate(sink enum.Sink) bool {
 	done, _ := d.EnumerateStop(sink, nil)
 	return done
@@ -140,7 +212,8 @@ func (d *Index) Enumerate(sink enum.Sink) bool {
 // EnumerateStop is Enumerate with a cancellation hook polled with a
 // bounded stride; see enum.EnumerateStop.
 func (d *Index) EnumerateStop(sink enum.Sink, stop func() bool) (done, cancelled bool) {
-	return enum.EnumerateStop(d.g, d.ecs, sink, &d.enumScratch, stop)
+	v := d.current()
+	return enum.EnumerateStop(v.G, v.Ecs, sink, &d.enumScratch, stop)
 }
 
 // Stats returns the refresh counters.

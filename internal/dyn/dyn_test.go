@@ -1,6 +1,7 @@
 package dyn_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"temporalkcore/internal/dyn"
 	"temporalkcore/internal/enum"
 	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
 )
 
 // countQuery runs a one-shot count query and renders every observable
@@ -154,5 +156,102 @@ func TestIndexNoopAndStale(t *testing.T) {
 	}
 	if d.Stale(g.FullWindow()) {
 		t.Fatal("index stale after refresh")
+	}
+}
+
+// countView renders the dimensions of a pinned View by enumerating it
+// with a private scratch, the way concurrent readers do.
+func countView(v *dyn.View) string {
+	sink := &enum.CountSink{}
+	var s enum.Scratch
+	enum.EnumerateStop(v.G, v.Ecs, sink, &s, nil)
+	return fmt.Sprintf("cores=%d edges=%d vct=%d ecs=%d", sink.Cores, sink.EdgeTotal, v.Ix.Size(), v.Ecs.Size())
+}
+
+// TestViewPinnedAcrossRefreshes: a pinned View must keep answering for its
+// own epoch byte-identically while the writer appends, freezes and
+// refreshes through several newer generations (whose arenas would have
+// overwritten a naive ping-pong pair).
+func TestViewPinnedAcrossRefreshes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	edges := randomEdges(r, 15, 400)
+	g, err := tgraph.FromRawEdges(edges[:150])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dyn.New(g, 2, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type pinned struct {
+		v       *dyn.View
+		release func()
+		want    string
+	}
+	var pins []pinned
+	for i := 150; i < len(edges); i += 50 {
+		fz := g.Freeze()
+		if err := d.RefreshAt(fz, fz.FullWindow(), nil); err != nil {
+			t.Fatal(err)
+		}
+		v, release := d.Acquire()
+		if v.G != fz || !v.G.Frozen() {
+			t.Fatal("published View not bound to the frozen epoch")
+		}
+		pins = append(pins, pinned{v: v, release: release, want: countView(v)})
+
+		j := min(i+50, len(edges))
+		if _, err := g.Append(edges[i:j]); err != nil {
+			t.Fatal(err)
+		}
+		for pi, p := range pins {
+			if got := countView(p.v); got != p.want {
+				t.Fatalf("pinned view %d changed under later refreshes:\n got %s\nwant %s", pi, got, p.want)
+			}
+		}
+	}
+	// Each pinned view must also match a quiesced one-shot rebuild of its
+	// own epoch.
+	for pi, p := range pins {
+		if got, want := countView(p.v), countQuery(t, p.v.G, d.K(), p.v.W); got != want {
+			t.Fatalf("pinned view %d: %q != quiesced rebuild %q", pi, got, want)
+		}
+		p.release()
+	}
+}
+
+// TestRefreshAtStop: a cancelled refresh returns vct.ErrStopped, keeps the
+// current generation serving, and a retried refresh succeeds.
+func TestRefreshAtStop(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	edges := randomEdges(r, 20, 600)
+	g, err := tgraph.FromRawEdges(edges[:200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dyn.New(g, 2, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := countDyn(t, d)
+	if _, err := g.Append(edges[200:]); err != nil {
+		t.Fatal(err)
+	}
+	err = d.RefreshAt(g, g.FullWindow(), func() bool { return true })
+	if err == nil {
+		t.Skip("refresh finished before the first cancellation poll")
+	}
+	if !errors.Is(err, vct.ErrStopped) {
+		t.Fatalf("cancelled refresh = %v, want vct.ErrStopped", err)
+	}
+	if got := countDyn(t, d); got != before {
+		t.Fatalf("cancelled refresh disturbed the current view: %q != %q", got, before)
+	}
+	if err := d.RefreshAt(g, g.FullWindow(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := countDyn(t, d), countQuery(t, g, d.K(), g.FullWindow()); got != want {
+		t.Fatalf("refresh after a cancelled refresh: %q != %q", got, want)
 	}
 }

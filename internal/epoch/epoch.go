@@ -1,0 +1,93 @@
+// Package epoch implements the single-writer / many-reader generation
+// protocol behind the repository's snapshot-isolated serving layer: a
+// writer publishes immutable generations of some value (a frozen graph, a
+// patched CoreTime view), readers pin the current generation lock-free for
+// the duration of a query, and a retired generation is reclaimed — its
+// backing arenas handed back for reuse — exactly once, when its last
+// reader drains.
+//
+// The protocol is wait-free for the writer and lock-free for readers: a
+// reader's Acquire is one atomic pointer load plus one CAS on the
+// generation's reference count, retried only in the unlikely window where
+// the generation it loaded drained before the CAS landed.
+package epoch
+
+import "sync/atomic"
+
+// generation is one published value plus its reader count. refs starts at 1
+// (the publish reference, owned by the Guard while the generation is
+// current); it is monotone after reaching zero: Acquire refuses to
+// resurrect a drained generation, so onDrain runs exactly once.
+type generation[T any] struct {
+	val     T
+	refs    atomic.Int64
+	onDrain func(T)
+}
+
+// release drops one reference and runs the drain hook when the count hits
+// zero. It may be called from any goroutine (readers release on their own
+// goroutines), so onDrain must be safe to run anywhere.
+func (g *generation[T]) release() {
+	if g.refs.Add(-1) == 0 && g.onDrain != nil {
+		g.onDrain(g.val)
+	}
+}
+
+// Guard publishes refcounted immutable generations from a single writer to
+// any number of readers. The zero value is ready to use (no generation
+// published). Publish must be called from one goroutine at a time; Acquire
+// and Current are safe from any goroutine.
+type Guard[T any] struct {
+	cur atomic.Pointer[generation[T]]
+}
+
+// Publish makes v the current generation and retires the previous one. The
+// previous generation stays fully readable for readers that already pinned
+// it; once the last of those releases, onDrain (of the retired generation,
+// as passed to ITS Publish call) runs exactly once with the retired value —
+// the hook where backing arenas return to a free list. A nil onDrain means
+// the generation is simply dropped to the garbage collector on drain.
+func (g *Guard[T]) Publish(v T, onDrain func(T)) {
+	ng := &generation[T]{val: v, onDrain: onDrain}
+	ng.refs.Store(1) // the publish reference
+	if old := g.cur.Swap(ng); old != nil {
+		old.release()
+	}
+}
+
+// Acquire pins the current generation and returns its value plus the
+// release closure the reader must call when done (release is idempotent-
+// unsafe: call it exactly once). ok is false when nothing has been
+// published yet. The returned value stays valid — never mutated, never
+// reclaimed — until release is called, regardless of how many newer
+// generations are published meanwhile.
+func (g *Guard[T]) Acquire() (v T, release func(), ok bool) {
+	for {
+		gen := g.cur.Load()
+		if gen == nil {
+			var zero T
+			return zero, nil, false
+		}
+		r := gen.refs.Load()
+		if r == 0 {
+			// Drained between our load and now; a newer generation has
+			// been published — retry against it.
+			continue
+		}
+		if gen.refs.CompareAndSwap(r, r+1) {
+			return gen.val, gen.release, true
+		}
+	}
+}
+
+// Current returns the current generation's value without pinning it. It is
+// intended for the writer (which alone decides when generations retire and
+// therefore cannot race its own Publish); readers must use Acquire.
+func (g *Guard[T]) Current() (v T, ok bool) {
+	gen := g.cur.Load()
+	if gen == nil {
+		var zero T
+		return zero, false
+	}
+	return gen.val, true
+}

@@ -1,0 +1,137 @@
+package epoch_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"temporalkcore/internal/epoch"
+)
+
+func TestEmptyGuard(t *testing.T) {
+	var g epoch.Guard[int]
+	if _, _, ok := g.Acquire(); ok {
+		t.Fatal("Acquire on empty guard reported ok")
+	}
+	if _, ok := g.Current(); ok {
+		t.Fatal("Current on empty guard reported ok")
+	}
+}
+
+func TestPublishCurrentAcquire(t *testing.T) {
+	var g epoch.Guard[int]
+	g.Publish(7, nil)
+	if v, ok := g.Current(); !ok || v != 7 {
+		t.Fatalf("Current = %d, %v", v, ok)
+	}
+	v, release, ok := g.Acquire()
+	if !ok || v != 7 {
+		t.Fatalf("Acquire = %d, %v", v, ok)
+	}
+	g.Publish(8, nil)
+	if cv, _ := g.Current(); cv != 8 {
+		t.Fatalf("Current after publish = %d", cv)
+	}
+	// The pinned generation stays readable after retirement.
+	if v != 7 {
+		t.Fatalf("pinned value mutated: %d", v)
+	}
+	release()
+}
+
+// TestDrainExactlyOnce retires generations with and without pinned readers
+// and requires each drain hook to run exactly once, at the right moment.
+func TestDrainExactlyOnce(t *testing.T) {
+	var g epoch.Guard[int]
+	drains := make(map[int]int)
+	hook := func(v int) { drains[v]++ }
+
+	g.Publish(1, hook)
+	g.Publish(2, hook) // 1 retires with no readers: drains immediately
+	if drains[1] != 1 {
+		t.Fatalf("gen 1 drained %d times, want 1", drains[1])
+	}
+
+	_, rel, _ := g.Acquire() // pin 2
+	g.Publish(3, hook)       // 2 retired but pinned
+	if drains[2] != 0 {
+		t.Fatalf("gen 2 drained while pinned")
+	}
+	rel()
+	if drains[2] != 1 {
+		t.Fatalf("gen 2 drained %d times after release, want 1", drains[2])
+	}
+
+	// Multiple pins: drain only after the last release.
+	_, r1, _ := g.Acquire()
+	_, r2, _ := g.Acquire()
+	g.Publish(4, hook)
+	r1()
+	if drains[3] != 0 {
+		t.Fatal("gen 3 drained with a reader outstanding")
+	}
+	r2()
+	if drains[3] != 1 {
+		t.Fatalf("gen 3 drained %d times, want 1", drains[3])
+	}
+}
+
+// TestConcurrentAcquire hammers the guard with concurrent readers while a
+// writer publishes; run under -race this is the protocol's torture test.
+// Every acquired value must still be undrained while pinned, visibility
+// must be monotone per reader, and total drains must equal total retired
+// generations at the end.
+func TestConcurrentAcquire(t *testing.T) {
+	type val struct {
+		seq     int
+		drained atomic.Bool
+	}
+	var g epoch.Guard[*val]
+	var drains atomic.Int64
+	hook := func(v *val) {
+		if v.drained.Swap(true) {
+			t.Error("double drain")
+		}
+		drains.Add(1)
+	}
+
+	const gens = 2000
+	const readers = 4
+	var wg sync.WaitGroup
+	stopped := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1
+			for {
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				v, release, ok := g.Acquire()
+				if !ok {
+					continue
+				}
+				if v.drained.Load() {
+					t.Error("acquired a drained generation")
+				}
+				if v.seq < last {
+					t.Errorf("visibility went backwards: %d after %d", v.seq, last)
+				}
+				last = v.seq
+				release()
+			}
+		}()
+	}
+	for i := 0; i < gens; i++ {
+		g.Publish(&val{seq: i}, hook)
+	}
+	close(stopped)
+	wg.Wait()
+	g.Publish(&val{seq: gens}, nil) // retire the last hooked generation
+	if got := drains.Load(); got != gens {
+		t.Fatalf("drained %d generations, want %d", got, gens)
+	}
+}

@@ -3,6 +3,7 @@ package tgraph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // AppendStats summarises what one Append batch did.
@@ -50,10 +51,20 @@ func gapCap(used int32) int32 { return used + used>>2 + 4 }
 // follow the existing edges in batch order instead of the builder's (U,V)
 // order; no algorithm in this module depends on intra-timestamp order.
 //
-// Append must not run concurrently with any reader of the graph, and it
-// invalidates indexes built on the previous state (see MutSeq).
+// Append must not run concurrently with any reader of the same Graph
+// value, and it invalidates indexes built on the previous state (see
+// MutSeq). Readers of a snapshot taken with Freeze are unaffected: Append
+// only writes memory no frozen directory references — it grows the flat
+// arrays past every frozen length, writes batch data into per-segment gap
+// capacity beyond the frozen segment ends, and relocations/compactions
+// leave the old segment bytes intact — so any number of goroutines may
+// query frozen snapshots while a single goroutine appends. A frozen
+// snapshot itself rejects Append.
 func (g *Graph) Append(batch []RawEdge) (AppendStats, error) {
 	var st AppendStats
+	if g.frozen {
+		return st, fmt.Errorf("tgraph: Append on a frozen snapshot (append to the live graph and re-Freeze)")
+	}
 	if len(batch) == 0 {
 		return st, nil
 	}
@@ -235,7 +246,7 @@ func (g *Graph) Append(batch []RawEdge) (AppendStats, error) {
 	g.maybeCompact(&st)
 
 	st.Added = len(ws)
-	g.mutSeq++
+	atomic.AddInt64(&g.mutSeq, 1)
 	return st, nil
 }
 
@@ -352,17 +363,24 @@ func (g *Graph) maybeCompact(st *AppendStats) {
 
 // MutSeq returns the graph's mutation sequence number, incremented by every
 // Append that adds at least one edge. Indexes built over the graph record
-// it to detect staleness.
-func (g *Graph) MutSeq() int64 { return g.mutSeq }
+// it to detect staleness. The read is atomic, so staleness checks may run
+// concurrently with the writer; a frozen snapshot reports the sequence it
+// was frozen at.
+func (g *Graph) MutSeq() int64 { return atomic.LoadInt64(&g.mutSeq) }
 
 // vidOrAdd returns the dense id of a label, extending the vertex tables on
 // first sight.
 func (g *Graph) vidOrAdd(label int64) VID {
-	if v, ok := g.labelOf[label]; ok {
+	g.labelMu.RLock()
+	v, ok := g.labelOf[label]
+	g.labelMu.RUnlock()
+	if ok {
 		return v
 	}
-	v := VID(len(g.labels))
+	v = VID(len(g.labels))
+	g.labelMu.Lock()
 	g.labelOf[label] = v
+	g.labelMu.Unlock()
 	g.labels = append(g.labels, label)
 	return v
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // RawEdge is an input edge with arbitrary integer vertex labels and a raw
@@ -140,6 +141,7 @@ func (b *Builder) Build() (*Graph, error) {
 		rawTimes: rawTimes,
 		labels:   labels,
 		labelOf:  labelOf,
+		labelMu:  new(sync.RWMutex),
 	}
 
 	// Pairs and per-pair times (strictly ascending; duplicates collapse).

@@ -3,11 +3,16 @@ package tgraph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Graph is a compact undirected temporal graph. It is immutable except for
 // Append, which extends it at the time frontier (see append.go); readers
-// and Append must not run concurrently.
+// and Append must not run concurrently on the same Graph value. For
+// concurrent serving, Freeze (see snapshot.go) produces an immutable
+// copy-on-write view that stays consistent while the original keeps
+// appending — readers query the frozen view, the single writer mutates the
+// original.
 //
 // Layout invariants:
 //   - edges are sorted by T; EID is the index into edges, so edge ids
@@ -60,9 +65,20 @@ type Graph struct {
 
 	rawTimes []int64 // rank t (1-based) -> rawTimes[t-1]
 	labels   []int64 // vid -> original label
-	labelOf  map[int64]VID
 
-	mutSeq int64 // incremented by every edge-adding Append
+	// labelOf is shared between a graph and its frozen snapshots (cloning
+	// the map per epoch would dominate the freeze cost), so it is the one
+	// structure both writer and readers touch: labelMu guards it. The hot
+	// algorithm paths never take the lock — they speak dense ids.
+	labelOf map[int64]VID
+	labelMu *sync.RWMutex
+
+	mutSeq int64 // incremented by every edge-adding Append; read atomically
+
+	// frozen marks a snapshot produced by Freeze: Append rejects it and its
+	// directory tables (pairs, nbrSeg, incSeg, timeOff) are private copies
+	// while the flat history arrays are shared with the live graph.
+	frozen bool
 }
 
 // NumVertices returns the number of vertices.
@@ -188,9 +204,17 @@ func (g *Graph) CompressRange(rawStart, rawEnd int64) (w Window, ok bool) {
 // Label returns the original label of vertex v.
 func (g *Graph) Label(v VID) int64 { return g.labels[v] }
 
-// VertexOf returns the dense id of a label, if present.
+// VertexOf returns the dense id of a label, if present. It is safe to call
+// on a frozen snapshot while the live graph appends: the shared label map
+// is lock-guarded, and labels first seen after the snapshot was frozen are
+// reported as absent.
 func (g *Graph) VertexOf(label int64) (VID, bool) {
+	g.labelMu.RLock()
 	v, ok := g.labelOf[label]
+	g.labelMu.RUnlock()
+	if ok && int32(v) >= g.n {
+		return 0, false
+	}
 	return v, ok
 }
 

@@ -1,0 +1,60 @@
+package tgraph
+
+import (
+	"slices"
+	"sync/atomic"
+)
+
+// Freeze returns an immutable point-in-time snapshot of g: a *Graph that
+// answers every read exactly as g does right now and keeps doing so while
+// g itself continues to Append. It is the epoch primitive of the
+// snapshot-isolated serving layer.
+//
+// Memory model. Freeze copies only the directory tables that Append
+// mutates in place — the pair records (offset/length into pairTimes), the
+// packed (off|end<<32) neighbour and incidence segment words, and the
+// timestamp group offsets — an O(V + P + TMax) memcpy. The flat history
+// arrays (edges, edge→pair, pair times, neighbour entries, incident edge
+// ids, raw timestamps, labels) are shared by reference: Append only ever
+// writes those arrays past every frozen segment end (per-segment gap
+// capacity, tail growth, relocation targets), never at an index a frozen
+// directory can reach, so snapshot reads and writer appends touch disjoint
+// memory. The shared label→id map is the single exception and is guarded
+// by a lock inside VertexOf.
+//
+// The resulting contract: one writer goroutine may Append to g while any
+// number of goroutines read any number of snapshots, with no further
+// synchronisation. Freeze itself reads g's mutable state, so it must be
+// called from the writer goroutine (or while no Append runs). Appending to
+// the returned snapshot is rejected with an error.
+func (g *Graph) Freeze() *Graph {
+	fz := &Graph{
+		n: g.n,
+
+		edges:    g.edges,
+		edgePair: g.edgePair,
+
+		pairs:     slices.Clone(g.pairs),
+		pairTimes: g.pairTimes,
+
+		nbrSeg: slices.Clone(g.nbrSeg),
+		nbrs:   g.nbrs,
+
+		incSeg:  slices.Clone(g.incSeg),
+		incEIDs: g.incEIDs,
+
+		timeOff: slices.Clone(g.timeOff),
+
+		rawTimes: g.rawTimes,
+		labels:   g.labels,
+		labelOf:  g.labelOf,
+		labelMu:  g.labelMu,
+
+		frozen: true,
+	}
+	atomic.StoreInt64(&fz.mutSeq, atomic.LoadInt64(&g.mutSeq))
+	return fz
+}
+
+// Frozen reports whether g is an immutable snapshot produced by Freeze.
+func (g *Graph) Frozen() bool { return g.frozen }

@@ -1,0 +1,170 @@
+package tgraph_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"temporalkcore/internal/tgraph"
+)
+
+// graphFingerprint renders every reader-visible dimension of a graph into
+// one comparable string: counts, per-vertex degree/incidence sums, pair
+// time sums and the time-group table.
+func graphFingerprint(g *tgraph.Graph) string {
+	degSum, incSum := 0, 0
+	for u := 0; u < g.NumVertices(); u++ {
+		degSum += g.Degree(tgraph.VID(u))
+		incSum += len(g.Incident(tgraph.VID(u)))
+	}
+	ptSum := 0
+	for p := 0; p < g.NumPairs(); p++ {
+		for _, t := range g.PairTimes(int32(p)) {
+			ptSum += int(t)
+		}
+	}
+	tgSum := 0
+	for t := tgraph.TS(1); t <= g.TMax(); t++ {
+		lo, hi := g.EdgesAt(t)
+		tgSum += int(t) * int(hi-lo)
+	}
+	return fmt.Sprintf("v=%d e=%d p=%d tmax=%d deg=%d inc=%d pt=%d tg=%d seq=%d",
+		g.NumVertices(), g.NumEdges(), g.NumPairs(), g.TMax(), degSum, incSum, ptSum, tgSum, g.MutSeq())
+}
+
+// TestFreezeIsolation appends batch after batch to a live graph, freezing
+// before each batch; every snapshot's fingerprint must stay byte-identical
+// to what it was at freeze time, no matter how far the live graph moves on.
+func TestFreezeIsolation(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		edges := appendRandomEdges(r, 10+r.Intn(20), 400)
+		g, err := tgraph.FromRawEdges(edges[:100])
+		if err != nil {
+			t.Fatal(err)
+		}
+		type snap struct {
+			g    *tgraph.Graph
+			want string
+		}
+		var snaps []snap
+		for i := 100; i < len(edges); i += 30 {
+			fz := g.Freeze()
+			if !fz.Frozen() {
+				t.Fatal("Freeze returned an unfrozen graph")
+			}
+			snaps = append(snaps, snap{g: fz, want: graphFingerprint(fz)})
+			j := min(i+30, len(edges))
+			if _, err := g.Append(edges[i:j]); err != nil {
+				t.Fatal(err)
+			}
+			for si, s := range snaps {
+				if got := graphFingerprint(s.g); got != s.want {
+					t.Fatalf("seed %d: snapshot %d mutated after later appends:\n got %s\nwant %s", seed, si, got, s.want)
+				}
+			}
+		}
+	}
+}
+
+func TestFreezeRejectsAppend(t *testing.T) {
+	g := tgraph.MustFromTriples([3]int64{1, 2, 1}, [3]int64{2, 3, 2})
+	fz := g.Freeze()
+	if _, err := fz.Append([]tgraph.RawEdge{{U: 3, V: 4, Time: 5}}); err == nil {
+		t.Fatal("Append on a frozen snapshot succeeded")
+	}
+	// The live graph still appends, and the snapshot's MutSeq stays put.
+	before := fz.MutSeq()
+	if _, err := g.Append([]tgraph.RawEdge{{U: 3, V: 4, Time: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if fz.MutSeq() != before || g.MutSeq() != before+1 {
+		t.Fatalf("MutSeq: frozen %d->%d, live %d", before, fz.MutSeq(), g.MutSeq())
+	}
+}
+
+// TestFreezeVertexOf: labels first seen after the freeze are absent from
+// the snapshot even though the label map is shared.
+func TestFreezeVertexOf(t *testing.T) {
+	g := tgraph.MustFromTriples([3]int64{1, 2, 1})
+	fz := g.Freeze()
+	if _, err := g.Append([]tgraph.RawEdge{{U: 2, V: 77, Time: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.VertexOf(77); !ok {
+		t.Fatal("live graph lost a new label")
+	}
+	if _, ok := fz.VertexOf(77); ok {
+		t.Fatal("snapshot sees a label first observed after the freeze")
+	}
+	if _, ok := fz.VertexOf(1); !ok {
+		t.Fatal("snapshot lost a pre-freeze label")
+	}
+}
+
+// TestFreezeRace is the memory-model torture test: one writer appends
+// tiny batches (maximising relocations and in-place directory updates)
+// while reader goroutines continuously walk snapshots frozen at batch
+// boundaries. Run under -race this verifies the disjoint-write claim of
+// the Freeze godoc; the fingerprint comparison verifies no torn reads.
+func TestFreezeRace(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	edges := appendRandomEdges(r, 25, 3000)
+	g, err := tgraph.FromRawEdges(edges[:500])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type snap struct {
+		g    *tgraph.Graph
+		want string
+	}
+	snapCh := make(chan snap, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var held []snap
+			for s := range snapCh {
+				held = append(held, s)
+				for _, h := range held {
+					if got := graphFingerprint(h.g); got != h.want {
+						t.Errorf("snapshot torn: got %s want %s", got, h.want)
+						return
+					}
+				}
+				if len(held) > 8 {
+					held = held[1:]
+				}
+			}
+		}()
+	}
+
+	for i := 500; i < len(edges); i += 7 {
+		j := min(i+7, len(edges))
+		if _, err := g.Append(edges[i:j]); err != nil {
+			t.Fatal(err)
+		}
+		fz := g.Freeze()
+		s := snap{g: fz, want: graphFingerprint(fz)}
+		snapCh <- s
+	}
+	close(snapCh)
+	wg.Wait()
+}
+
+// appendRandomEdges generates a time-ordered random edge stream suitable
+// for batch-wise Append (timestamps non-decreasing).
+func appendRandomEdges(r *rand.Rand, n, m int) []tgraph.RawEdge {
+	edges := make([]tgraph.RawEdge, 0, m)
+	time := int64(1)
+	for len(edges) < m {
+		if r.Intn(3) == 0 {
+			time++
+		}
+		edges = append(edges, tgraph.RawEdge{U: int64(r.Intn(n)), V: int64(r.Intn(n)), Time: time})
+	}
+	return edges
+}

@@ -28,6 +28,17 @@ import (
 // in BuildScratch. patched reports whether the cache was usable; when it is
 // false a full BuildScratch ran instead.
 func PatchScratch(g *tgraph.Graph, k int, w tgraph.Window, cached *Index, dirtyFrom tgraph.TS, s *Scratch) (ix *Index, ecs *ECS, patched bool, err error) {
+	return PatchScratchStop(g, k, w, cached, dirtyFrom, s, nil)
+}
+
+// PatchScratchStop is PatchScratch with a cancellation hook, polled with
+// the same bounded stride as BuildScratchStop (every stopStride worklist
+// pops of the settle loop and once per start-time transition). When it
+// fires the patch abandons its partial state — the Scratch stays reusable,
+// the cached index is untouched — and returns ErrStopped, so even a
+// live-window refresh over a large dirty suffix cancels within one stride
+// of work. The hook also covers the full-rebuild fallback.
+func PatchScratchStop(g *tgraph.Graph, k int, w tgraph.Window, cached *Index, dirtyFrom tgraph.TS, s *Scratch, stop func() bool) (ix *Index, ecs *ECS, patched bool, err error) {
 	if err := validate(g, k, w); err != nil {
 		return nil, nil, false, err
 	}
@@ -40,7 +51,7 @@ func PatchScratch(g *tgraph.Graph, k int, w tgraph.Window, cached *Index, dirtyF
 		}
 	}
 	if cached == nil || cached.K != k || cached.Range.Start > w.Start || dirtyFrom <= w.Start {
-		ix, ecs, err := BuildScratch(g, k, w, s)
+		ix, ecs, err := BuildScratchStop(g, k, w, s, stop)
 		return ix, ecs, false, err
 	}
 
@@ -49,11 +60,15 @@ func PatchScratch(g *tgraph.Graph, k int, w tgraph.Window, cached *Index, dirtyF
 		cached:    cached,
 		dirtyFrom: dirtyFrom,
 	}
+	p.stop = stop
 	p.cachedEnd = cached.Range.End
 	if p.cachedEnd > w.End {
 		p.cachedEnd = w.End
 	}
 	p.run()
+	if p.stopped {
+		return nil, nil, true, ErrStopped
+	}
 	p.indexInto(&s.ix)
 	p.skylinesInto(&s.ecs)
 	return &s.ix, &s.ecs, true, nil
@@ -117,6 +132,9 @@ func (p *patcher) run() {
 		}
 	}
 	p.settle(false)
+	if p.stopped {
+		return
+	}
 
 	// Record the initial index labels and edge core times (as builder.run).
 	for u := 0; u < n; u++ {
@@ -143,6 +161,9 @@ func (p *patcher) run() {
 		p.expire(s)
 		p.applyCache(s + 1)
 		p.settle(true)
+		if p.stopped {
+			return
+		}
 		p.record(s)
 	}
 

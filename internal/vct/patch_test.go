@@ -237,3 +237,78 @@ func TestPatchFallsBack(t *testing.T) {
 		t.Fatalf("all dirty: patched=%v err=%v", patched, err)
 	}
 }
+
+// TestPatchStop cancels a patch mid-settle: PatchScratchStop must return
+// ErrStopped, leave the cached index intact, and leave the Scratch fully
+// reusable for an immediately following (uncancelled) patch that matches a
+// scratch build exactly.
+func TestPatchStop(t *testing.T) {
+	var scratch vct.Scratch
+	stoppedRuns := 0
+	for seed := int64(0); seed < 40 && stoppedRuns == 0; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		prefix, suffix := randomStream(r)
+		if len(prefix) == 0 || len(suffix) == 0 {
+			continue
+		}
+		g, err := tgraph.FromRawEdges(prefix)
+		if err != nil {
+			continue
+		}
+		cached, _, err := vct.Build(g, 2, g.FullWindow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := g.Append(suffix)
+		if err != nil || st.Added == 0 {
+			continue
+		}
+		w := g.FullWindow()
+
+		// Fire the hook on its first poll: with a bounded stride the patch
+		// must abandon promptly wherever it happens to be.
+		_, _, _, err = vct.PatchScratchStop(g, 2, w, cached, st.FirstNewRank, &scratch, func() bool { return true })
+		if err == nil {
+			continue // patch finished before the first poll; try another seed
+		}
+		if err != vct.ErrStopped {
+			t.Fatalf("seed %d: PatchScratchStop = %v, want ErrStopped", seed, err)
+		}
+		stoppedRuns++
+
+		// The scratch and the cache must both still be good.
+		wantIx, wantEcs, err := vct.Build(g, 2, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotIx, gotEcs, patched, err := vct.PatchScratchStop(g, 2, w, cached, st.FirstNewRank, &scratch, nil)
+		if err != nil || !patched {
+			t.Fatalf("seed %d: retry after stop: patched=%v err=%v", seed, patched, err)
+		}
+		if !indexesEqual(t, g, gotIx, wantIx) || !ecsEqual(t, gotEcs, wantEcs) {
+			t.Fatalf("seed %d: patch after a stopped patch differs from build", seed)
+		}
+	}
+	if stoppedRuns == 0 {
+		t.Skip("no seed produced a patch long enough to observe the stop")
+	}
+}
+
+// TestPatchStopFallback: the stop hook also covers the full-rebuild
+// fallback (nil cache).
+func TestPatchStopFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	prefix, _ := randomStream(r)
+	g, err := tgraph.FromRawEdges(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s vct.Scratch
+	_, _, patched, err := vct.PatchScratchStop(g, 2, g.FullWindow(), nil, 1, &s, func() bool { return true })
+	if patched {
+		t.Fatal("nil cache reported patched")
+	}
+	if err != nil && err != vct.ErrStopped {
+		t.Fatalf("fallback stop: %v", err)
+	}
+}

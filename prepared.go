@@ -14,6 +14,11 @@ import (
 // full scans, early-stopping scans, counts, vertex-set projections — can
 // share one O(|VCT|·deg_avg) construction. A PreparedQuery is immutable and
 // safe for concurrent use.
+//
+// A PreparedQuery pins the graph state it was prepared on: prepare on a
+// Snapshot (frozen epoch) to keep enumerating that exact state — safely
+// and lock-free — while the live graph appends concurrently; prepare on
+// the live Graph only if no Append will run during enumerations.
 type PreparedQuery struct {
 	g        *Graph
 	k        int

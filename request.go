@@ -2,6 +2,7 @@ package temporalkcore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"math"
@@ -11,6 +12,7 @@ import (
 	"temporalkcore/internal/core"
 	"temporalkcore/internal/enum"
 	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
 )
 
 // Projection selects what each result Core carries. Narrower projections
@@ -48,6 +50,12 @@ const (
 // and do not share one Request between concurrent executions. Executing
 // twice re-runs the query. Builder errors (bad k, conflicting options) are
 // deferred and returned by the execution call.
+//
+// A compiled plan pins the graph epoch it started on: a request built from
+// a Snapshot (or a PreparedQuery prepared on one) executes every phase
+// against that frozen state, and a watcher request pins the watcher's
+// current published view for its whole execution — concurrent appends
+// never shift the data under a running query.
 type Request struct {
 	g *Graph
 	k int
@@ -402,20 +410,33 @@ func (r *Request) runPrepared(ctx context.Context, qs *QueryStats, fn func(Core)
 	return *qs, nil
 }
 
-// runWatch refreshes the watcher's live view (incrementally patched; the
-// refresh itself is not cancellable) and enumerates it.
+// runWatch pins the watcher's current table view — the epoch the compiled
+// plan executes against, held stable across concurrent writer refreshes —
+// and enumerates it with pooled per-call scratch, so any number of watcher
+// queries run concurrently with each other and with the appending writer.
+// A stale view is repaired first (incrementally patched, cancellable via
+// ctx with a bounded poll stride).
 func (r *Request) runWatch(ctx context.Context, qs *QueryStats, fn func(Core) bool) (QueryStats, error) {
 	w := r.watch
 	if err := ctx.Err(); err != nil {
 		return *qs, err
 	}
-	if err := w.refresh(); err != nil {
+	v, release, err := w.acquireView(core.StopFromCtx(ctx))
+	if err != nil {
+		if errors.Is(err, vct.ErrStopped) {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+			}
+		}
 		return *qs, err
 	}
-	qs.VCTSize, qs.ECSSize = w.dix.VCT().Size(), w.dix.ECS().Size()
-	sink := &projSink{g: w.g.g, proj: r.proj, fn: fn, qs: qs}
+	defer release()
+	qs.VCTSize, qs.ECSSize = v.Ix.Size(), v.Ecs.Size()
+	sink := &projSink{g: v.G, proj: r.proj, fn: fn, qs: qs}
+	s := enum.GetScratch()
+	defer enum.PutScratch(s)
 	began := time.Now()
-	_, cancelled := w.dix.EnumerateStop(sink, core.StopFromCtx(ctx))
+	_, cancelled := enum.EnumerateStop(v.G, v.Ecs, sink, s, core.StopFromCtx(ctx))
 	qs.EnumTime = time.Since(began)
 	if cancelled {
 		return *qs, ctx.Err()

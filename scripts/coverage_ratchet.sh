@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Coverage ratchet: runs per-package coverage and fails the build if any
+# package drops more than 1.0 percentage point below the baseline recorded
+# in .github/coverage-baseline.txt. Packages added since the baseline are
+# reported but do not fail the build (add them via -update).
+#
+#   scripts/coverage_ratchet.sh          # check against the baseline
+#   scripts/coverage_ratchet.sh -update  # rewrite the baseline from HEAD
+set -euo pipefail
+cd "$(dirname "$0")/.."
+baseline=.github/coverage-baseline.txt
+
+out=$(go test -count=1 -cover ./... | grep -v 'no test files' || true)
+echo "$out"
+current=$(echo "$out" | awk '{
+  # "ok <pkg> <time> coverage: X% of statements" for tested packages;
+  # "<pkg> coverage: 0.0% of statements" for build-only ones.
+  p = ($1 == "ok") ? $2 : $1
+  for (i = 1; i <= NF; i++) if ($i == "coverage:") { v = $(i+1); gsub(/%/, "", v); print p, v }
+}' | sort)
+
+if [[ "${1:-}" == "-update" ]]; then
+  echo "$current" > "$baseline"
+  echo "coverage baseline updated:"
+  cat "$baseline"
+  exit 0
+fi
+
+if [[ ! -f "$baseline" ]]; then
+  echo "RATCHET: missing $baseline (run scripts/coverage_ratchet.sh -update)" >&2
+  exit 1
+fi
+
+fail=0
+while read -r pkg base; do
+  [[ -z "$pkg" ]] && continue
+  cur=$(echo "$current" | awk -v p="$pkg" '$1 == p { print $2 }')
+  if [[ -z "$cur" ]]; then
+    echo "RATCHET FAIL: package $pkg (baseline ${base}%) missing from the coverage run" >&2
+    fail=1
+    continue
+  fi
+  if ! awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c >= b - 1.0) }'; then
+    echo "RATCHET FAIL: $pkg coverage ${cur}% is more than 1pt below the ${base}% baseline" >&2
+    fail=1
+  fi
+done < "$baseline"
+
+new=$(comm -13 <(awk '{print $1}' "$baseline") <(echo "$current" | awk '{print $1}'))
+if [[ -n "$new" ]]; then
+  echo "RATCHET NOTE: packages not yet in the baseline (add with -update):" $new
+fi
+
+if [[ "$fail" == 0 ]]; then
+  echo "coverage ratchet OK"
+fi
+exit $fail

@@ -27,6 +27,12 @@
 // (Cores, CoresFunc, CountCores, QueryBatch, ...) remain as thin
 // deprecated shims over the builder.
 //
+// Graphs also serve queries while a stream keeps appending: the writer
+// publishes immutable epochs (Graph.Publish) and any number of reader
+// goroutines query them lock-free via Graph.Latest / Snapshot, or through
+// a Watcher's concurrent read path — see the Concurrency model section of
+// the README and the Snapshot, Freeze and Watcher documentation.
+//
 // The package speaks raw timestamps and vertex labels; compression to the
 // dense ranks the algorithms need happens internally. Algorithms other than
 // the default optimal one (the EnumBase strawman and the OTCD baseline from
@@ -55,9 +61,23 @@ type Edge struct {
 	Time int64
 }
 
-// Graph is an immutable temporal graph ready for time-range k-core queries.
+// Graph is a temporal graph ready for time-range k-core queries. It is
+// immutable except for Append, which extends it at the time frontier.
+//
+// Concurrency model: a Graph is single-writer. All methods are safe for
+// concurrent use by readers as long as no Append runs; to serve queries
+// while a stream keeps appending, the writer publishes immutable epochs
+// (Publish) and readers query them via Latest/Freeze — see Snapshot — or
+// through a Watcher, whose read path is lock-free against the writer.
 type Graph struct {
 	g *tgraph.Graph
+
+	// hub and origin are shared with every Snapshot frozen from this
+	// graph: hub carries the published latest epoch, origin identifies the
+	// live graph a snapshot derives from (so batches accept requests
+	// pinned to different epochs of the same graph).
+	hub    *epochHub
+	origin *tgraph.Graph
 }
 
 // ErrNoTimestamps is returned when a query range covers no timestamp of the
@@ -95,7 +115,7 @@ func NewGraph(edges []Edge) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	return newGraph(g), nil
 }
 
 // Load reads a whitespace-separated temporal edge list ("u v t", or
@@ -105,7 +125,7 @@ func Load(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	return newGraph(g), nil
 }
 
 // LoadFile reads an edge-list file; see Load.
@@ -114,7 +134,7 @@ func LoadFile(path string) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	return newGraph(g), nil
 }
 
 // Internal returns the underlying internal graph. It is exported for the
