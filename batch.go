@@ -3,10 +3,13 @@ package temporalkcore
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"temporalkcore/internal/core"
 	"temporalkcore/internal/enum"
+	"temporalkcore/internal/qcache"
 	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
 )
 
 // QuerySpec is one query of a batch: the core parameter k and a raw
@@ -130,6 +133,59 @@ func (g *Graph) RunBatch(ctx context.Context, reqs []*Request, opts ...BatchOpti
 		run = append(run, i)
 	}
 
+	// Serving-cache hookup: every cacheable item resolves its CoreTime
+	// tables through the cache from inside the worker that claims it.
+	// Identical (epoch seq, k, window) keys collapse to one build via the
+	// cache's singleflight — the first worker builds, workers on the same
+	// key wait and share, and workers on other items keep pipelining (no
+	// batch-wide barrier). The build is also shared with concurrent
+	// executions outside the batch, and its tables stay resident for
+	// future ones. A resolve that fails (cancellation) falls back to the
+	// per-item engine, which reports the cancellation with the standard
+	// batch semantics.
+	type cacheInfo struct {
+		resolved bool
+		hit      bool
+		shared   bool
+		coreTime time.Duration
+	}
+	info := make([]cacheInfo, len(queries))
+	if c := g.cache(); c != nil {
+		for bi := range queries {
+			q := &queries[bi]
+			if !cacheable(q.Opts.Algorithm) {
+				continue
+			}
+			bi := bi
+			rg := reqs[run[bi]].g
+			key := rg.cacheKey(q.K, q.W, q.Opts.Algorithm)
+			q.Resolve = func(ctx context.Context) (*vct.Index, *vct.ECS, error) {
+				if ctx == nil {
+					ctx = context.Background()
+				}
+				if c.Uncacheable(key) {
+					return nil, nil, nil // known-oversize: build on pooled scratch instead
+				}
+				ent, how, err := c.GetOrBuild(ctx, key, func() (*qcache.Entry, error) {
+					return rg.buildCacheEntry(ctx, key.K, key.W)
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				// Each worker owns its item's slot; no synchronisation
+				// needed.
+				in := &info[bi]
+				in.resolved = true
+				in.hit = how != qcache.Built
+				in.shared = how == qcache.Shared
+				if how == qcache.Built {
+					in.coreTime = ent.CoreTime
+				}
+				return ent.Ix, ent.Ecs, nil
+			}
+		}
+	}
+
 	batch := core.QueryBatch(ctx, g.g, queries, opt.Parallelism, func(i int) enum.Sink { return sinks[i] })
 	for bi, br := range batch {
 		r := &res[run[bi]]
@@ -146,6 +202,11 @@ func (g *Graph) RunBatch(ctx context.Context, reqs []*Request, opts ...BatchOpti
 		r.Stats.ECSSize = br.Stats.ECSSize
 		r.Stats.CoreTime = br.Stats.CoreTime
 		r.Stats.EnumTime = br.Stats.EnumTime
+		if in := info[bi]; in.resolved {
+			r.Stats.CacheHit = in.hit
+			r.Stats.CacheShared = in.shared
+			r.Stats.CoreTime = in.coreTime // zero unless this item ran the build
+		}
 	}
 	// Honour each request's Stats destination, matching the direct
 	// executors (written after the run, cancelled or not).

@@ -144,12 +144,15 @@ func TestQueryBatchBadSpecs(t *testing.T) {
 }
 
 // TestQueryBatchTimings checks the phase-timing satellite: a successful
-// Enum query must report a positive CoreTime.
+// Enum query must report a positive CoreTime when it actually runs the
+// phase, and a zero CoreTime (plus the CacheHit flag) when the serving
+// cache supplies the tables instead.
 func TestQueryBatchTimings(t *testing.T) {
 	g, err := tkc.NewGraph(randomEdges(3, 30, 400, 60))
 	if err != nil {
 		t.Fatal(err)
 	}
+	g.SetCacheOptions(tkc.CacheOptions{Disable: true})
 	lo, hi := g.TimeSpan()
 	qs, err := g.CountCores(2, lo, hi)
 	if err != nil {
@@ -158,12 +161,32 @@ func TestQueryBatchTimings(t *testing.T) {
 	if qs.CoreTime <= 0 {
 		t.Errorf("CoresFunc reported CoreTime %v, want > 0", qs.CoreTime)
 	}
+	if qs.CacheHit {
+		t.Error("cache-disabled query reported CacheHit")
+	}
 	res := g.CountBatch([]tkc.QuerySpec{{K: 2, Start: lo, End: hi}}, 1)
 	if res[0].Err != nil {
 		t.Fatal(res[0].Err)
 	}
 	if res[0].Stats.CoreTime <= 0 {
 		t.Errorf("batch reported CoreTime %v, want > 0", res[0].Stats.CoreTime)
+	}
+
+	// With the cache enabled, the same repeated query skips the phase:
+	// the first execution pays (and reports) the build, the repeat is a
+	// hit with CoreTime zero.
+	g.SetCacheOptions(tkc.CacheOptions{})
+	if qs, err = g.CountCores(2, lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	if qs.CacheHit || qs.CoreTime <= 0 {
+		t.Errorf("first cached run: CacheHit=%v CoreTime=%v, want miss with CoreTime > 0", qs.CacheHit, qs.CoreTime)
+	}
+	if qs, err = g.CountCores(2, lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	if !qs.CacheHit || qs.CoreTime != 0 {
+		t.Errorf("repeat cached run: CacheHit=%v CoreTime=%v, want hit with CoreTime 0", qs.CacheHit, qs.CoreTime)
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 //	tkc -graph edges.txt -k 3 -start 0 -end 99999999 [-algo enum|base|otcd] [-count] [-limit 10]
 //	tkc -graph edges.txt -ks 2,3,4,5 -count [-parallel 4]
-//	tail -f stream.ndjson | tkc -follow -k 3 -span 3600 -every 500
+//	tail -f stream.ndjson | tkc -follow -k 3 -span 3600 -every 500 [-readers 4] [-cache-mb 64]
 //
 // The graph file holds "u v t" (or KONECT "u v w t") lines. With -count only
 // the number of distinct cores and the total result size are reported; the
@@ -59,11 +59,14 @@ func main() {
 		span      = flag.Int64("span", 0, "follow: trailing window span in raw time units (0 = entire history)")
 		every     = flag.Int("every", 1000, "follow: append batch size in edges")
 		readers   = flag.Int("readers", 0, "follow: serve this many concurrent query readers during ingest (0 = report inline only)")
+		cacheMB   = flag.Int("cache-mb", 64, "serving-cache budget in MiB for repeated (epoch, k, window) queries (0 disables)")
 	)
 	flag.Parse()
 
+	cacheOpts := tkc.CacheOptions{MaxBytes: int64(*cacheMB) << 20, Disable: *cacheMB <= 0}
+
 	if *follow {
-		runFollow(*graphPath, *k, *span, *every, *readers)
+		runFollow(*graphPath, *k, *span, *every, *readers, cacheOpts)
 		return
 	}
 	if *graphPath == "" {
@@ -86,6 +89,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	g.SetCacheOptions(cacheOpts)
 	lo, hi := g.TimeSpan()
 	fmt.Printf("graph: %d vertices, %d edges, %d distinct timestamps in [%d, %d], kmax=%d\n",
 		g.NumVertices(), g.NumEdges(), g.TimestampCount(), lo, hi, g.KMax())
@@ -173,12 +177,15 @@ func runBatch(ctx context.Context, g *tkc.Graph, ks string, start, end int64, al
 //
 // With -readers N the command also serves queries concurrently with the
 // ingest: N goroutines continuously run trailing-window count queries
-// against the watcher's lock-free read path (each query pins the epoch
-// published by the last batch), demonstrating snapshot-isolated serving —
-// readers never block the appending writer and never see a half-applied
-// batch. A per-reader query count and aggregate QPS are reported at the
-// end of the stream.
-func runFollow(graphPath string, k int, span int64, every, readers int) {
+// against the latest published epoch (each query pins the epoch published
+// by the last batch), demonstrating snapshot-isolated serving — readers
+// never block the appending writer and never see a half-applied batch.
+// With the serving cache enabled (-cache-mb > 0), each batch's refreshed
+// CoreTime tables are shared through the cache, so the readers' repeat
+// queries on a hot window skip the CoreTime phase; the end-of-stream
+// summary reports the hit rate alongside per-reader query counts and
+// aggregate QPS.
+func runFollow(graphPath string, k int, span int64, every, readers int, cacheOpts tkc.CacheOptions) {
 	if every < 1 {
 		every = 1
 	}
@@ -214,6 +221,7 @@ func runFollow(graphPath string, k int, span int64, every, readers int) {
 			log.Fatal(err)
 		}
 	}
+	g.SetCacheOptions(cacheOpts)
 	w, err := g.Watch(k, span)
 	if err != nil {
 		log.Fatal(err)
@@ -244,7 +252,24 @@ func runFollow(graphPath string, k int, span int64, every, readers int) {
 		go func(ri int) {
 			defer served.Done()
 			for ctx.Err() == nil {
-				if _, err := w.Query().Count(ctx); err != nil {
+				// Query the latest published epoch's trailing window as a
+				// one-shot snapshot request: it resolves to the same
+				// (epoch seq, k, window) key the watcher's refresh
+				// inserted, so under a hot window these queries are
+				// serving-cache hits that skip the CoreTime phase. Before
+				// the first publish, fall back to the watcher's pinned
+				// view.
+				var err error
+				if s := g.Latest(); s != nil {
+					slo, shi := s.TimeSpan()
+					if span > 0 && shi-span+1 > slo {
+						slo = shi - span + 1
+					}
+					_, err = s.Query(k).Window(slo, shi).Count(ctx)
+				} else {
+					_, err = w.Query().Count(ctx)
+				}
+				if err != nil {
 					if ctx.Err() != nil {
 						return
 					}
@@ -271,9 +296,9 @@ func runFollow(graphPath string, k int, span int64, every, readers int) {
 	stopServe()
 	served.Wait()
 	st := w.Stats()
-	fmt.Printf("stream done: %d edges appended, %d patched refreshes (%.1fms) / %d rebuilds (%.1fms)\n",
+	fmt.Printf("stream done: %d edges appended, %d patched refreshes (%.1fms) / %d rebuilds (%.1fms) / %d cache adopts\n",
 		ar.Total(), st.Patches, float64(st.PatchTime.Microseconds())/1000,
-		st.Rebuilds, float64(st.RebuildTime.Microseconds())/1000)
+		st.Rebuilds, float64(st.RebuildTime.Microseconds())/1000, st.CacheAdopts)
 	if readers > 0 {
 		var total int64
 		for _, q := range queries {
@@ -282,6 +307,16 @@ func runFollow(graphPath string, k int, span int64, every, readers int) {
 		secs := time.Since(serveStart).Seconds()
 		fmt.Printf("served %d concurrent queries from %d readers during ingest (%.0f QPS, per-reader %v)\n",
 			total, readers, float64(total)/secs, queries)
+	}
+	if !cacheOpts.Disable {
+		cs := g.CacheStats()
+		rate := 0.0
+		if looked := cs.Hits + cs.Misses; looked > 0 {
+			rate = 100 * float64(cs.Hits) / float64(looked)
+		}
+		fmt.Printf("cache: %d hits / %d misses (%.1f%% hit rate), %d singleflight-shared, %d evicted, %d retired, %d entries / %.1f MiB resident\n",
+			cs.Hits, cs.Misses, rate, cs.SingleflightShared, cs.Evictions, cs.Retired,
+			cs.Entries, float64(cs.Bytes)/(1<<20))
 	}
 }
 

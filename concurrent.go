@@ -3,19 +3,26 @@ package temporalkcore
 import (
 	"sync/atomic"
 
+	"temporalkcore/internal/qcache"
 	"temporalkcore/internal/tgraph"
 )
 
 // epochHub carries the epoch-publication state shared between a live Graph
 // and every Snapshot derived from it: the atomically published latest
-// epoch readers serve from.
+// epoch readers serve from, and the serving cache of compiled CoreTime
+// results every epoch's queries consult (nil when disabled).
 type epochHub struct {
 	latest atomic.Pointer[Snapshot]
+	cache  atomic.Pointer[qcache.Cache]
 }
 
 // newGraph wraps an internal graph as a public one with a fresh epoch hub.
+// The serving cache starts enabled at its default budget; see
+// SetCacheOptions.
 func newGraph(tg *tgraph.Graph) *Graph {
-	return &Graph{g: tg, hub: &epochHub{}, origin: tg}
+	g := &Graph{g: tg, hub: &epochHub{}, origin: tg}
+	g.hub.cache.Store(qcache.New(DefaultCacheMaxBytes))
+	return g
 }
 
 // Snapshot is an immutable point-in-time view of a Graph under the
@@ -59,9 +66,20 @@ func (g *Graph) Freeze() *Snapshot {
 // Like Freeze it is writer-only. Readers obtain the published epoch with
 // Latest, so the writer's cadence of Publish calls is the granularity at
 // which appended edges become visible to concurrent readers.
+//
+// Publishing also retires serving-cache entries of epochs older than the
+// one being replaced: no Latest call can return those epochs anymore, so
+// only a long-held Snapshot could still ask for them (it stays correct —
+// its queries just rebuild instead of hitting the cache).
 func (g *Graph) Publish() *Snapshot {
+	prev := g.hub.latest.Load()
 	s := g.Freeze()
 	g.hub.latest.Store(s)
+	if prev != nil {
+		if c := g.cache(); c != nil {
+			c.RetireBelow(prev.Seq())
+		}
+	}
 	return s
 }
 

@@ -218,6 +218,10 @@ type WatchStats struct {
 	Patches  int // incremental patched refreshes
 	Rebuilds int // full table rebuilds (the initial build included)
 	Noops    int // refreshes that found the tables current
+	// CacheAdopts counts refreshes served straight from the graph's
+	// serving cache: the tables for the exact (epoch seq, k, window)
+	// target were resident, so nothing was patched or rebuilt.
+	CacheAdopts int
 
 	PatchTime   time.Duration
 	RebuildTime time.Duration
@@ -243,6 +247,12 @@ func (g *Graph) Watch(k int, span int64) (*Watcher, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The watcher and the one-shot/prepared/batch paths share the graph's
+	// serving cache: refreshes insert their patched tables (and adopt
+	// resident entries), so snapshot queries on the watch window skip
+	// their CoreTime phase, and reader-side repairs reuse builds done by
+	// anyone else.
+	dix.SetCache(g.cache())
 	w.dix = dix
 	return w, nil
 }
@@ -384,6 +394,7 @@ func (w *Watcher) Stats() WatchStats {
 		Patches:     st.Patches,
 		Rebuilds:    st.Rebuilds,
 		Noops:       st.Noops,
+		CacheAdopts: st.CacheAdopts,
 		PatchTime:   st.PatchTime,
 		RebuildTime: st.RebuildTime,
 	}

@@ -211,6 +211,37 @@ func QueryWith(g *tgraph.Graph, k int, w tgraph.Window, sink enum.Sink, opts Opt
 	return st, nil
 }
 
+// EnumeratePrebuilt runs only the enumeration phase of a query against
+// prebuilt CoreTime tables — a serving-cache entry, or any immutable
+// (Index, ECS) pair built for exactly this (g, k, w) — so repeat queries
+// pay O(lookup + |R|) instead of the CoreTime phase. Stats.CoreTime stays
+// zero: the build cost was paid by whoever produced the tables. Only the
+// optimal AlgoEnum consumes prebuilt tables.
+func EnumeratePrebuilt(g *tgraph.Graph, ix *vct.Index, ecs *vct.ECS, sink enum.Sink, opts Options, s *Scratch) (Stats, error) {
+	var st Stats
+	if g == nil {
+		return st, fmt.Errorf("core: nil graph")
+	}
+	if ix == nil || ecs == nil {
+		return st, fmt.Errorf("core: nil prebuilt tables")
+	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		return st, err
+	}
+	st.VCTSize = ix.Size()
+	st.ECSSize = ecs.Size()
+	start := time.Now()
+	ok, cancelled := enum.EnumerateStop(g, ecs, sink, &s.enum, StopFromCtx(opts.Ctx))
+	st.EnumTime = time.Since(start)
+	if cancelled {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return st, err
+		}
+	}
+	st.Stopped = !ok
+	return st, nil
+}
+
 // ctxErr is ctx.Err() tolerating a nil context.
 func ctxErr(ctx context.Context) error {
 	if ctx == nil {

@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"temporalkcore/internal/core"
+	"temporalkcore/internal/enum"
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/vct"
+)
+
+// TestEnumeratePrebuiltMatchesQuery pins the prebuilt-table execution the
+// serving cache uses: enumerating cached tables must produce exactly the
+// cores of a full Query, with CoreTime zero.
+func TestEnumeratePrebuiltMatchesQuery(t *testing.T) {
+	g := paperex.Graph()
+	w := g.FullWindow()
+	ix, ecs, err := vct.Build(g, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want enum.CollectSink
+	if _, err := core.Query(g, 2, w, &want, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var got enum.CollectSink
+	s := core.GetScratch()
+	defer core.PutScratch(s)
+	st, err := core.EnumeratePrebuilt(g, ix, ecs, &got, core.Options{}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CoreTime != 0 {
+		t.Errorf("prebuilt execution reported CoreTime %v, want 0", st.CoreTime)
+	}
+	if st.VCTSize != ix.Size() || st.ECSSize != ecs.Size() {
+		t.Errorf("sizes (%d,%d) != tables (%d,%d)", st.VCTSize, st.ECSSize, ix.Size(), ecs.Size())
+	}
+	enum.SortCores(want.Cores)
+	enum.SortCores(got.Cores)
+	if !enum.EqualCoreSets(want.Cores, got.Cores) {
+		t.Errorf("prebuilt enumeration: %d cores != %d from Query", len(got.Cores), len(want.Cores))
+	}
+
+	// Validation and cancellation paths.
+	if _, err := core.EnumeratePrebuilt(nil, ix, ecs, &got, core.Options{}, s); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := core.EnumeratePrebuilt(g, nil, ecs, &got, core.Options{}, s); err == nil {
+		t.Error("nil index accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := core.EnumeratePrebuilt(g, ix, ecs, &got, core.Options{Ctx: ctx}, s); err != context.Canceled {
+		t.Errorf("pre-cancelled ctx returned %v, want context.Canceled", err)
+	}
+}
+
+// TestQueryBatchPrebuilt pins the batch integration: items carrying
+// prebuilt tables answer identically to items that build their own, and
+// only AlgoEnum consumes them.
+func TestQueryBatchPrebuilt(t *testing.T) {
+	g := paperex.Graph()
+	w := g.FullWindow()
+	ix, ecs, err := vct.Build(g, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []core.BatchQuery{
+		{K: 2, W: w},                   // builds its own tables
+		{K: 2, W: w, Ix: ix, Ecs: ecs}, // prebuilt fast path
+		{K: 2, W: w, Ix: ix, Ecs: ecs, Opts: core.Options{Algorithm: core.AlgoEnumBase}}, // ignored: not AlgoEnum
+	}
+	sinks := make([]enum.CollectSink, len(queries))
+	res := core.QueryBatch(context.Background(), g, queries, 2, func(i int) enum.Sink { return &sinks[i] })
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		enum.SortCores(sinks[i].Cores)
+	}
+	if res[0].Stats.CoreTime <= 0 {
+		t.Error("self-building item reported zero CoreTime")
+	}
+	if res[1].Stats.CoreTime != 0 {
+		t.Errorf("prebuilt item reported CoreTime %v, want 0", res[1].Stats.CoreTime)
+	}
+	if res[2].Stats.CoreTime <= 0 {
+		t.Error("EnumBase item consumed prebuilt tables (CoreTime 0)")
+	}
+	for i := 1; i < len(sinks); i++ {
+		if !enum.EqualCoreSets(sinks[0].Cores, sinks[i].Cores) {
+			t.Errorf("item %d cores differ from the self-building item", i)
+		}
+	}
+}

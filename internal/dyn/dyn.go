@@ -23,6 +23,7 @@ import (
 
 	"temporalkcore/internal/enum"
 	"temporalkcore/internal/epoch"
+	"temporalkcore/internal/qcache"
 	"temporalkcore/internal/tgraph"
 	"temporalkcore/internal/vct"
 )
@@ -54,6 +55,14 @@ type Index struct {
 
 	guard epoch.Guard[*View]
 
+	// cache, when non-nil, is the graph's serving cache: Refresh consults
+	// it before patching (adopting a resident entry for the exact target
+	// (epoch seq, k, window) without recomputing) and inserts a self-owned
+	// clone of freshly patched tables so other execution paths hit. When a
+	// retired View drains — its epoch has no reader left — entries of
+	// older epochs are retired with it.
+	cache *qcache.Cache
+
 	mu   sync.Mutex // guards free (drains release arenas on reader goroutines)
 	free []*vct.Scratch
 
@@ -67,6 +76,10 @@ type Stats struct {
 	Patches  int // incremental patched refreshes
 	Rebuilds int // full scratch rebuilds, the initial build included
 	Noops    int // refreshes that found the tables current
+	// CacheAdopts counts refreshes served by adopting a serving-cache
+	// entry for the exact target (epoch seq, k, window) — no patching, no
+	// rebuilding, one cache lookup.
+	CacheAdopts int
 
 	// PatchTime and RebuildTime accumulate the wall time spent in each.
 	PatchTime   time.Duration
@@ -91,11 +104,24 @@ func New(g *tgraph.Graph, k int, w tgraph.Window) (*Index, error) {
 	return d, nil
 }
 
+// SetCache attaches the graph's serving cache (nil detaches). Writer-side:
+// call it before the index is shared with readers, not concurrently with
+// Refresh.
+func (d *Index) SetCache(c *qcache.Cache) { d.cache = c }
+
 func (d *Index) publish(v *View) {
 	d.guard.Publish(v, func(old *View) {
-		d.mu.Lock()
-		d.free = append(d.free, old.s)
-		d.mu.Unlock()
+		if old.s != nil { // cache-adopted views own no arena
+			d.mu.Lock()
+			d.free = append(d.free, old.s)
+			d.mu.Unlock()
+		}
+		if d.cache != nil {
+			// The drained epoch has no watcher reader left; entries of
+			// strictly older epochs can only serve long-held snapshots,
+			// which stay correct (they rebuild on miss).
+			d.cache.RetireBelow(old.Seq)
+		}
 	})
 }
 
@@ -134,9 +160,25 @@ func (d *Index) RefreshAt(at *tgraph.Graph, w tgraph.Window, stop func() bool) e
 		return fmt.Errorf("dyn: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, at.TMax())
 	}
 	cur, _ := d.guard.Current()
-	if at == cur.G && w == cur.W && at.MutSeq() == cur.Seq {
+	// Short-circuit on identical (epoch seq, window): the tables are a pure
+	// function of that pair on an append-only graph, so a refresh targeting
+	// the same state recomputes nothing — even when `at` is a different
+	// *Graph value (a re-publish of an unchanged graph). The current View's
+	// binding is only kept when that is safe for concurrent readers: either
+	// it is the exact same graph value, or it is already an immutable
+	// epoch. A View still bound to the mutable live graph must rebind to
+	// the frozen `at`, so it falls through.
+	if w == cur.W && at.MutSeq() == cur.Seq && (at == cur.G || cur.G.Frozen()) {
 		d.stats.Noops++
 		return nil
+	}
+	key := qcache.Key{Seq: at.MutSeq(), K: d.k, W: w, Algo: qcache.AlgoEnum}
+	if d.cache != nil {
+		if ent, ok := d.cache.Probe(key); ok {
+			d.publish(&View{G: at, Ix: ent.Ix, Ecs: ent.Ecs, W: w, Seq: at.MutSeq(), seqTMax: at.TMax()})
+			d.stats.CacheAdopts++
+			return nil
+		}
 	}
 	dirtyFrom := tgraph.InfTime
 	if at.MutSeq() != cur.Seq {
@@ -152,12 +194,20 @@ func (d *Index) RefreshAt(at *tgraph.Graph, w tgraph.Window, stop func() bool) e
 		return err
 	}
 	d.publish(&View{G: at, Ix: ix, Ecs: ecs, W: w, Seq: at.MutSeq(), seqTMax: at.TMax(), s: s})
+	took := time.Since(began)
 	if patched {
 		d.stats.Patches++
-		d.stats.PatchTime += time.Since(began)
+		d.stats.PatchTime += took
 	} else {
 		d.stats.Rebuilds++
-		d.stats.RebuildTime += time.Since(began)
+		d.stats.RebuildTime += took
+	}
+	if d.cache != nil && d.cache.Admits(ix.MemBytes()+ecs.MemBytes()) {
+		// Insert a self-owned clone (the View's tables are arena-backed and
+		// the arena is recycled when the View drains) so one-shot, batch and
+		// prepared queries on this epoch's window skip their CoreTime phase.
+		// Tables too large to ever be admitted skip the clone entirely.
+		d.cache.Add(key, qcache.NewEntry(ix.Clone(), ecs.Clone(), took))
 	}
 	return nil
 }

@@ -25,13 +25,25 @@ var ErrStopped = errors.New("vct: build stopped")
 // the repeated-query hot path that drops the outputs after enumerating,
 // BuildScratch avoids even the output allocations.
 func Build(g *tgraph.Graph, k int, w tgraph.Window) (*Index, *ECS, error) {
+	return BuildStop(g, k, w, nil)
+}
+
+// BuildStop is Build with a cancellation hook (see BuildScratchStop for the
+// polling contract): the outputs are freshly allocated and self-owned, so
+// callers that retain tables indefinitely — the serving cache — get memory
+// no scratch arena can later reclaim.
+func BuildStop(g *tgraph.Graph, k int, w tgraph.Window, stop func() bool) (*Index, *ECS, error) {
 	if err := validate(g, k, w); err != nil {
 		return nil, nil, err
 	}
 	s := GetScratch()
 	defer PutScratch(s)
 	b := newBuilder(g, k, w, s)
+	b.stop = stop
 	b.run()
+	if b.stopped {
+		return nil, nil, ErrStopped
+	}
 	return b.index(), b.skylines(), nil
 }
 

@@ -1,0 +1,45 @@
+package vct
+
+import (
+	"slices"
+	"unsafe"
+
+	"temporalkcore/internal/tgraph"
+)
+
+// Clone returns a deep copy of the index whose arrays are owned by the
+// copy. Use it to hand arena-backed tables (BuildScratch outputs) to a
+// holder that outlives the arena, such as the serving cache.
+func (ix *Index) Clone() *Index {
+	return &Index{
+		K:       ix.K,
+		Range:   ix.Range,
+		off:     slices.Clone(ix.off),
+		entries: slices.Clone(ix.entries),
+	}
+}
+
+// MemBytes estimates the resident size of the index's backing arrays.
+func (ix *Index) MemBytes() int64 {
+	return int64(len(ix.off))*int64(unsafe.Sizeof(int32(0))) +
+		int64(len(ix.entries))*int64(unsafe.Sizeof(Entry{}))
+}
+
+// Clone returns a deep copy of the skylines whose arrays are owned by the
+// copy; see Index.Clone.
+func (e *ECS) Clone() *ECS {
+	return &ECS{
+		K:     e.K,
+		Range: e.Range,
+		lo:    e.lo,
+		hi:    e.hi,
+		off:   slices.Clone(e.off),
+		wins:  slices.Clone(e.wins),
+	}
+}
+
+// MemBytes estimates the resident size of the skylines' backing arrays.
+func (e *ECS) MemBytes() int64 {
+	return int64(len(e.off))*int64(unsafe.Sizeof(int32(0))) +
+		int64(len(e.wins))*int64(unsafe.Sizeof(tgraph.Window{}))
+}

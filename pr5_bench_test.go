@@ -1,0 +1,110 @@
+package temporalkcore_test
+
+import (
+	"context"
+	"testing"
+
+	tkc "temporalkcore"
+)
+
+// BenchmarkServingCacheHit measures what the serving cache converts repeat
+// queries into, on the CM replica's seeded 10% window (the same window the
+// PR 3 iterator benchmarks use):
+//
+//   - cold / warm: a full Count of the window, uncached vs cache hit. The
+//     hit skips the CoreTime phase but still pays the output-proportional
+//     enumeration, so this ratio is bounded by |R|'s share of the query.
+//   - cold-first / warm-first: the point-query serving pattern ("is there
+//     a dense community in this window right now"): First pays CoreTime +
+//     O(1) enumeration uncached, and O(lookup) on a hit — this isolates
+//     exactly what the cache removes and is the ≥10x acceptance criterion.
+//   - warm-batch: a 4-item batch of identical warm queries, the
+//     shared-hit path RunBatch uses.
+//
+// Results are recorded in BENCH_PR5.json; the bench-regression gate
+// tracks the warm ns/op so the O(lookup) property cannot silently rot.
+func BenchmarkServingCacheHit(b *testing.B) {
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		g, k, ws, we, _, _ := cmReplica(b)
+		g.SetCacheOptions(tkc.CacheOptions{Disable: true})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qs, err := g.Query(k).Window(ws, we).Count(ctx)
+			if err != nil || qs.Cores == 0 {
+				b.Fatalf("cores=%d err=%v", qs.Cores, err)
+			}
+			if qs.CacheHit {
+				b.Fatal("disabled cache reported a hit")
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		g, k, ws, we, _, _ := cmReplica(b)
+		if _, err := g.Query(k).Window(ws, we).Count(ctx); err != nil {
+			b.Fatal(err) // prime the cache
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qs, err := g.Query(k).Window(ws, we).Count(ctx)
+			if err != nil || qs.Cores == 0 {
+				b.Fatalf("cores=%d err=%v", qs.Cores, err)
+			}
+			if !qs.CacheHit {
+				b.Fatal("warm query missed")
+			}
+		}
+	})
+
+	b.Run("cold-first", func(b *testing.B) {
+		g, k, ws, we, _, _ := cmReplica(b)
+		g.SetCacheOptions(tkc.CacheOptions{Disable: true})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := g.Query(k).Window(ws, we).First(ctx); err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+
+	b.Run("warm-first", func(b *testing.B) {
+		g, k, ws, we, _, _ := cmReplica(b)
+		if _, _, err := g.Query(k).Window(ws, we).First(ctx); err != nil {
+			b.Fatal(err) // prime the cache
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := g.Query(k).Window(ws, we).First(ctx); err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+
+	b.Run("warm-batch", func(b *testing.B) {
+		g, k, ws, we, _, _ := cmReplica(b)
+		if _, err := g.Query(k).Window(ws, we).Count(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reqs := []*tkc.Request{
+				g.Query(k).Window(ws, we).Project(tkc.ProjectCount),
+				g.Query(k).Window(ws, we).Project(tkc.ProjectCount),
+				g.Query(k).Window(ws, we).Project(tkc.ProjectCount),
+				g.Query(k).Window(ws, we).Project(tkc.ProjectCount),
+			}
+			for j, r := range g.RunBatch(ctx, reqs) {
+				if r.Err != nil || !r.Stats.CacheHit {
+					b.Fatalf("item %d: err=%v hit=%v", j, r.Err, r.Stats.CacheHit)
+				}
+			}
+		}
+	})
+}

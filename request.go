@@ -11,6 +11,7 @@ import (
 
 	"temporalkcore/internal/core"
 	"temporalkcore/internal/enum"
+	"temporalkcore/internal/qcache"
 	"temporalkcore/internal/tgraph"
 	"temporalkcore/internal/vct"
 )
@@ -374,13 +375,40 @@ func (s *projSink) Emit(tti tgraph.Window, eids []tgraph.EID) bool {
 }
 
 // runOneShot executes the request through the core engine: CoreTime phase
-// plus enumeration, both on pooled scratch and cancellable via ctx.
+// plus enumeration, both on pooled scratch and cancellable via ctx. With
+// the serving cache enabled, the CoreTime phase is consulted from — and on
+// a miss inserted into — the cache under (epoch seq, k, window, algo), so
+// a repeat query on the same graph state pays only the enumeration.
 func (r *Request) runOneShot(ctx context.Context, qs *QueryStats, fn func(Core) bool) (QueryStats, error) {
 	w, err := r.g.window(r.start, r.end)
 	if err != nil {
 		return *qs, err
 	}
 	sink := &projSink{g: r.g.g, proj: r.proj, fn: fn, qs: qs}
+	// A key whose tables are known to exceed the whole cache budget takes
+	// the uncached pooled-scratch path below: rebuilding retained tables
+	// that can never be admitted would be strictly worse than both.
+	if c := r.g.cache(); c != nil && cacheable(r.algo) {
+		if key := r.g.cacheKey(r.k, w, r.algo); !c.Uncacheable(key) {
+			ent, how, err := c.GetOrBuild(ctx, key, func() (*qcache.Entry, error) {
+				return r.g.buildCacheEntry(ctx, r.k, w)
+			})
+			if err != nil {
+				return *qs, err
+			}
+			qs.CacheHit = how != qcache.Built
+			qs.CacheShared = how == qcache.Shared
+			if how == qcache.Built {
+				qs.CoreTime = ent.CoreTime
+			}
+			qs.VCTSize, qs.ECSSize = ent.Ix.Size(), ent.Ecs.Size()
+			s := core.GetScratch()
+			defer core.PutScratch(s)
+			st, err := core.EnumeratePrebuilt(r.g.g, ent.Ix, ent.Ecs, sink, core.Options{Ctx: ctx}, s)
+			qs.EnumTime = st.EnumTime
+			return *qs, err
+		}
+	}
 	st, err := core.Query(r.g.g, r.k, w, sink, core.Options{Algorithm: r.algo, Ctx: ctx})
 	if err != nil {
 		return *qs, err

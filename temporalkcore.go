@@ -194,9 +194,20 @@ type QueryStats struct {
 
 	// CoreTime is the wall time of the CoreTime phase (VCT + ECS
 	// construction, Algorithm 2); EnumTime the wall time of the
-	// enumeration phase. For OTCD everything is EnumTime.
+	// enumeration phase. For OTCD everything is EnumTime. A query served
+	// from the serving cache reports CoreTime zero — the phase was paid
+	// by whichever execution built the entry.
 	CoreTime time.Duration
 	EnumTime time.Duration
+
+	// CacheHit reports that the CoreTime phase was skipped because the
+	// serving cache held (or a concurrent identical build produced) the
+	// compiled tables for this (epoch, k, window); see SetCacheOptions.
+	CacheHit bool
+	// CacheShared reports that this execution neither built nor found the
+	// tables resident, but shared a concurrent identical build
+	// (singleflight) — a subset of CacheHit.
+	CacheShared bool
 }
 
 // request compiles the legacy (k, range, Options) triple into a v2
