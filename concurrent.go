@@ -3,6 +3,7 @@ package temporalkcore
 import (
 	"sync/atomic"
 
+	"temporalkcore/internal/phc"
 	"temporalkcore/internal/qcache"
 	"temporalkcore/internal/tgraph"
 )
@@ -14,6 +15,20 @@ import (
 type epochHub struct {
 	latest atomic.Pointer[Snapshot]
 	cache  atomic.Pointer[qcache.Cache]
+
+	// lastHist is the most recently constructed historical PHC index of
+	// this graph lineage, the patch oracle of the next HistoricalIndex
+	// call: the index fingerprint pins the graph state it answers for, so
+	// after an append the next build re-settles only the dirty
+	// time-suffix past that state's frontier instead of rebuilding every
+	// k slice. One index is retained per graph (the serving cache holds
+	// any others); it is replaced wholesale on each build, never mutated.
+	lastHist atomic.Pointer[phc.Index]
+
+	// lastPin memoises the frozen epoch the historical tier most recently
+	// pinned, so repeat pins of an unchanged never-published graph reuse
+	// one freeze instead of copying the segment directories per call.
+	lastPin atomic.Pointer[tgraph.Graph]
 }
 
 // newGraph wraps an internal graph as a public one with a fresh epoch hub.

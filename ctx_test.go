@@ -308,3 +308,45 @@ func TestCancelMidPatchRefresh(t *testing.T) {
 		t.Fatalf("post-cancel watcher cores=%d |R|=%d, one-shot cores=%d |R|=%d", got.Cores, got.Edges, want.Cores, want.Edges)
 	}
 }
+
+// TestCancelMidHistoricalBuild cancels Graph.HistoricalIndex while its
+// per-k settle loops run and requires a prompt ctx.Err() return; the
+// cancelled build must leave the serving cache and patch oracle clean, so
+// an uncancelled retry succeeds. Two identical graphs are used because a
+// repeat call on the first would be a warm cache hit, not a build.
+func TestCancelMidHistoricalBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	gRef := bigGraph(t)
+	lo, hi := gRef.TimeSpan()
+	began := time.Now()
+	if _, err := gRef.HistoricalIndex(context.Background(), lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	fullDur := time.Since(began)
+	if fullDur < 20*time.Millisecond {
+		t.Skipf("full build too fast to observe cancellation (%v)", fullDur)
+	}
+
+	gCut := bigGraph(t)
+	ctx, cancel := context.WithTimeout(context.Background(), fullDur/20)
+	defer cancel()
+	began = time.Now()
+	_, err := gCut.HistoricalIndex(ctx, lo, hi)
+	elapsed := time.Since(began)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled build returned %v (in %v), want context.DeadlineExceeded", err, elapsed)
+	}
+	if elapsed > fullDur/2 {
+		t.Errorf("cancelled build took %v of a %v build; cancellation is not prompt", elapsed, fullDur)
+	}
+
+	h, err := gCut.HistoricalIndex(context.Background(), lo, hi)
+	if err != nil {
+		t.Fatalf("retry after cancelled build: %v", err)
+	}
+	if h.KMax() < 1 {
+		t.Errorf("retry produced an empty index (KMax %d)", h.KMax())
+	}
+}

@@ -2,7 +2,10 @@ package temporalkcore_test
 
 import (
 	"bytes"
+	"context"
+	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	tkc "temporalkcore"
@@ -117,5 +120,263 @@ func TestHistoricalIndexErrors(t *testing.T) {
 	// Queries outside the indexed range must fail loudly, not silently.
 	if _, err := h.CoreMembers(2, 1, 7); err == nil {
 		t.Error("query outside indexed range accepted")
+	}
+}
+
+// timeBatch generates a time-ordered append batch whose first timestamp is
+// >= from, over the vertex universe [0, n).
+func timeBatch(r *rand.Rand, n int, m int, from int64) []tkc.Edge {
+	batch := make([]tkc.Edge, 0, m)
+	tme := from
+	for len(batch) < m {
+		u, v := int64(r.Intn(n)), int64(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if r.Intn(3) == 0 {
+			tme++
+		}
+		batch = append(batch, tkc.Edge{U: u, V: v, Time: tme})
+	}
+	return batch
+}
+
+// TestHistoricalIndexCacheHit: a repeat HistoricalIndex call on the same
+// graph state and range is a warm cache hit, and the hit answers exactly
+// like the build. With the cache disabled the path still serves correctly.
+func TestHistoricalIndexCacheHit(t *testing.T) {
+	g := reqGraph(t, 31, 40, 400)
+	lo, hi := g.TimeSpan()
+	ctx := context.Background()
+
+	base := g.CacheStats()
+	h1, err := g.HistoricalIndex(ctx, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterBuild := g.CacheStats()
+	if afterBuild.Misses != base.Misses+1 {
+		t.Errorf("first build: misses %d -> %d, want one new miss", base.Misses, afterBuild.Misses)
+	}
+	h2, err := g.HistoricalIndex(ctx, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterHit := g.CacheStats()
+	if afterHit.Hits != afterBuild.Hits+1 {
+		t.Errorf("repeat build: hits %d -> %d, want one new hit", afterBuild.Hits, afterHit.Hits)
+	}
+	for k := 1; k <= h1.KMax(); k++ {
+		a, err := h1.CoreMembers(k, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := h2.CoreMembers(k, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("k=%d: cached index answers differently: %d vs %d members", k, len(a), len(b))
+		}
+	}
+
+	g.SetCacheOptions(tkc.CacheOptions{Disable: true})
+	h3, err := g.HistoricalIndex(ctx, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.KMax() != h1.KMax() {
+		t.Errorf("uncached path KMax = %d, want %d", h3.KMax(), h1.KMax())
+	}
+}
+
+// TestHistoricalIndexPatchAfterAppend grows the graph at the time frontier
+// and cross-checks the (incrementally patched) index against from-scratch
+// snapshot peeling on many windows and k.
+func TestHistoricalIndexPatchAfterAppend(t *testing.T) {
+	g := reqGraph(t, 32, 30, 300)
+	ctx := context.Background()
+	lo, hi := g.TimeSpan()
+	if _, err := g.HistoricalIndex(ctx, lo, hi); err != nil { // seeds the patch oracle
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(5))
+	for round := 0; round < 3; round++ {
+		_, cur := g.TimeSpan()
+		if _, err := g.Append(timeBatch(r, 30, 120, cur)...); err != nil {
+			t.Fatal(err)
+		}
+		lo, hi = g.TimeSpan()
+		h, err := g.HistoricalIndex(ctx, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= 3; k++ {
+			for trial := 0; trial < 6; trial++ {
+				s := lo + int64(r.Intn(int(hi-lo+1)))
+				e := s + int64(r.Intn(int(hi-s+1)))
+				got, err := h.CoreMembers(k, s, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, ok, err := g.Query(k).Window(s, e).Snapshot(1).Project(tkc.ProjectVertices).First(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok && len(got) != 0 {
+					t.Fatalf("round %d k=%d [%d,%d]: index says %d members, peeler says empty", round, k, s, e, len(got))
+				}
+				if ok {
+					if len(got) != len(want.Vertices) {
+						t.Fatalf("round %d k=%d [%d,%d]: index %d members, peeler %d", round, k, s, e, len(got), len(want.Vertices))
+					}
+					for i := range got {
+						if got[i] != want.Vertices[i] {
+							t.Fatalf("round %d k=%d [%d,%d]: member lists differ at %d", round, k, s, e, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHistoricalIndexEpochPinned: an index keeps answering for the epoch it
+// was built from while the live graph grows past it — appended edges never
+// leak into old answers — and a fresh index sees the new state.
+func TestHistoricalIndexEpochPinned(t *testing.T) {
+	g, err := tkc.NewGraph([]tkc.Edge{
+		{U: 1, V: 2, Time: 1},
+		{U: 2, V: 3, Time: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	h, err := g.HistoricalIndex(ctx, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := h.CoreMembers(2, 1, 2); len(got) != 0 {
+		t.Fatalf("path graph has a 2-core: %v", got)
+	}
+
+	// Close the triangle after the index is pinned.
+	if _, err := g.Append(tkc.Edge{U: 1, V: 3, Time: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := h.CoreMembers(2, 1, 2); len(got) != 0 {
+		t.Fatalf("append leaked into the pinned index: %v", got)
+	}
+	if h.Seq() != 0 {
+		t.Errorf("pinned index seq = %d, want 0", h.Seq())
+	}
+
+	h2, err := g.HistoricalIndex(ctx, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Seq() != 1 {
+		t.Errorf("fresh index seq = %d, want 1", h2.Seq())
+	}
+	got, err := h2.CoreMembers(2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("triangle 2-core = %v, want 3 members", got)
+	}
+}
+
+// TestHistoricalIndexConcurrentAppend hammers pinned indexes and
+// Latest-epoch index builds from reader goroutines while the writer
+// appends and publishes — the -race proof of the epoch-pinned memory
+// model.
+func TestHistoricalIndexConcurrentAppend(t *testing.T) {
+	g := reqGraph(t, 33, 40, 500)
+	ctx := context.Background()
+	lo, hi := g.TimeSpan()
+	h, err := g.HistoricalIndex(ctx, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Publish()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := h.CoreMembers(2, lo, hi); err != nil {
+					t.Errorf("pinned index query: %v", err)
+					return
+				}
+				s := g.Latest()
+				sLo, sHi := s.TimeSpan()
+				hh, err := s.HistoricalIndex(ctx, sLo, sHi)
+				if err != nil {
+					t.Errorf("latest-epoch index: %v", err)
+					return
+				}
+				if _, err := hh.CoreMembers(2, sLo, sHi); err != nil {
+					t.Errorf("latest-epoch query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	r := rand.New(rand.NewSource(11))
+	for round := 0; round < 25; round++ {
+		_, cur := g.TimeSpan()
+		if _, err := g.Append(timeBatch(r, 40, 40, cur)...); err != nil {
+			t.Fatal(err)
+		}
+		g.Publish()
+		wLo, wHi := g.TimeSpan()
+		if _, err := g.HistoricalIndex(ctx, wLo, wHi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestLoadHistoricalIndexRejectsMismatch: the fingerprint embedded by Save
+// rejects loads against a different graph and against a later epoch of the
+// same graph.
+func TestLoadHistoricalIndexRejectsMismatch(t *testing.T) {
+	// g2 differs from g1 in its vertex universe: the fingerprint records
+	// counts and the mutation sequence (not a content hash), so the
+	// guaranteed-detected mismatch is a differently-sized graph.
+	g1 := reqGraph(t, 34, 20, 150)
+	g2 := reqGraph(t, 35, 26, 150)
+	lo, hi := g1.TimeSpan()
+	h, err := g1.HistoricalIndex(context.Background(), lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	if _, err := g2.LoadHistoricalIndex(bytes.NewReader(saved)); err == nil {
+		t.Error("index loaded against a different graph")
+	}
+	if _, err := g1.Append(tkc.Edge{U: 0, V: 1, Time: hi + 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g1.LoadHistoricalIndex(bytes.NewReader(saved)); err == nil {
+		t.Error("index loaded against a later epoch of its graph")
 	}
 }

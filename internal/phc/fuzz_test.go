@@ -1,0 +1,90 @@
+package phc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"temporalkcore/internal/phc"
+	"temporalkcore/internal/tgraph"
+)
+
+// decodeStream turns fuzz bytes into a time-ordered edge stream plus a
+// batch-split recipe, mirroring the dyn fuzz harness: byte 0 sizes the
+// vertex universe, byte 1 picks the number of append batches, each
+// following byte triple is one edge whose third byte advances time by 0-2
+// ranks.
+func decodeStream(data []byte) (edges []tgraph.RawEdge, batches int) {
+	if len(data) < 8 {
+		return nil, 0
+	}
+	n := int64(data[0])%14 + 3
+	batches = int(data[1])%4 + 1
+	t := int64(1)
+	for i := 2; i+2 < len(data); i += 3 {
+		t += int64(data[i+2] % 3)
+		edges = append(edges, tgraph.RawEdge{
+			U:    int64(data[i]) % n,
+			V:    int64(data[i+1]) % n,
+			Time: t,
+		})
+	}
+	return edges, batches
+}
+
+// FuzzPatchEquivalence feeds random edge batches through the append path,
+// patching the multi-k index after every batch, and requires the final
+// index to be byte-identical — every label of every k slice, the range and
+// the fingerprint — to a one-shot Build on the grown graph.
+func FuzzPatchEquivalence(f *testing.F) {
+	f.Add([]byte("\x05\x02\x01\x02\x01\x02\x03\x01\x01\x03\x02\x03\x01\x00\x04\x05\x02\x01"))
+	f.Add([]byte{9, 3, 1, 2, 0, 2, 3, 1, 3, 1, 0, 4, 5, 2, 1, 2, 2, 0, 3, 4, 1, 4, 5, 0, 5, 6, 2})
+	f.Add([]byte{200, 250, 100, 101, 1, 102, 103, 0, 100, 102, 1, 101, 103, 0, 100, 103, 2, 101, 102, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, batches := decodeStream(data)
+		if len(edges) < 4 {
+			return
+		}
+		cut := len(edges) / (batches + 1)
+		if cut == 0 {
+			return
+		}
+		g, err := tgraph.FromRawEdges(edges[:cut])
+		if err != nil {
+			return // prefix can be empty of usable edges (all self loops)
+		}
+		ix, err := phc.Build(g, g.FullWindow())
+		if err != nil {
+			t.Fatalf("prefix Build: %v", err)
+		}
+		for i := cut; i < len(edges); i += cut {
+			j := i + cut
+			if j > len(edges) {
+				j = len(edges)
+			}
+			if _, err := g.Append(edges[i:j]); err != nil {
+				t.Fatalf("Append(%d:%d): %v", i, j, err)
+			}
+			nix, _, err := ix.Patch(g, g.FullWindow(), tgraph.TS(ix.Fp.TMax))
+			if err != nil {
+				t.Fatalf("Patch after batch %d: %v", i/cut, err)
+			}
+			ix = nix
+		}
+
+		rebuilt, err := phc.Build(g, g.FullWindow())
+		if err != nil {
+			t.Fatalf("one-shot Build: %v", err)
+		}
+		var got, want bytes.Buffer
+		if err := ix.Encode(&got); err != nil {
+			t.Fatal(err)
+		}
+		if err := rebuilt.Encode(&want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("patched index diverges from one-shot build (kmax %d vs %d, size %d vs %d)",
+				ix.KMax, rebuilt.KMax, ix.Size(), rebuilt.Size())
+		}
+	})
+}

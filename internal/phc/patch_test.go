@@ -1,0 +1,280 @@
+package phc_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"temporalkcore/internal/phc"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// randomStream generates a time-ordered edge stream appendable at any
+// split point (times advance by 0-1 per edge).
+func randomStream(r *rand.Rand, n, m int) []tgraph.RawEdge {
+	t := int64(1)
+	edges := make([]tgraph.RawEdge, 0, m)
+	for i := 0; i < m; i++ {
+		u := int64(r.Intn(n))
+		v := int64(r.Intn(n))
+		for v == u {
+			v = int64(r.Intn(n))
+		}
+		t += int64(r.Intn(2))
+		edges = append(edges, tgraph.RawEdge{U: u, V: v, Time: t})
+	}
+	return edges
+}
+
+func encodeBytes(t *testing.T, ix *phc.Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPatchMatchesBuild appends a time-suffix to random graphs and requires
+// the patched index to be byte-identical (labels, ranges, fingerprint — the
+// whole serial image) to a from-scratch build on the grown graph.
+func TestPatchMatchesBuild(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	patchedRuns := 0
+	for it := 0; it < iters; it++ {
+		edges := randomStream(r, 5+r.Intn(10), 40+r.Intn(80))
+		cut := len(edges) * 3 / 4
+		g, err := tgraph.FromRawEdges(edges[:cut])
+		if err != nil {
+			continue
+		}
+		old, err := phc.Build(g, g.FullWindow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Append(edges[cut:]); err != nil {
+			t.Fatal(err)
+		}
+		w := g.FullWindow()
+		nix, patched, err := old.Patch(g, w, tgraph.TS(old.Fp.TMax))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if patched {
+			patchedRuns++
+		}
+		rebuilt, err := phc.Build(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeBytes(t, nix), encodeBytes(t, rebuilt)) {
+			t.Fatalf("iter %d (patched=%v): patched index differs from rebuilt", it, patched)
+		}
+		if !nix.Fp.Matches(g) {
+			t.Fatalf("iter %d: patched fingerprint does not match the grown graph", it)
+		}
+	}
+	if patchedRuns == 0 {
+		t.Fatal("no iteration exercised the incremental path (all fell back to Build)")
+	}
+}
+
+// TestPatchFallback drives the cases where the oracle proves nothing — a
+// dirty watermark at the window start, and a window starting before the
+// indexed range — and requires a correct full-build result with
+// patched == false.
+func TestPatchFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	edges := randomStream(r, 9, 70)
+	cut := len(edges) * 3 / 4
+	g, err := tgraph.FromRawEdges(edges[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := g.FullWindow()
+	old, err := phc.Build(g, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Append(edges[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	w := g.FullWindow()
+	rebuilt, err := phc.Build(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Watermark at the window start: zero clean prefix.
+	nix, patched, err := old.Patch(g, w, w.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched {
+		t.Error("zero clean prefix reported patched")
+	}
+	if !bytes.Equal(encodeBytes(t, nix), encodeBytes(t, rebuilt)) {
+		t.Error("fallback result differs from rebuilt")
+	}
+
+	// Oracle over a narrower range than the query window.
+	if full.End < 4 {
+		t.Fatalf("stream too short for sub-range test (tmax %d)", full.End)
+	}
+	sub, err := phc.Build(g, tgraph.Window{Start: 3, End: full.End})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nix, patched, err = sub.Patch(g, w, tgraph.TS(sub.Fp.TMax))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched {
+		t.Error("window before indexed range reported patched")
+	}
+	if !bytes.Equal(encodeBytes(t, nix), encodeBytes(t, rebuilt)) {
+		t.Error("sub-range fallback differs from rebuilt")
+	}
+
+	// Invalid window is rejected like Build.
+	if _, _, err := old.Patch(g, tgraph.Window{Start: 1, End: g.TMax() + 5}, w.Start); err == nil {
+		t.Error("window past tmax accepted")
+	}
+}
+
+// TestPatchStopCancels requires an already-fired stop hook to abandon the
+// patch with vct.ErrStopped on both the incremental and the fallback path.
+func TestPatchStopCancels(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	edges := randomStream(r, 9, 70)
+	cut := len(edges) * 3 / 4
+	g, err := tgraph.FromRawEdges(edges[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := phc.Build(g, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Append(edges[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	w := g.FullWindow()
+	fired := func() bool { return true }
+	if _, _, err := old.PatchStop(g, w, tgraph.TS(old.Fp.TMax), fired); err != vct.ErrStopped {
+		t.Errorf("incremental path: err = %v, want ErrStopped", err)
+	}
+	if _, _, err := old.PatchStop(g, w, w.Start, fired); err != vct.ErrStopped {
+		t.Errorf("fallback path: err = %v, want ErrStopped", err)
+	}
+	if _, err := phc.BuildStop(g, w, fired); err != vct.ErrStopped {
+		t.Errorf("BuildStop: err = %v, want ErrStopped", err)
+	}
+}
+
+// TestMemBytes: the serving-cache cost estimate is positive and grows
+// with the label count.
+func TestMemBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := tgraphFrom(t, randomStream(r, 10, 60))
+	ix, err := phc.Build(g, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.MemBytes() <= 0 {
+		t.Fatalf("MemBytes = %d, want > 0", ix.MemBytes())
+	}
+	if ix.MemBytes() < int64(ix.Size()) {
+		t.Fatalf("MemBytes %d smaller than one byte per label (%d labels)", ix.MemBytes(), ix.Size())
+	}
+	if v, _ := g.VertexOf(0); !ix.InCore(v, 0, g.FullWindow()) {
+		t.Error("k=0 membership should be universally true")
+	}
+}
+
+func tgraphFrom(t *testing.T, edges []tgraph.RawEdge) *tgraph.Graph {
+	t.Helper()
+	g, err := tgraph.FromRawEdges(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestDecodeRejectsBadHeader flips individual header fields of a valid
+// stream: an implausible kmax and each corrupt-fingerprint guard must be
+// rejected rather than half-decoded.
+func TestDecodeRejectsBadHeader(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	g := tgraphFrom(t, randomStream(r, 8, 50))
+	ix, err := phc.Build(g, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Header layout: 6-byte magic, then 7 little-endian int64 fields
+	// {Range.Start, Range.End, KMax, Vertices, Edges, TMax, MutSeq}.
+	mutate := func(field int, v uint64) []byte {
+		b := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint64(b[6+8*field:], v)
+		return b
+	}
+	cases := map[string][]byte{
+		"implausible kmax":  mutate(2, 1<<30),
+		"negative vertices": mutate(3, ^uint64(0)),
+		"negative edges":    mutate(4, ^uint64(0)),
+		"tmax below range":  mutate(5, 0),
+	}
+	for name, data := range cases {
+		if _, err := phc.Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corrupt header accepted", name)
+		}
+	}
+	if _, err := phc.Decode(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine stream rejected: %v", err)
+	}
+}
+
+// failWriter errors once its byte budget is exhausted, driving Encode's
+// error returns (the index must be larger than bufio's buffer for the
+// failure to surface mid-encode).
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errors.New("writer full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestEncodeSurfacesWriterErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	g := tgraphFrom(t, randomStream(r, 20, 600))
+	ix, err := phc.Build(g, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	if err := ix.Encode(&full); err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, 1, full.Len() / 2, full.Len() - 1} {
+		if err := ix.Encode(&failWriter{n: budget}); err == nil {
+			t.Errorf("budget %d: write error swallowed", budget)
+		}
+	}
+}

@@ -10,6 +10,13 @@
 // a vertex u belongs to the k-core of [ts, te] iff CT^k_ts(u) <= te, and a
 // temporal edge (u, v, t) belongs iff additionally ts <= t and
 // max(CT^k_ts(u), CT^k_ts(v)) <= te (Lemma 1 of the reproduced paper).
+//
+// Under a growing graph the index is maintained incrementally: Patch
+// re-settles only the dirty time-suffix an append touched (bounded by the
+// tgraph.AppendStats FirstNewRank watermark, the same frontier trick the
+// single-k dynamic tables use) instead of rebuilding every k slice from
+// scratch, falling back to a full Build when the dirty region dominates
+// the window.
 package phc
 
 import (
@@ -20,11 +27,42 @@ import (
 	"temporalkcore/internal/vct"
 )
 
+// Fingerprint pins the exact graph state an index was built against: the
+// vertex/edge counts, the compressed rank ceiling and the mutation
+// sequence number. On an append-only graph the quadruple identifies the
+// edge prefix exactly, so it is both the staleness watermark carrier for
+// Patch (TMax is the dirty low-water mark of any later append) and the
+// load-time guard of the serial format (an index decoded against a
+// different graph state is rejected instead of answering wrongly).
+type Fingerprint struct {
+	Vertices int64
+	Edges    int64
+	TMax     int64 // compressed rank ceiling (tgraph.Graph.TMax) at build
+	MutSeq   int64 // mutation sequence number at build
+}
+
+// FingerprintOf captures the current state of g.
+func FingerprintOf(g *tgraph.Graph) Fingerprint {
+	return Fingerprint{
+		Vertices: int64(g.NumVertices()),
+		Edges:    int64(g.NumEdges()),
+		TMax:     int64(g.TMax()),
+		MutSeq:   g.MutSeq(),
+	}
+}
+
+// Matches reports whether g is in exactly the state the fingerprint
+// records.
+func (fp Fingerprint) Matches(g *tgraph.Graph) bool { return fp == FingerprintOf(g) }
+
 // Index is a historical k-core index over one time range for every k in
 // [1, KMax]. It is immutable and safe for concurrent use.
 type Index struct {
 	Range tgraph.Window
 	KMax  int
+
+	// Fp records the graph state the index answers for; see Fingerprint.
+	Fp Fingerprint
 
 	perK []*vct.Index // perK[k-1] is the VCT index for k
 }
@@ -33,13 +71,27 @@ type Index struct {
 // of the projected snapshot over w. The cost is the sum of the per-k VCT
 // constructions, each O(|VCT_k| · deg_avg).
 func Build(g *tgraph.Graph, w tgraph.Window) (*Index, error) {
+	return BuildStop(g, w, nil)
+}
+
+// BuildStop is Build with a cancellation hook: stop (when non-nil) is
+// polled inside every per-k CoreTime settle loop with the bounded stride
+// of vct.BuildScratchStop, plus once per k slice, so even a build over a
+// large window with a deep k hierarchy cancels within one stride of work.
+// When it fires the partial index is abandoned and vct.ErrStopped is
+// returned; callers translate it to their own cancellation error
+// (typically ctx.Err()).
+func BuildStop(g *tgraph.Graph, w tgraph.Window, stop func() bool) (*Index, error) {
 	if !w.Valid() || w.End > g.TMax() {
 		return nil, fmt.Errorf("phc: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, g.TMax())
 	}
 	_, kmax := kcore.Decompose(g, w)
-	ix := &Index{Range: w, KMax: kmax, perK: make([]*vct.Index, kmax)}
+	ix := &Index{Range: w, KMax: kmax, Fp: FingerprintOf(g), perK: make([]*vct.Index, kmax)}
 	for k := 1; k <= kmax; k++ {
-		sub, _, err := vct.Build(g, k, w)
+		if stop != nil && stop() {
+			return nil, vct.ErrStopped
+		}
+		sub, _, err := vct.BuildStop(g, k, w, stop)
 		if err != nil {
 			return nil, err
 		}
@@ -48,12 +100,105 @@ func Build(g *tgraph.Graph, w tgraph.Window) (*Index, error) {
 	return ix, nil
 }
 
+// patchMinCleanNum/Den is the fallback threshold of Patch: when the clean
+// prefix the cached index can vouch for covers less than 1/4 of the target
+// window, the per-k patch bookkeeping (bucket replay, pin bitmap, output
+// cloning) stops paying for itself and a straight Build is used instead.
+const (
+	patchMinCleanNum = 1
+	patchMinCleanDen = 4
+)
+
+// Patch returns an index for (g, w) that reuses the labels of ix wherever
+// the dirty watermark proves them still exact, re-settling only the dirty
+// time-suffix; see PatchStop.
+func (ix *Index) Patch(g *tgraph.Graph, w tgraph.Window, dirtyFrom tgraph.TS) (*Index, bool, error) {
+	return ix.PatchStop(g, w, dirtyFrom, nil)
+}
+
+// PatchStop incrementally maintains the index after the graph grew at the
+// time frontier: it builds the index for (g, w) using ix as an oracle for
+// every snapshot the appends cannot have changed, so the fixed-point work
+// per k concentrates on the dirty time-suffix instead of the whole window
+// (the PR 2 frontier trick, applied to every PHC label array at once).
+//
+// ix must have been built against an earlier (or identical) state of the
+// same append-only graph, and dirtyFrom must be a rank such that every
+// snapshot [ts, te] with te < dirtyFrom is unchanged since ix was built.
+// For pure appends that is the first rank that received a new edge
+// (tgraph.AppendStats FirstNewRank); the TMax recorded in ix.Fp is a valid
+// conservative choice, since time-ordered appends only ever add edges at
+// ranks >= the frontier. The receiver is not modified; a fresh, self-owned
+// Index is returned.
+//
+// patched reports whether the oracle was used. PatchStop falls back to a
+// full BuildStop (patched == false) when the cache proves nothing — the
+// window starts before the indexed range, or dirtyFrom precedes the window
+// — and when the clean prefix covers less than a quarter of the window, in
+// which case re-settling nearly everything through the patch machinery
+// would cost more than building. stop follows the BuildStop contract;
+// cancellation returns vct.ErrStopped with ix untouched.
+func (ix *Index) PatchStop(g *tgraph.Graph, w tgraph.Window, dirtyFrom tgraph.TS, stop func() bool) (*Index, bool, error) {
+	if !w.Valid() || w.End > g.TMax() {
+		return nil, false, fmt.Errorf("phc: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, g.TMax())
+	}
+	if dirtyFrom > ix.Range.End+1 {
+		dirtyFrom = ix.Range.End + 1 // beyond its range the oracle proves nothing
+	}
+	clean := int64(dirtyFrom) - int64(w.Start)
+	span := int64(w.End) - int64(w.Start) + 1
+	if ix.Range.Start > w.Start || clean <= 0 || clean*patchMinCleanDen < span*patchMinCleanNum {
+		nix, err := BuildStop(g, w, stop)
+		return nix, false, err
+	}
+
+	_, kmax := kcore.Decompose(g, w)
+	out := &Index{Range: w, KMax: kmax, Fp: FingerprintOf(g), perK: make([]*vct.Index, kmax)}
+	s := vct.GetScratch()
+	defer vct.PutScratch(s)
+	for k := 1; k <= kmax; k++ {
+		if stop != nil && stop() {
+			return nil, false, vct.ErrStopped
+		}
+		if k <= ix.KMax {
+			// The arena-backed patch output is cloned into self-owned
+			// arrays; the scratch is reused across the k slices.
+			sub, _, _, err := vct.PatchScratchStop(g, k, w, ix.perK[k-1], dirtyFrom, s, stop)
+			if err != nil {
+				return nil, false, err
+			}
+			out.perK[k-1] = sub.Clone()
+			continue
+		}
+		// A k tier the old state never reached: nothing cached to patch
+		// from, build the new slice outright (self-owned already).
+		sub, _, err := vct.BuildStop(g, k, w, stop)
+		if err != nil {
+			return nil, false, err
+		}
+		out.perK[k-1] = sub
+	}
+	return out, true, nil
+}
+
 // Size returns the total number of labels over all k, the paper's |PHC|.
 func (ix *Index) Size() int {
 	total := 0
 	for _, sub := range ix.perK {
 		if sub != nil {
 			total += sub.Size()
+		}
+	}
+	return total
+}
+
+// MemBytes estimates the resident size of the index's backing arrays, the
+// unit of the serving cache's byte budget.
+func (ix *Index) MemBytes() int64 {
+	var total int64
+	for _, sub := range ix.perK {
+		if sub != nil {
+			total += sub.MemBytes()
 		}
 	}
 	return total

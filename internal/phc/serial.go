@@ -11,17 +11,25 @@ import (
 	"temporalkcore/internal/vct"
 )
 
-const indexMagic = "PHCX1\n"
+// indexMagic versions the serial format. PHCX2 added the graph
+// fingerprint; PHCX1 streams (which carried only the range end as a guard,
+// not enough to detect a load against a different graph with a longer
+// timeline) are rejected as unreadable rather than half-validated.
+const indexMagic = "PHCX2\n"
 
-// Encode writes the whole multi-k index; Decode reads it back. Building
-// the index costs a pass per k over the graph, so persisting it is the
-// natural deployment mode for repeated historical queries (as in [13]).
+// Encode writes the whole multi-k index, including the fingerprint of the
+// graph state it was built against; Decode reads it back. Building the
+// index costs a pass per k over the graph, so persisting it is the natural
+// deployment mode for repeated historical queries (as in [13]).
 func (ix *Index) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(indexMagic); err != nil {
 		return err
 	}
-	hdr := []int32{int32(ix.Range.Start), int32(ix.Range.End), int32(ix.KMax)}
+	hdr := []int64{
+		int64(ix.Range.Start), int64(ix.Range.End), int64(ix.KMax),
+		ix.Fp.Vertices, ix.Fp.Edges, ix.Fp.TMax, ix.Fp.MutSeq,
+	}
 	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
 		return err
 	}
@@ -33,7 +41,9 @@ func (ix *Index) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Decode reads an index written by Encode.
+// Decode reads an index written by Encode. The embedded fingerprint is
+// returned with the index; callers loading against a live graph must
+// verify it (Fingerprint.Matches) before serving queries.
 func Decode(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(indexMagic))
@@ -41,9 +51,9 @@ func Decode(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("phc: reading magic: %w", err)
 	}
 	if string(magic) != indexMagic {
-		return nil, errors.New("phc: not a PHCX1 stream")
+		return nil, errors.New("phc: not a PHCX2 stream")
 	}
-	hdr := make([]int32, 3)
+	hdr := make([]int64, 7)
 	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
 		return nil, fmt.Errorf("phc: reading header: %w", err)
 	}
@@ -54,7 +64,11 @@ func Decode(r io.Reader) (*Index, error) {
 	ix := &Index{
 		Range: tgraph.Window{Start: tgraph.TS(hdr[0]), End: tgraph.TS(hdr[1])},
 		KMax:  kmax,
+		Fp:    Fingerprint{Vertices: hdr[3], Edges: hdr[4], TMax: hdr[5], MutSeq: hdr[6]},
 		perK:  make([]*vct.Index, kmax),
+	}
+	if ix.Fp.Vertices < 0 || ix.Fp.Edges < 0 || ix.Fp.TMax < int64(ix.Range.End) {
+		return nil, errors.New("phc: corrupt fingerprint")
 	}
 	for k := 1; k <= kmax; k++ {
 		sub, err := vct.DecodeIndex(br)

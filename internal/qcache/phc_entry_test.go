@@ -1,0 +1,60 @@
+package qcache
+
+import (
+	"testing"
+
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/phc"
+)
+
+// TestPHCEntrySharesCache: PHC index entries live in the same LRU under
+// AlgoPHC keys — sized by the index's resident bytes, disjoint from
+// CoreTime keys over the same window, and retired with their epoch.
+func TestPHCEntrySharesCache(t *testing.T) {
+	g := paperex.Graph()
+	ix, err := phc.Build(g, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := NewPHCEntry(ix, 0)
+	if ent.Phc != ix {
+		t.Fatal("entry does not carry the index")
+	}
+	if ent.Bytes != ix.MemBytes()+entryOverhead {
+		t.Fatalf("entry bytes = %d, want MemBytes %d + overhead %d", ent.Bytes, ix.MemBytes(), entryOverhead)
+	}
+
+	c := New(1 << 20)
+	w := g.FullWindow()
+	phcKey := Key{Seq: 3, W: w, Algo: AlgoPHC}
+	ctKey := Key{Seq: 3, K: 0, W: w}
+	c.Add(phcKey, ent)
+	if _, ok := c.Probe(ctKey); ok {
+		t.Fatal("PHC entry answered a CoreTime key over the same window")
+	}
+	got, ok := c.Probe(phcKey)
+	if !ok {
+		t.Fatal("PHC entry not resident")
+	}
+	if got.Phc != ix {
+		t.Fatal("probe returned a different index")
+	}
+
+	// Epoch retirement is payload-agnostic: draining epochs below 4 drops
+	// the seq-3 PHC entry like any CoreTime entry.
+	c.RetireBelow(4)
+	if _, ok := c.Probe(phcKey); ok {
+		t.Fatal("retired PHC entry still resident")
+	}
+	if st := c.Stats(); st.Retired != 1 {
+		t.Fatalf("retired = %d, want 1", st.Retired)
+	}
+
+	// An index bigger than the whole budget is refused and remembered, so
+	// the serving layer routes repeats to its uncached path.
+	small := New(ent.Bytes - entryOverhead - 1)
+	small.Add(phcKey, ent)
+	if !small.Uncacheable(phcKey) {
+		t.Fatal("oversize PHC entry not remembered as uncacheable")
+	}
+}

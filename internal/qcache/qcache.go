@@ -12,6 +12,12 @@
 // when N goroutines miss on the same key at once, one runs the build and
 // the other N-1 wait and share the result, so a thundering herd of
 // identical queries under load costs one CoreTime phase.
+//
+// Besides per-k CoreTime tables (AlgoEnum keys) the cache holds whole
+// historical multi-k PHC indexes (AlgoPHC keys, Entry.Phc payloads) under
+// the same epoch keying, LRU budget, singleflight and retirement rules —
+// the historical tier's builds are far more expensive than a single
+// CoreTime phase, which makes them the cache's best-paying tenants.
 package qcache
 
 import (
@@ -21,16 +27,24 @@ import (
 	"sync"
 	"time"
 
+	"temporalkcore/internal/phc"
 	"temporalkcore/internal/tgraph"
 	"temporalkcore/internal/vct"
 )
 
 // AlgoEnum is the Key.Algo discriminator for the paper's optimal Enum
-// algorithm — the only algorithm whose CoreTime phase is memoised today.
-// Every layer that builds keys (the public query paths, dyn refreshes)
-// must use this constant rather than a raw algorithm value, so keys stay
-// compatible even if the public Algorithm iota order ever changes.
+// algorithm — the only enumeration algorithm whose CoreTime phase is
+// memoised today. Every layer that builds keys (the public query paths,
+// dyn refreshes) must use this constant rather than a raw algorithm
+// value, so keys stay compatible even if the public Algorithm iota order
+// ever changes.
 const AlgoEnum uint8 = 0
+
+// AlgoPHC is the Key.Algo discriminator for historical multi-k PHC
+// indexes (Entry.Phc payloads). PHC keys cover every k at once, so their
+// Key.K is always 0 — a value no CoreTime key uses (k >= 1), keeping the
+// two families disjoint inside one LRU/retirement domain.
+const AlgoPHC uint8 = 1
 
 // Key identifies one compiled CoreTime result. Seq is the graph's mutation
 // sequence number at build time (tgraph.Graph.MutSeq) — on an append-only
@@ -44,13 +58,18 @@ type Key struct {
 	Algo uint8
 }
 
-// Entry is one cached CoreTime result: immutable, self-owned tables (never
+// Entry is one cached compiled result: immutable, self-owned tables (never
 // arena-backed — eviction must not be able to corrupt a reader that still
 // holds the entry) plus the wall time the build cost and an estimate of
-// the resident bytes the entry pins.
+// the resident bytes the entry pins. CoreTime entries (AlgoEnum keys)
+// carry Ix/Ecs; historical index entries (AlgoPHC keys) carry Phc.
 type Entry struct {
 	Ix  *vct.Index
 	Ecs *vct.ECS
+
+	// Phc is the multi-k historical index payload of AlgoPHC entries
+	// (nil on CoreTime entries).
+	Phc *phc.Index
 
 	// CoreTime is the wall cost of the build that produced the tables.
 	CoreTime time.Duration
@@ -72,6 +91,16 @@ func NewEntry(ix *vct.Index, ecs *vct.ECS, coreTime time.Duration) *Entry {
 		Ecs:      ecs,
 		CoreTime: coreTime,
 		Bytes:    ix.MemBytes() + ecs.MemBytes() + entryOverhead,
+	}
+}
+
+// NewPHCEntry wraps a historical multi-k index as a cache entry (AlgoPHC
+// keys). phc indexes are always self-owned, so there is no arena caveat.
+func NewPHCEntry(ix *phc.Index, buildTime time.Duration) *Entry {
+	return &Entry{
+		Phc:      ix,
+		CoreTime: buildTime,
+		Bytes:    ix.MemBytes() + entryOverhead,
 	}
 }
 

@@ -33,7 +33,7 @@ func (r *Request) runSnapshot(ctx context.Context, qs *QueryStats, fn func(Core)
 	} else {
 		eids = p.CoreEdges(r.k, r.h, w, nil)
 	}
-	r.emitSnapshot(qs, fn, w, vids, eids)
+	r.emitSnapshot(qs, fn, r.g.g, w, vids, eids)
 	qs.EnumTime = time.Since(began)
 	return *qs, nil
 }

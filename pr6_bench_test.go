@@ -1,0 +1,133 @@
+package temporalkcore_test
+
+import (
+	"context"
+	"testing"
+
+	tkc "temporalkcore"
+	"temporalkcore/internal/bench"
+)
+
+// cmStream loads the benchEdges-scale CM replica as a raw public edge
+// stream split 99%/1%: the base graph and the time-ordered tail batch the
+// append benchmarks feed through the frontier (the same split the dyn
+// patch benchmarks use).
+func cmStream(b *testing.B) (base, tail []tkc.Edge) {
+	b.Helper()
+	d, err := bench.LoadDataset("CM", benchEdges, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := make([]tkc.Edge, 0, d.G.NumEdges())
+	for _, te := range d.G.Edges() {
+		raw = append(raw, tkc.Edge{U: d.G.Label(te.U), V: d.G.Label(te.V), Time: d.G.RawTime(te.T)})
+	}
+	cut := len(raw) * 99 / 100
+	return raw[:cut], raw[cut:]
+}
+
+// BenchmarkHistoricalPatchVsRebuild measures the incremental-maintenance
+// claim of the historical tier on the CM replica: after a 1% time-ordered
+// append, re-deriving the full-range PHC index via the patch path (the
+// previous index re-settles only the dirty time-suffix) versus building it
+// from scratch. Both subtests time exactly Append + HistoricalIndex; they
+// differ only in whether a previous index exists to patch from. The ratio
+// is the PR's ≥5x acceptance criterion, recorded in BENCH_PR6.json.
+func BenchmarkHistoricalPatchVsRebuild(b *testing.B) {
+	ctx := context.Background()
+	base, tail := cmStream(b)
+
+	b.Run("patch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g, err := tkc.NewGraph(base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo, hi := g.TimeSpan()
+			if _, err := g.HistoricalIndex(ctx, lo, hi); err != nil { // the index to patch from
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := g.Append(tail...); err != nil {
+				b.Fatal(err)
+			}
+			lo, hi = g.TimeSpan()
+			if _, err := g.HistoricalIndex(ctx, lo, hi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g, err := tkc.NewGraph(base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := g.Append(tail...); err != nil {
+				b.Fatal(err)
+			}
+			lo, hi := g.TimeSpan()
+			if _, err := g.HistoricalIndex(ctx, lo, hi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHistoricalCacheHit measures the serving side of the historical
+// tier on the CM replica's full range:
+//
+//   - warm: a repeat HistoricalIndex call on the same graph state — one
+//     epoch-keyed cache lookup, the O(lookup) property the bench gate
+//     guards.
+//   - warm-query: a full historical count query through the v2 builder on
+//     a warm index handle — the pooled-scratch path whose allocs/op the
+//     gate pins near zero.
+func BenchmarkHistoricalCacheHit(b *testing.B) {
+	ctx := context.Background()
+	base, tail := cmStream(b)
+	full := append(append([]tkc.Edge(nil), base...), tail...)
+	g, err := tkc.NewGraph(full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := g.TimeSpan()
+	h, err := g.HistoricalIndex(ctx, lo, hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := 3
+	if h.KMax() < k {
+		k = h.KMax()
+	}
+
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.HistoricalIndex(ctx, lo, hi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm-query", func(b *testing.B) {
+		if _, err := h.Query(k).Window(lo, hi).Count(ctx); err != nil {
+			b.Fatal(err) // warm the id pools
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qs, err := h.Query(k).Window(lo, hi).Count(ctx)
+			if err != nil || qs.Cores == 0 {
+				b.Fatalf("cores=%d err=%v", qs.Cores, err)
+			}
+		}
+	})
+}

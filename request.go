@@ -199,7 +199,7 @@ func (r *Request) Using(h *HistoricalIndex) *Request {
 	if h == nil {
 		return r.fail("Using(nil) historical index")
 	}
-	if h.g != r.g {
+	if h.g.origin != r.g.origin {
 		return r.fail("historical index belongs to a different graph")
 	}
 	r.hix = h
@@ -475,9 +475,9 @@ func (r *Request) runWatch(ctx context.Context, qs *QueryStats, fn func(Core) bo
 // emitSnapshot assembles the single snapshot core of a window from its
 // vertex ids or edge ids (whichever the projection needs) and emits it —
 // the shared tail of the (k, h)-core and historical PHC engines. An empty
-// core emits nothing.
-func (r *Request) emitSnapshot(qs *QueryStats, fn func(Core) bool, w tgraph.Window, vids []tgraph.VID, eids []tgraph.EID) {
-	g := r.g.g
+// core emits nothing. g is the graph state the ids refer to — the live
+// epoch for (k, h)-cores, the pinned epoch for historical indexes.
+func (r *Request) emitSnapshot(qs *QueryStats, fn func(Core) bool, g *tgraph.Graph, w tgraph.Window, vids []tgraph.VID, eids []tgraph.EID) {
 	rs, re := g.RawWindow(w)
 	c := Core{Start: rs, End: re}
 	if r.proj == ProjectVertices {

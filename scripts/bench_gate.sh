@@ -20,15 +20,18 @@ tol=${BENCH_GATE_TOLERANCE:-30}
 
 # The guarded benchmarks: zero-alloc warm CoreTime builds (PR 1),
 # amortised O(1) single-edge appends (PR 3), the lock-free concurrent read
-# path and lock-free append latency under analytical load (PR 4), and
-# O(lookup) warm serving-cache hits (PR 5). Fixed iteration counts keep
-# run-to-run variance inside the tolerance.
+# path and lock-free append latency under analytical load (PR 4),
+# O(lookup) warm serving-cache hits (PR 5), and incremental historical
+# index maintenance plus O(lookup) historical cache hits (PR 6). Fixed
+# iteration counts keep run-to-run variance inside the tolerance.
 raw=$(
   go test -run=NONE -bench='BenchmarkBuildScratchReuse$' -benchtime=3x -benchmem ./internal/vct/
   go test -run=NONE -bench='BenchmarkAppendOneByOne$' -benchtime=20000x -benchmem ./internal/tgraph/
   go test -run=NONE -bench='BenchmarkConcurrentServe$' -benchtime=500x -benchmem .
   go test -run=NONE -bench='BenchmarkAppendUnderAnalytics/epoch$' -benchtime=30x -benchmem .
   go test -run=NONE -bench='BenchmarkServingCacheHit$' -benchtime=100x -benchmem .
+  go test -run=NONE -bench='BenchmarkHistoricalPatchVsRebuild$' -benchtime=5x -benchmem .
+  go test -run=NONE -bench='BenchmarkHistoricalCacheHit$' -benchtime=100x -benchmem .
 )
 echo "$raw"
 

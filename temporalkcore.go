@@ -94,10 +94,17 @@ var ErrEmptyRange = errors.New("temporalkcore: query range start exceeds end")
 // contract is uniform: ErrEmptyRange for inverted ranges, ErrNoTimestamps
 // for ranges covering no timestamp.
 func (g *Graph) window(start, end int64) (tgraph.Window, error) {
+	return windowOf(g.g, start, end)
+}
+
+// windowOf is window against an explicit graph state — used by the
+// historical tier, which resolves ranges on a pinned epoch rather than the
+// live graph.
+func windowOf(tg *tgraph.Graph, start, end int64) (tgraph.Window, error) {
 	if start > end {
 		return tgraph.Window{}, ErrEmptyRange
 	}
-	w, ok := g.g.CompressRange(start, end)
+	w, ok := tg.CompressRange(start, end)
 	if !ok {
 		return tgraph.Window{}, ErrNoTimestamps
 	}
