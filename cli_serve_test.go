@@ -1,0 +1,207 @@
+package temporalkcore_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTool builds one cmd/<name> binary into dir and returns its path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// genEdgeFile writes a small generated replica via tkcgen.
+func genEdgeFile(t *testing.T, tkcgen, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "edges.txt")
+	out, err := exec.Command(tkcgen, "-dataset", "FB", "-edges", "800", "-seed", "1", "-out", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("tkcgen: %v\n%s", err, out)
+	}
+	return path
+}
+
+// TestQuerySubcommandCompat is the flag-split shim test: the new explicit
+// "tkc query" subcommand and the legacy bare-flag invocation must produce
+// identical output for the same flags — scripts written against the
+// pre-subcommand CLI keep working unchanged.
+func TestQuerySubcommandCompat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	tkcgen := buildTool(t, dir, "tkcgen")
+	tkcBin := buildTool(t, dir, "tkc")
+	edges := genEdgeFile(t, tkcgen, dir)
+
+	// Wall-clock figures in the reports vary run to run; blank them before
+	// comparing.
+	timings := regexp.MustCompile(`[0-9]+\.[0-9]+s?`)
+	normalize := func(b []byte) string { return timings.ReplaceAllString(string(b), "#") }
+
+	for _, flags := range [][]string{
+		{"-graph", edges, "-k", "3", "-count"},
+		{"-graph", edges, "-k", "2", "-limit", "2", "-q"},
+		{"-graph", edges, "-ks", "2,3", "-count"},
+	} {
+		legacy, err := exec.Command(tkcBin, flags...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("legacy tkc %v: %v\n%s", flags, err, legacy)
+		}
+		sub, err := exec.Command(tkcBin, append([]string{"query"}, flags...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("tkc query %v: %v\n%s", flags, err, sub)
+		}
+		if normalize(legacy) != normalize(sub) {
+			t.Errorf("tkc %v and tkc query %v diverge:\n--- legacy ---\n%s--- query ---\n%s",
+				flags, flags, legacy, sub)
+		}
+	}
+
+	// Unknown subcommands fail loudly rather than being parsed as flags.
+	if err := exec.Command(tkcBin, "serv", "-graph", edges).Run(); err == nil {
+		t.Error("tkc accepted an unknown subcommand")
+	}
+}
+
+// TestServeCommandRoundTrip boots the real `tkc serve` binary on a free
+// port, drives a query/append/metrics round-trip plus a short tkcload run
+// against it, and shuts it down with SIGINT, checking the graceful-drain
+// path end to end.
+func TestServeCommandRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	tkcgen := buildTool(t, dir, "tkcgen")
+	tkcBin := buildTool(t, dir, "tkc")
+	tkcload := buildTool(t, dir, "tkcload")
+	edges := genEdgeFile(t, tkcgen, dir)
+
+	cmd := exec.Command(tkcBin, "serve", "-graph", edges, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The listening line is a printed contract; parse the bound address.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "serve: listening on "); ok {
+			base = addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("serve never printed its listening line (scan err %v)", sc.Err())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	// Query round-trip.
+	resp, err := http.Post(base+"/v1/query", "application/json",
+		strings.NewReader(`{"k":3,"project":"count"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"stats"`)) {
+		t.Fatalf("query: status %d body %.200s", resp.StatusCode, body)
+	}
+
+	// Append round-trip: two fresh edges past the frontier.
+	var appendBody bytes.Buffer
+	st := fetchServerStats(t, base)
+	fmt.Fprintf(&appendBody, "{\"u\":1,\"v\":2,\"t\":%d}\n{\"u\":2,\"v\":3,\"t\":%d}\n", st.End+1, st.End+1)
+	resp, err = http.Post(base+"/v1/append", "application/x-ndjson", &appendBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"added":2`)) {
+		t.Fatalf("append: status %d body %.200s", resp.StatusCode, body)
+	}
+
+	// Metrics scrape.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !bytes.Contains(body, []byte("tkc_requests_total")) || !bytes.Contains(body, []byte("tkc_epoch_seq 1")) {
+		t.Fatalf("metrics missing expected series:\n%.500s", body)
+	}
+
+	// Load-generator smoke: short mixed run against the live server.
+	addr := strings.TrimPrefix(base, "http://")
+	out, err := exec.Command(tkcload, "-addr", addr, "-duration", "1s", "-readers", "2",
+		"-k", "3", "-append", "-append-batch", "50", "-append-every", "100ms").CombinedOutput()
+	if err != nil {
+		t.Fatalf("tkcload: %v\n%s", err, out)
+	}
+	for _, want := range []string{"tkcload: query", "p50=", "qps=", "tkcload: append"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("tkcload report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Graceful shutdown on SIGINT.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve exited non-zero after SIGINT: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Error("serve did not exit within 15s of SIGINT")
+	}
+}
+
+type cliServerStats struct {
+	Epoch int64 `json:"epoch"`
+	End   int64 `json:"end"`
+}
+
+func fetchServerStats(t *testing.T, base string) cliServerStats {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st cliServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	tkc "temporalkcore"
+	"temporalkcore/internal/serve"
+)
+
+// runServe is the serve subcommand: the HTTP serving layer over Query API
+// v2. It loads (or waits for /v1/append to bootstrap) a graph, binds the
+// listener, prints the bound address — so scripts can use -addr :0 — and
+// serves until SIGINT/SIGTERM, then drains in-flight streams.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("tkc serve", flag.ExitOnError)
+	var (
+		addr          = fs.String("addr", "127.0.0.1:8177", "listen address (host:port; port 0 picks a free port)")
+		graphPath     = fs.String("graph", "", "temporal edge list file to serve (empty: bootstrap from the first /v1/append)")
+		cacheMB       = fs.Int("cache-mb", 64, "serving-cache budget in MiB (0 disables)")
+		maxInflight   = fs.Int("max-inflight", 0, "max concurrent query/append requests (0 = 8 per CPU); excess gets 503")
+		admissionWait = fs.Duration("admission-wait", 10*time.Millisecond, "how long a request may wait for an admission slot before 503")
+		deadline      = fs.Duration("deadline", 30*time.Second, "default per-query deadline (overridable per request via deadlineMs)")
+		maxDeadline   = fs.Duration("max-deadline", 5*time.Minute, "cap on per-request deadlines")
+		batch         = fs.Int("batch", 1024, "append: edges per batch (one epoch published per batch)")
+		epochRetain   = fs.Int("epoch-retain", 8, "recently published epochs kept addressable via the epoch request field")
+		drain         = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight streams")
+	)
+	fs.Parse(args)
+
+	cfg := serve.Config{
+		Cache:           &tkc.CacheOptions{MaxBytes: int64(*cacheMB) << 20, Disable: *cacheMB <= 0},
+		MaxInFlight:     *maxInflight,
+		AdmissionWait:   *admissionWait,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		AppendBatch:     *batch,
+		EpochRetain:     *epochRetain,
+	}
+	if *graphPath != "" {
+		g, err := tkc.LoadFile(*graphPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Graph = g
+		lo, hi := g.TimeSpan()
+		fmt.Printf("serve: graph %s: %d vertices, %d edges, %d distinct timestamps in [%d, %d]\n",
+			*graphPath, g.NumVertices(), g.NumEdges(), g.TimestampCount(), lo, hi)
+	} else {
+		fmt.Println("serve: no graph loaded; waiting for the first POST /v1/append to bootstrap")
+	}
+
+	s := serve.New(cfg)
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The listening line is a contract: smoke scripts and tests parse the
+	// bound address from it (so -addr :0 works).
+	fmt.Printf("serve: listening on http://%s\n", l.Addr())
+	os.Stdout.Sync()
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	case <-sig:
+		fmt.Println("serve: shutting down, draining in-flight streams")
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		<-errc
+	}
+	fmt.Println("serve: bye")
+}

@@ -1,0 +1,261 @@
+// Command tkcload drives mixed read/append traffic against a running
+// `tkc serve` instance and reports client-side latency percentiles,
+// throughput and allocation behaviour — the load-vs-latency harness for
+// the HTTP serving layer.
+//
+//	tkc serve -graph edges.txt -addr 127.0.0.1:8177 &
+//	tkcload -addr 127.0.0.1:8177 -duration 10s -readers 4 -append
+//
+// Readers issue point count-queries over a set of -spread trailing
+// windows (so a spread of 1 exercises the warm serving-cache path and a
+// larger spread forces CoreTime builds); the optional writer appends
+// batches of synthetic edges at the time frontier, publishing an epoch
+// per batch, so the read side continuously re-keys onto fresh epochs.
+// 503 responses (admission control shedding load) are counted separately
+// from errors: a saturated server refusing quickly is the behaviour the
+// admission controller exists to provide.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"encoding/json"
+)
+
+type stats struct {
+	mu    sync.Mutex
+	lat   []time.Duration
+	ok    int64
+	n503  int64
+	n504  int64
+	errs  int64
+	other int64
+}
+
+func (s *stats) record(code int, d time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lat = append(s.lat, d)
+	switch {
+	case err != nil:
+		s.errs++
+	case code == http.StatusOK:
+		s.ok++
+	case code == http.StatusServiceUnavailable:
+		s.n503++
+	case code == http.StatusGatewayTimeout:
+		s.n504++
+	default:
+		s.other++
+	}
+}
+
+func (s *stats) report(name string, wall time.Duration) (line string, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.lat)
+	if n == 0 {
+		return fmt.Sprintf("tkcload: %-6s n=0", name), false
+	}
+	sort.Slice(s.lat, func(i, j int) bool { return s.lat[i] < s.lat[j] })
+	pct := func(p float64) time.Duration { return s.lat[int(p*float64(n-1))] }
+	line = fmt.Sprintf("tkcload: %-6s n=%d ok=%d 503=%d 504=%d err=%d p50=%.3fms p99=%.3fms qps=%.1f",
+		name, n, s.ok, s.n503, s.n504, s.errs+s.other,
+		float64(pct(0.50))/float64(time.Millisecond),
+		float64(pct(0.99))/float64(time.Millisecond),
+		float64(n)/wall.Seconds())
+	return line, s.errs+s.other > 0
+}
+
+type serverStats struct {
+	Epoch    int64 `json:"epoch"`
+	Vertices int   `json:"vertices"`
+	Edges    int   `json:"edges"`
+	Start    int64 `json:"start"`
+	End      int64 `json:"end"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tkcload: ")
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8177", "tkc serve address (host:port)")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		readers     = flag.Int("readers", 4, "concurrent query clients")
+		k           = flag.Int("k", 3, "core parameter k for the read queries")
+		window      = flag.Float64("window", 0.2, "query window length as a fraction of the graph's time span")
+		spread      = flag.Int("spread", 1, "distinct query windows cycled per reader (1 = one hot window, maximally cacheable)")
+		earlyStop   = flag.Int("early-stop", 1, "earlyStop per query (1 = point query; 0 = full enumeration)")
+		deadlineMS  = flag.Int64("deadline-ms", 0, "per-query deadlineMs (0 = server default)")
+		appendOn    = flag.Bool("append", false, "run one writer appending synthetic edges at the time frontier")
+		appendBatch = flag.Int("append-batch", 200, "edges per append request")
+		appendEvery = flag.Duration("append-every", 200*time.Millisecond, "pause between append requests")
+		seed        = flag.Int64("seed", 1, "PRNG seed for windows and synthetic edges")
+	)
+	flag.Parse()
+
+	base := "http://" + strings.TrimPrefix(*addr, "http://")
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *readers + 2}}
+
+	ss, err := fetchStats(client, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ss.Epoch < 0 {
+		log.Fatal("server has no graph yet (start tkc serve with -graph, or append first)")
+	}
+	fmt.Printf("tkcload: target %s: %d edges, %d vertices, span [%d, %d], epoch %d\n",
+		base, ss.Edges, ss.Vertices, ss.Start, ss.End, ss.Epoch)
+
+	// Pre-compute the query bodies: -spread trailing windows of the
+	// configured fractional length, ending inside the graph's current span
+	// so they stay valid while the writer extends the frontier.
+	span := ss.End - ss.Start
+	if span < 1 {
+		span = 1
+	}
+	wlen := int64(float64(span) * *window)
+	if wlen < 1 {
+		wlen = 1
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	bodies := make([][]byte, *spread)
+	for i := range bodies {
+		end := ss.End - rng.Int63n(span/2+1)
+		q := map[string]any{"k": *k, "start": end - wlen, "end": end, "project": "count"}
+		if *earlyStop > 0 {
+			q["earlyStop"] = *earlyStop
+		}
+		if *deadlineMS > 0 {
+			q["deadlineMs"] = *deadlineMS
+		}
+		bodies[i], _ = json.Marshal(q)
+	}
+
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+
+	var qstats, astats stats
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for ri := 0; ri < *readers; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			for i := ri; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				code, err := post(client, base+"/v1/query", "application/json", bodies[i%len(bodies)])
+				qstats.record(code, time.Since(t0), err)
+			}
+		}(ri)
+	}
+	if *appendOn {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			erng := rand.New(rand.NewSource(*seed + 1))
+			next := ss.End + 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var b bytes.Buffer
+				for i := 0; i < *appendBatch; i++ {
+					u := erng.Int63n(int64(ss.Vertices) + 1)
+					v := erng.Int63n(int64(ss.Vertices) + 1)
+					if u == v {
+						v++
+					}
+					fmt.Fprintf(&b, "{\"u\":%d,\"v\":%d,\"t\":%d}\n", u, v, next)
+					if erng.Intn(4) == 0 {
+						next++ // several edges per timestamp, like real streams
+					}
+				}
+				next++
+				t0 := time.Now()
+				code, err := post(client, base+"/v1/append", "application/x-ndjson", b.Bytes())
+				astats.record(code, time.Since(t0), err)
+				select {
+				case <-stop:
+					return
+				case <-time.After(*appendEvery):
+				}
+			}
+		}()
+	}
+
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+
+	failed := false
+	line, bad := qstats.report("query", *duration)
+	fmt.Println(line)
+	failed = failed || bad
+	if *appendOn {
+		line, bad = astats.report("append", *duration)
+		fmt.Println(line)
+		failed = failed || bad
+	}
+	reqs := int64(len(qstats.lat) + len(astats.lat))
+	if reqs > 0 {
+		fmt.Printf("tkcload: client allocs/req=%d B gcs=%d\n",
+			int64(ms1.TotalAlloc-ms0.TotalAlloc)/reqs, ms1.NumGC-ms0.NumGC)
+	}
+	if ss, err := fetchStats(client, base); err == nil {
+		fmt.Printf("tkcload: server now at epoch %d, %d edges\n", ss.Epoch, ss.Edges)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// post issues one request and drains the response body (keeping the
+// connection reusable), returning the status code.
+func post(client *http.Client, url, contentType string, body []byte) (int, error) {
+	resp, err := client.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func fetchStats(client *http.Client, base string) (serverStats, error) {
+	var ss serverStats
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return ss, fmt.Errorf("GET /v1/stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ss, fmt.Errorf("GET /v1/stats: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ss); err != nil {
+		return ss, fmt.Errorf("decoding /v1/stats: %w", err)
+	}
+	return ss, nil
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the semaphore-based admission controller in front of the
+// query/append path. A request claims a slot before any engine work runs
+// and releases it when its response completes; a request that cannot claim
+// a slot within the configured wait is refused, and the handler answers
+// 503 with Retry-After — the server sheds load at the front door instead
+// of queuing goroutines (and their scratch arenas) unboundedly behind a
+// saturated engine.
+type admission struct {
+	sem      chan struct{}
+	wait     time.Duration
+	rejected atomic.Int64
+}
+
+func newAdmission(slots int, wait time.Duration) *admission {
+	return &admission{sem: make(chan struct{}, slots), wait: wait}
+}
+
+// acquire claims a slot, waiting at most the admission wait (or until ctx
+// is done, whichever is sooner). It reports whether the slot was claimed;
+// a refusal is counted.
+func (a *admission) acquire(ctx context.Context) bool {
+	select {
+	case a.sem <- struct{}{}:
+		return true
+	default:
+	}
+	t := time.NewTimer(a.wait)
+	defer t.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		return true
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	a.rejected.Add(1)
+	return false
+}
+
+// release returns a claimed slot.
+func (a *admission) release() { <-a.sem }
+
+// inflight returns the number of currently claimed slots.
+func (a *admission) inflight() int { return len(a.sem) }
+
+// rejectedTotal returns the number of refused requests so far.
+func (a *admission) rejectedTotal() int64 { return a.rejected.Load() }

@@ -1,0 +1,168 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	tkc "temporalkcore"
+	"temporalkcore/internal/bench"
+	"temporalkcore/internal/serve"
+)
+
+// cmServeReplica mirrors the root package's cmReplica helper: a synthetic
+// CM-shaped replica at the given edge scale, plus a mid-selectivity k.
+func cmServeReplica(tb testing.TB, edges int) (*tkc.Graph, int) {
+	tb.Helper()
+	d, err := bench.LoadDataset("CM", edges, 42)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	raw := make([]tkc.Edge, 0, d.G.NumEdges())
+	for _, te := range d.G.Edges() {
+		raw = append(raw, tkc.Edge{U: d.G.Label(te.U), V: d.G.Label(te.V), Time: d.G.RawTime(te.T)})
+	}
+	g, err := tkc.NewGraph(raw)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g, d.K(30)
+}
+
+// BenchmarkServeQueryWarm is the headline serving number the bench gate
+// tracks: a warm (qcache-served) point query — earlyStop:1 over a trailing
+// window — through the whole HTTP stack: admission, JSON decode, cache
+// lookup, chunked write, trailer. The in-process warm First on this
+// replica is tens of microseconds (see the root warm benchmarks), so this
+// benchmark is effectively the serving layer's per-request wire floor.
+func BenchmarkServeQueryWarm(b *testing.B) {
+	g, k := cmServeReplica(b, 6000)
+	_, ts := newTestServer(b, serve.Config{Graph: g})
+	lo, hi := g.TimeSpan()
+	body := fmt.Sprintf(`{"k":%d,"start":%d,"end":%d,"project":"count","earlyStop":1}`,
+		k, lo+(hi-lo)*7/10, hi)
+	client := &http.Client{}
+
+	warm := func() (int, error) {
+		resp, err := client.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	if code, err := warm(); err != nil || code != http.StatusOK {
+		b.Fatalf("warmup: status %d err %v", code, err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code, err := warm(); err != nil || code != http.StatusOK {
+			b.Fatalf("status %d err %v", code, err)
+		}
+	}
+}
+
+// TestWarmHTTPWithin2xInProcess is the latency acceptance bound: the p50
+// of a warm windowed count query over loopback HTTP must stay within 2×
+// the warm in-process run of the same request on the same graph (same
+// qcache). The window is sized by measurement — widened until the warm
+// in-process replay costs at least ~2ms — so the fixed per-request HTTP
+// cost (connection handling, JSON decode, chunked framing; roughly
+// hundreds of microseconds on loopback) must fit inside the 2× headroom
+// rather than being compared against a microsecond-scale point query it
+// could never beat. Both sides run in one process, so scheduler noise
+// hits them alike.
+func TestWarmHTTPWithin2xInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency measurement; skipped in -short")
+	}
+	g, k := cmServeReplica(t, 6000)
+	_, ts := newTestServer(t, serve.Config{Graph: g})
+	lo, hi := g.TimeSpan()
+	span := hi - lo
+
+	inprocOnce := func(q tkc.QueryJSON) time.Duration {
+		req, err := q.Request(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := req.WriteTo(context.Background(), io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+
+	// Widen the query window until the warm in-process replay is slow
+	// enough to dominate the wire cost (first run per window is the cold
+	// CoreTime build; the rest are warm measurements). Calibrate on the
+	// minimum of several warm replays: background load can only inflate a
+	// sample, and a single inflated sample here would pick a window whose
+	// true cost is too small to amortise the fixed per-request HTTP floor.
+	var q tkc.QueryJSON
+	var qBody string
+	for _, pct := range []int64{10, 20, 40, 70, 100} {
+		s, e := hi-span*pct/100, hi
+		q = tkc.QueryJSON{K: k, Start: &s, End: &e, Project: "count"}
+		qBody = fmt.Sprintf(`{"k":%d,"start":%d,"end":%d,"project":"count"}`, k, s, e)
+		inprocOnce(q)
+		warm := inprocOnce(q)
+		for i := 0; i < 2; i++ {
+			if again := inprocOnce(q); again < warm {
+				warm = again
+			}
+		}
+		if warm >= 4*time.Millisecond {
+			t.Logf("window: trailing %d%% of span (warm in-process ~%v)", pct, warm)
+			break
+		}
+	}
+
+	client := &http.Client{}
+	httpOnce := func() time.Duration {
+		t0 := time.Now()
+		resp, err := client.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(qBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		d := time.Since(t0)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d err %v", resp.StatusCode, err)
+		}
+		if !bytes.Contains(raw, []byte(`"cacheHit":true`)) {
+			t.Fatalf("repeat query missed the cache; body tail: %s", raw[bytes.LastIndexByte(bytes.TrimSpace(raw), '\n')+1:])
+		}
+		return d
+	}
+
+	// Interleave the two sides sample by sample so background load during
+	// the run (CI runs other jobs on this machine) skews both medians
+	// alike instead of landing entirely on whichever side runs second.
+	const iters = 25
+	inLat, httpLat := make([]time.Duration, iters), make([]time.Duration, iters)
+	for i := 0; i < iters; i++ {
+		inLat[i] = inprocOnce(q)
+		httpLat[i] = httpOnce()
+	}
+	p50 := func(lat []time.Duration) time.Duration {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[len(lat)/2]
+	}
+	inproc, httpP50 := p50(inLat), p50(httpLat)
+
+	t.Logf("warm p50: in-process %v, http %v (%.2fx)", inproc, httpP50, float64(httpP50)/float64(inproc))
+	if httpP50 > 2*inproc {
+		t.Errorf("warm HTTP p50 %v exceeds 2x in-process %v", httpP50, inproc)
+	}
+}

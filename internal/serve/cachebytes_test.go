@@ -1,0 +1,40 @@
+package serve_test
+
+import (
+	"bytes"
+	"testing"
+
+	tkc "temporalkcore"
+	"temporalkcore/internal/serve"
+)
+
+// TestCacheReplayBytes locks the invariant the racing-differential test
+// builds on: a warm query served from the qcache replays byte-identical
+// NDJSON to the cold CoreTime build, and both match a fresh rebuild of the
+// same graph value.
+func TestCacheReplayBytes(t *testing.T) {
+	edges := genEdges(t, 31, 600)
+	g, err := tkc.NewGraph(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, serve.Config{Graph: g})
+
+	_, _, cold, trc := postQuery(t, ts.URL, `{"k":2}`)
+	_, _, warm, trw := postQuery(t, ts.URL, `{"k":2}`)
+	if trc.Stats.CacheHit || !trw.Stats.CacheHit {
+		t.Fatalf("cache behaviour off: cold hit=%v, warm hit=%v", trc.Stats.CacheHit, trw.Stats.CacheHit)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("cache replay is not byte-identical to the cold build")
+	}
+	// Same construction path (one NewGraph over the same edges) ⇒ the
+	// rebuild is a valid byte oracle.
+	og, err := tkc.NewGraph(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := inProcess(t, og, tkc.QueryJSON{K: 2}); !bytes.Equal(cold, want) {
+		t.Errorf("served bytes differ from an identically-built graph's WriteTo")
+	}
+}

@@ -1,0 +1,140 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	tkc "temporalkcore"
+	"temporalkcore/internal/serve"
+)
+
+// slowServer builds a server over a graph big enough that a cold
+// full-range enumeration takes tens of milliseconds, with the serving
+// cache disabled so every query pays CoreTime.
+func slowServer(t testing.TB) (*tkc.Graph, string) {
+	t.Helper()
+	edges := genEdges(t, 21, 15000)
+	g, err := tkc.NewGraph(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, serve.Config{
+		Graph: g,
+		Cache: &tkc.CacheOptions{Disable: true},
+	})
+	return g, ts.URL
+}
+
+// TestServerDeadline504: a 1ms per-request deadline fires mid-CoreTime and
+// the server answers promptly with 504 instead of finishing the build.
+func TestServerDeadline504(t *testing.T) {
+	_, base := slowServer(t)
+
+	t0 := time.Now()
+	status, _, _, tr := postQuery(t, base, `{"k":3,"project":"count","deadlineMs":1}`)
+	elapsed := time.Since(t0)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (error %q), want 504", status, tr.Error)
+	}
+	if tr.Error == "" {
+		t.Errorf("504 without structured error body")
+	}
+	// The engine polls ctx on bounded strides, so cancellation must land
+	// well before the query would have finished (a full cold build here
+	// runs far past this bound, especially under -race, which also slows
+	// the poll strides ~15x — hence the generous ceiling).
+	if elapsed > 15*time.Second {
+		t.Errorf("deadline response took %v; cancellation is not prompt", elapsed)
+	}
+}
+
+// TestDefaultDeadlineFromConfig: the configured server-wide default
+// deadline applies when the request names none.
+func TestDefaultDeadlineFromConfig(t *testing.T) {
+	edges := genEdges(t, 21, 15000)
+	g, err := tkc.NewGraph(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, serve.Config{
+		Graph:           g,
+		Cache:           &tkc.CacheOptions{Disable: true},
+		DefaultDeadline: time.Millisecond,
+	})
+	status, _, _, _ := postQuery(t, ts.URL, `{"k":3,"project":"count"}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 from the server default deadline", status)
+	}
+}
+
+// TestClientDisconnectCancelsPlan: a client that walks away mid-CoreTime
+// must cancel the plan context — the handler goroutine winds down instead
+// of finishing the abandoned build. Detected as goroutine-count recovery.
+func TestClientDisconnectCancelsPlan(t *testing.T) {
+	_, base := slowServer(t)
+
+	before := runtime.NumGoroutine()
+
+	const n = 4
+	client := &http.Client{}
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/query",
+			strings.NewReader(`{"k":3,"project":"count"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		done := make(chan struct{})
+		go func() {
+			resp, err := client.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+			close(done)
+		}()
+		time.Sleep(15 * time.Millisecond) // request reaches the engine
+		cancel()                          // client disconnects mid-CoreTime
+		<-done
+	}
+	client.CloseIdleConnections()
+
+	// The handlers observe ctx.Done() on the next poll stride and return;
+	// allow a generous recovery window (strides run ~15x slower under
+	// -race) before calling it a leak.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	t.Errorf("goroutines: %d before, %d after disconnects — handler leak?\n%s",
+		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestDeadlineCapped: a request asking for an absurd deadline is clamped
+// to MaxDeadline rather than holding a slot forever.
+func TestDeadlineCapped(t *testing.T) {
+	edges := genEdges(t, 21, 15000)
+	g, err := tkc.NewGraph(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, serve.Config{
+		Graph:       g,
+		Cache:       &tkc.CacheOptions{Disable: true},
+		MaxDeadline: time.Millisecond,
+	})
+	status, _, _, _ := postQuery(t, ts.URL,
+		fmt.Sprintf(`{"k":3,"project":"count","deadlineMs":%d}`, int64(time.Hour/time.Millisecond)))
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (requested deadline must be capped at MaxDeadline)", status)
+	}
+}

@@ -1,0 +1,114 @@
+package serve_test
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	tkc "temporalkcore"
+	"temporalkcore/internal/serve"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden HTTP NDJSON files")
+
+// httpGoldenCases lock the full /v1/query response body — the core stream
+// AND the stats trailer line — byte for byte. The trailer carries only
+// deterministic fields (cores, resultEdges, epoch, cacheHit; timings live
+// in /metrics), precisely so this lock is possible. The graphs are the
+// same hand-written edge sets the engine-level WriteCores golden suite
+// uses, so a diff here but not there points at the serving layer.
+var httpGoldenCases = []struct {
+	name  string
+	edges []tkc.Edge
+	body  string
+}{
+	{
+		name: "http_triangle_growing_edges",
+		edges: []tkc.Edge{
+			{U: 1, V: 2, Time: 10}, {U: 2, V: 3, Time: 11}, {U: 1, V: 3, Time: 12},
+			{U: 3, V: 4, Time: 13}, {U: 1, V: 4, Time: 13}, {U: 2, V: 4, Time: 14},
+		},
+		body: `{"k":2,"start":10,"end":14}`,
+	},
+	{
+		name: "http_triangle_growing_vertices",
+		edges: []tkc.Edge{
+			{U: 1, V: 2, Time: 10}, {U: 2, V: 3, Time: 11}, {U: 1, V: 3, Time: 12},
+			{U: 3, V: 4, Time: 13}, {U: 1, V: 4, Time: 13}, {U: 2, V: 4, Time: 14},
+		},
+		body: `{"k":2,"start":10,"end":14,"project":"vertices"}`,
+	},
+	{
+		name: "http_two_bursts_count",
+		edges: []tkc.Edge{
+			{U: 10, V: 20, Time: 1}, {U: 20, V: 30, Time: 1}, {U: 10, V: 30, Time: 2},
+			{U: 40, V: 50, Time: 5}, {U: 50, V: 60, Time: 5}, {U: 40, V: 60, Time: 5},
+			{U: 10, V: 40, Time: 6}, {U: 20, V: 50, Time: 6}, {U: 10, V: 20, Time: 7},
+			{U: 10, V: 30, Time: 7}, {U: 20, V: 30, Time: 7},
+		},
+		body: `{"k":2,"project":"count"}`,
+	},
+	{
+		name: "http_two_bursts_earlystop",
+		edges: []tkc.Edge{
+			{U: 10, V: 20, Time: 1}, {U: 20, V: 30, Time: 1}, {U: 10, V: 30, Time: 2},
+			{U: 40, V: 50, Time: 5}, {U: 50, V: 60, Time: 5}, {U: 40, V: 60, Time: 5},
+			{U: 10, V: 40, Time: 6}, {U: 20, V: 50, Time: 6}, {U: 10, V: 20, Time: 7},
+			{U: 10, V: 30, Time: 7}, {U: 20, V: 30, Time: 7},
+		},
+		body: `{"k":2,"earlyStop":2}`,
+	},
+	{
+		name: "http_no_cores",
+		edges: []tkc.Edge{
+			{U: 1, V: 2, Time: 1}, {U: 3, V: 4, Time: 2}, {U: 5, V: 6, Time: 3},
+		},
+		body: `{"k":2}`,
+	},
+}
+
+func TestHTTPQueryGolden(t *testing.T) {
+	for _, tc := range httpGoldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tkc.NewGraph(tc.edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, ts := newTestServer(t, serve.Config{Graph: g})
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+				strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			got, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, got)
+			}
+
+			path := filepath.Join("testdata", "golden", tc.name+".ndjson")
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("HTTP response drifted from golden %s.\n--- got ---\n%s--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}

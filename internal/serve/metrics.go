@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// histBuckets is the number of exponential latency buckets: bucket i
+// covers [1µs·2^(i-1), 1µs·2^i), so the range spans 1µs to ~1.1 minutes
+// with the last bucket absorbing everything slower.
+const histBuckets = 27
+
+// histBase is the upper bound of the first bucket.
+const histBase = time.Microsecond
+
+// Recorder is the in-process metrics recorder behind /metrics and
+// /v1/stats: per-endpoint request counts by status code and latency
+// histograms from which p50/p99 are estimated. It allocates nothing per
+// Record call beyond first sight of an (endpoint, code) pair, so
+// instrumenting the hot serving path is free of measurable overhead.
+type Recorder struct {
+	mu  sync.Mutex
+	eps map[string]*endpointRec
+}
+
+type endpointRec struct {
+	codes map[int]int64
+	count int64
+	sum   time.Duration
+	hist  [histBuckets]int64
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{eps: make(map[string]*endpointRec)}
+}
+
+// Record adds one observation for endpoint: its response code and latency.
+func (r *Recorder) Record(endpoint string, code int, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep := r.eps[endpoint]
+	if ep == nil {
+		ep = &endpointRec{codes: make(map[int]int64)}
+		r.eps[endpoint] = ep
+	}
+	ep.codes[code]++
+	ep.count++
+	ep.sum += d
+	ep.hist[bucketOf(d)]++
+}
+
+// bucketOf maps a latency to its histogram bucket.
+func bucketOf(d time.Duration) int {
+	bound := histBase
+	for i := 0; i < histBuckets-1; i++ {
+		if d < bound {
+			return i
+		}
+		bound <<= 1
+	}
+	return histBuckets - 1
+}
+
+// bucketBound returns the upper latency bound of bucket i.
+func bucketBound(i int) time.Duration { return histBase << i }
+
+// EndpointSnapshot is one endpoint's recorded state.
+type EndpointSnapshot struct {
+	Endpoint string
+	Codes    map[int]int64
+	Count    int64
+	Sum      time.Duration
+	P50      time.Duration
+	P99      time.Duration
+}
+
+// Snapshot returns a copy of every endpoint's counters with estimated
+// latency quantiles, sorted by endpoint name.
+func (r *Recorder) Snapshot() []EndpointSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EndpointSnapshot, 0, len(r.eps))
+	for name, ep := range r.eps {
+		s := EndpointSnapshot{
+			Endpoint: name,
+			Codes:    make(map[int]int64, len(ep.codes)),
+			Count:    ep.count,
+			Sum:      ep.sum,
+			P50:      ep.quantile(0.50),
+			P99:      ep.quantile(0.99),
+		}
+		for c, n := range ep.codes {
+			s.Codes[c] = n
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
+}
+
+// quantile estimates the q-quantile from the histogram by linear
+// interpolation inside the covering bucket. With no observations it
+// returns 0.
+func (ep *endpointRec) quantile(q float64) time.Duration {
+	if ep.count == 0 {
+		return 0
+	}
+	target := q * float64(ep.count)
+	var cum float64
+	for i, n := range ep.hist {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			hi := bucketBound(i)
+			frac := (target - cum) / float64(n)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return bucketBound(histBuckets - 1)
+}
+
+// WritePrometheus renders the recorder (and the extra gauge/counter pairs)
+// in the Prometheus text exposition format.
+func (r *Recorder) WritePrometheus(b *strings.Builder, extra map[string]float64) {
+	snaps := r.Snapshot()
+	b.WriteString("# HELP tkc_requests_total Requests served, by endpoint and status code.\n")
+	b.WriteString("# TYPE tkc_requests_total counter\n")
+	for _, s := range snaps {
+		codes := make([]int, 0, len(s.Codes))
+		for c := range s.Codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(b, "tkc_requests_total{endpoint=%q,code=\"%d\"} %d\n", s.Endpoint, c, s.Codes[c])
+		}
+	}
+	b.WriteString("# HELP tkc_request_duration_seconds Request latency quantiles, estimated from an exponential histogram.\n")
+	b.WriteString("# TYPE tkc_request_duration_seconds summary\n")
+	for _, s := range snaps {
+		fmt.Fprintf(b, "tkc_request_duration_seconds{endpoint=%q,quantile=\"0.5\"} %g\n", s.Endpoint, s.P50.Seconds())
+		fmt.Fprintf(b, "tkc_request_duration_seconds{endpoint=%q,quantile=\"0.99\"} %g\n", s.Endpoint, s.P99.Seconds())
+		fmt.Fprintf(b, "tkc_request_duration_seconds_sum{endpoint=%q} %g\n", s.Endpoint, s.Sum.Seconds())
+		fmt.Fprintf(b, "tkc_request_duration_seconds_count{endpoint=%q} %d\n", s.Endpoint, s.Count)
+	}
+	names := make([]string, 0, len(extra))
+	for n := range extra {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(b, "# TYPE %s gauge\n%s %g\n", n, n, extra[n])
+	}
+}

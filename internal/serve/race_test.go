@@ -1,0 +1,190 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	tkc "temporalkcore"
+	"temporalkcore/internal/serve"
+)
+
+// TestConcurrentReadersDuringAppends is the HTTP racing-differential: N
+// readers stream windowed queries while one writer posts append batches.
+// Each append response reports the epoch it published; an oracle replays
+// the server's exact construction path (same base, same batch boundaries —
+// an appended graph's adjacency layout, and hence its WriteTo byte order,
+// depends on the construction path) and records the expected response
+// bytes per epoch. Afterwards every sampled response must byte-match the
+// oracle for the epoch it claims — i.e. each response is internally
+// consistent with exactly one published state, never a torn mix. Run under
+// -race in CI, this also shakes out reader/writer data races.
+func TestConcurrentReadersDuringAppends(t *testing.T) {
+	edges := genEdges(t, 31, 900)
+	const (
+		baseN      = 600
+		batchSize  = 30
+		numBatches = 10 // 600 + 10*30 = 900
+		readers    = 3
+	)
+	g, err := tkc.NewGraph(edges[:baseN])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fixed window over the base span keeps every response small and
+	// stays valid as the writer extends the frontier.
+	lo, hi := g.TimeSpan()
+	qlo, qhi := lo, lo+(hi-lo)/3
+	queryBody := fmt.Sprintf(`{"k":2,"start":%d,"end":%d}`, qlo, qhi)
+
+	// Oracle: replay the construction path, capturing the expected body per
+	// epoch. The serving cache replays stored bytes verbatim (covered by
+	// TestCacheReplayBytes), so one WriteTo per epoch is the full contract.
+	oracle := func() map[int64][]byte {
+		og, err := tkc.NewGraph(edges[:baseN])
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, e := qlo, qhi
+		render := func() []byte {
+			req, err := tkc.QueryJSON{K: 2, Start: &s, End: &e}.Request(og)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b bytes.Buffer
+			if _, err := req.WriteTo(context.Background(), &b); err != nil {
+				t.Fatal(err)
+			}
+			return b.Bytes()
+		}
+		m := map[int64][]byte{og.Publish().Seq(): render()}
+		for b := 0; b < numBatches; b++ {
+			s := baseN + b*batchSize
+			if _, err := og.Append(edges[s : s+batchSize]...); err != nil {
+				t.Fatal(err)
+			}
+			m[og.Publish().Seq()] = render()
+		}
+		return m
+	}()
+
+	// AppendBatch larger than any single POST body ⇒ the server appends
+	// each POST as one batch, matching the oracle's construction replay,
+	// and publishes exactly one epoch per request.
+	_, ts := newTestServer(t, serve.Config{Graph: g, AppendBatch: 4096, EpochRetain: 64})
+
+	type sample struct {
+		epoch int64
+		body  []byte
+	}
+	var (
+		samplesMu sync.Mutex
+		samples   []sample
+	)
+	seqSeen := make(map[int64]bool)
+	writerDone := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: one POST per 30-edge slice, mirroring the oracle's batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(writerDone)
+		for b := 0; b < numBatches; b++ {
+			lo := baseN + b*batchSize
+			resp, err := http.Post(ts.URL+"/v1/append", "application/x-ndjson",
+				strings.NewReader(ndjsonEdges(edges[lo:lo+batchSize])))
+			if err != nil {
+				t.Errorf("append batch %d: %v", b, err)
+				return
+			}
+			var ar struct {
+				Epoch int64 `json:"epoch"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&ar)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Errorf("append batch %d: status %d, err %v", b, resp.StatusCode, err)
+				return
+			}
+			seqSeen[ar.Epoch] = true
+		}
+	}()
+
+	// Readers: stream the windowed query until the writer finishes, keeping
+	// (claimed epoch, body) pairs for post-hoc verification.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; ; i++ {
+				select {
+				case <-writerDone:
+					if i > 0 {
+						return
+					}
+				default:
+				}
+				resp, err := client.Post(ts.URL+"/v1/query", "application/json",
+					strings.NewReader(queryBody))
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				epoch, perr := strconv.ParseInt(resp.Header.Get("X-Tkc-Epoch"), 10, 64)
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if perr != nil || err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("reader %d: status %d, epoch %q, err %v", r, resp.StatusCode,
+						resp.Header.Get("X-Tkc-Epoch"), err)
+					return
+				}
+				samplesMu.Lock()
+				samples = append(samples, sample{epoch, raw})
+				samplesMu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	verified := map[int64]int{}
+	for _, s := range samples {
+		want, ok := oracle[s.epoch]
+		if !ok {
+			t.Errorf("response claims epoch %d, which the replay never published", s.epoch)
+			continue
+		}
+		idx := bytes.LastIndexByte(bytes.TrimRight(s.body, "\n"), '\n')
+		coreLines, trailerLine := s.body[:idx+1], s.body[idx+1:]
+		if !bytes.Equal(coreLines, want) {
+			t.Errorf("epoch %d: streamed body inconsistent with its epoch (%d bytes, want %d)",
+				s.epoch, len(coreLines), len(want))
+			continue
+		}
+		var tr trailerJSON
+		if err := json.Unmarshal(trailerLine, &tr); err != nil || tr.Stats == nil {
+			t.Errorf("epoch %d: bad trailer %q", s.epoch, trailerLine)
+			continue
+		}
+		if tr.Stats.Epoch != s.epoch {
+			t.Errorf("header epoch %d but trailer epoch %d", s.epoch, tr.Stats.Epoch)
+		}
+		verified[s.epoch]++
+	}
+	if len(samples) < readers {
+		t.Errorf("only %d responses sampled; race window too small", len(samples))
+	}
+	t.Logf("verified %d responses across %d distinct epochs (%d published by the writer)",
+		len(samples), len(verified), len(seqSeen))
+}

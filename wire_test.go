@@ -1,0 +1,111 @@
+package temporalkcore_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	tkc "temporalkcore"
+)
+
+// TestParseProjectionAlgorithm locks the wire-name tables: every name the
+// serving layer documents maps to its builder constant, the empty string is
+// the builder default, and anything else is a structured error naming the
+// valid choices.
+func TestParseProjectionAlgorithm(t *testing.T) {
+	projCases := []struct {
+		in   string
+		want tkc.Projection
+	}{
+		{"", tkc.ProjectEdges},
+		{"edges", tkc.ProjectEdges},
+		{"vertices", tkc.ProjectVertices},
+		{"count", tkc.ProjectCount},
+	}
+	for _, c := range projCases {
+		got, err := tkc.ParseProjection(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseProjection(%q) = %v, %v; want %v, nil", c.in, got, err, c.want)
+		}
+	}
+	if _, err := tkc.ParseProjection("triangles"); err == nil || !strings.Contains(err.Error(), "triangles") {
+		t.Errorf("ParseProjection(triangles) error = %v; want error naming the input", err)
+	}
+
+	algoCases := []struct {
+		in   string
+		want tkc.Algorithm
+	}{
+		{"", tkc.AlgoEnum},
+		{"enum", tkc.AlgoEnum},
+		{"base", tkc.AlgoEnumBase},
+		{"otcd", tkc.AlgoOTCD},
+	}
+	for _, c := range algoCases {
+		got, err := tkc.ParseAlgorithm(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v, nil", c.in, got, err, c.want)
+		}
+	}
+	if _, err := tkc.ParseAlgorithm("quantum"); err == nil || !strings.Contains(err.Error(), "quantum") {
+		t.Errorf("ParseAlgorithm(quantum) error = %v; want error naming the input", err)
+	}
+}
+
+// TestQueryJSONRequest locks the wire struct's compilation onto the v2
+// builder: each body compiles to the same results as the equivalent
+// hand-built Request, and invalid bodies fail eagerly instead of at
+// stream time.
+func TestQueryJSONRequest(t *testing.T) {
+	g := reqGraph(t, 7, 40, 400)
+	ctx := context.Background()
+	lo, hi := g.TimeSpan()
+	mid := lo + (hi-lo)/2
+
+	run := func(t *testing.T, q tkc.QueryJSON, want *tkc.Request) {
+		t.Helper()
+		r, err := q.Request(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Collect(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := want.Collect(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coresEqual(t, "wire vs builder", got, ref)
+	}
+
+	t.Run("minimal body is the builder default", func(t *testing.T) {
+		run(t, tkc.QueryJSON{K: 2}, g.Query(2))
+	})
+	t.Run("window bounds", func(t *testing.T) {
+		run(t, tkc.QueryJSON{K: 2, Start: &lo, End: &mid}, g.Query(2).Window(lo, mid))
+	})
+	t.Run("omitted start defaults to history begin", func(t *testing.T) {
+		run(t, tkc.QueryJSON{K: 2, End: &mid}, g.Query(2).Window(lo, mid))
+	})
+	t.Run("projection and algorithm", func(t *testing.T) {
+		run(t, tkc.QueryJSON{K: 2, Project: "vertices", Algorithm: "base"},
+			g.Query(2).Project(tkc.ProjectVertices).Algorithm(tkc.AlgoEnumBase))
+	})
+	t.Run("count with early stop", func(t *testing.T) {
+		run(t, tkc.QueryJSON{K: 2, Project: "count", EarlyStop: 3},
+			g.Query(2).Project(tkc.ProjectCount).EarlyStop(3))
+	})
+
+	bad := []tkc.QueryJSON{
+		{K: 0},
+		{K: -4},
+		{K: 2, Project: "triangles"},
+		{K: 2, Algorithm: "quantum"},
+	}
+	for _, q := range bad {
+		if r, err := q.Request(g); err == nil {
+			t.Errorf("Request(%+v) = %v, nil; want eager validation error", q, r)
+		}
+	}
+}
