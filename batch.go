@@ -64,6 +64,8 @@ type BatchResult struct {
 // results, the in-flight ones are cut at the next poll stride, and every
 // request that did not finish reports Cancelled with Err = ctx.Err(), so
 // callers always get the partial work that was already paid for.
+//
+// tkc:allow-background: tolerates nil ctx from v1 callers
 func (g *Graph) RunBatch(ctx context.Context, reqs []*Request, opts ...BatchOptions) []BatchResult {
 	opt := BatchOptions{}
 	if len(opts) > 0 {
@@ -228,6 +230,8 @@ func (g *Graph) RunBatch(ctx context.Context, reqs []*Request, opts ...BatchOpti
 //	    g.Query(2).Window(s, e),
 //	    g.Query(3).Window(s, e).Project(temporalkcore.ProjectCount),
 //	}, opts)
+//
+// tkc:allow-background: ctx-less convenience wrapper; RunBatch takes ctx
 func (g *Graph) QueryBatch(specs []QuerySpec, opts ...BatchOptions) []BatchResult {
 	reqs := make([]*Request, len(specs))
 	for i, sp := range specs {

@@ -39,6 +39,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -68,12 +69,17 @@ func main() {
 	runQuery(args)
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage:
+func usage() { usageTo(os.Stderr) }
+
+func usageTo(w io.Writer) {
+	fmt.Fprintf(w, `usage:
   tkc query -graph edges.txt -k 3 [...]    run queries (also: bare "tkc -graph ...")
   tkc serve -graph edges.txt -addr :8177   serve queries over HTTP
   tkc help                                 show this text
 
 Run "tkc query -h" or "tkc serve -h" for the full flag list.
+
+Developing against this repo? scripts/lint.sh runs gofmt, go vet and the
+tkcvet invariant analyzers (cmd/tkcvet) — the same gate CI enforces.
 `)
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUsageMentions pins the help text's contract: every subcommand is
+// listed, the -h escape hatch is pointed at, and the local lint
+// one-liner (scripts/lint.sh driving the tkcvet invariant analyzers) is
+// advertised to contributors.
+func TestUsageMentions(t *testing.T) {
+	var sb strings.Builder
+	usageTo(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"tkc query",
+		"tkc serve",
+		"tkc help",
+		`"tkc query -h"`,
+		`"tkc serve -h"`,
+		"scripts/lint.sh",
+		"tkcvet",
+		"cmd/tkcvet",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output does not mention %q:\n%s", want, out)
+		}
+	}
+}

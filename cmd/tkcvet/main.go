@@ -1,0 +1,33 @@
+// Command tkcvet is the repository's invariant checker: a `go vet
+// -vettool` binary bundling the four custom analyzers in
+// internal/analysis. Run it over the whole module with
+//
+//	scripts/lint.sh        # builds tkcvet, runs it + gofmt + vet
+//
+// or directly:
+//
+//	go build -o /tmp/tkcvet ./cmd/tkcvet
+//	go vet -vettool=/tmp/tkcvet ./...
+//
+// The unitchecker driver speaks go vet's JSON protocol, so facts flow
+// between packages exactly as they do for the standard vet analyzers —
+// annotations on tgraph and epoch internals are enforced against the
+// public layer without any shared configuration.
+package main
+
+import (
+	"temporalkcore/internal/analysis/ctxpropagate"
+	"temporalkcore/internal/analysis/epochsafety"
+	"temporalkcore/internal/analysis/guardedby"
+	"temporalkcore/internal/analysis/poolhygiene"
+	"temporalkcore/internal/xtools/go/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		epochsafety.Analyzer,
+		guardedby.Analyzer,
+		poolhygiene.Analyzer,
+		ctxpropagate.Analyzer,
+	)
+}

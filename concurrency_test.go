@@ -360,6 +360,8 @@ func TestBatchAcrossEpochs(t *testing.T) {
 // TestSnapshotPinsPreparedAndStream: prepared queries and NDJSON streaming
 // on a snapshot keep answering for the frozen epoch after the live graph
 // moves on.
+//
+// tkc:mutates-frozen-ok: asserts that Append on a Snapshot is rejected with an error
 func TestSnapshotPinsPreparedAndStream(t *testing.T) {
 	all := cmEdges(t, 800)
 	cut := len(all) * 3 / 4

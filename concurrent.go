@@ -72,6 +72,8 @@ func (s *Snapshot) Seq() int64 { return s.g.MutSeq() }
 // publishing it. Freeze reads the mutable graph, so it must be called from
 // the writer goroutine (or while no Append runs); the returned Snapshot
 // may then be read from any goroutine, concurrently with further appends.
+//
+// tkc:frozensource
 func (g *Graph) Freeze() *Snapshot {
 	return &Snapshot{Graph: &Graph{g: g.g.Freeze(), hub: g.hub, origin: g.origin}}
 }
@@ -104,4 +106,6 @@ func (g *Graph) Publish() *Snapshot {
 // returned Snapshot stays consistent no matter how far the live graph
 // moves on. Epoch visibility is monotone: once a reader has seen sequence
 // number S, no later Latest call returns an older epoch.
+//
+// tkc:frozensource
 func (g *Graph) Latest() *Snapshot { return g.hub.latest.Load() }

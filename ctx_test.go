@@ -71,6 +71,34 @@ func TestCancelPreCancelled(t *testing.T) {
 	}
 }
 
+// TestPrepareContextCancel: PrepareContext returns ctx.Err() for an
+// already-cancelled context without building anything, accepts nil ctx as
+// context.Background, and produces a handle equivalent to Prepare's when
+// the context stays live.
+func TestPrepareContextCancel(t *testing.T) {
+	g := reqGraph(t, 10, 30, 300)
+	lo, hi := g.TimeSpan()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.PrepareContext(ctx, 2, lo, hi); !errors.Is(err, context.Canceled) {
+		t.Errorf("PrepareContext(cancelled) = %v, want context.Canceled", err)
+	}
+
+	p, err := g.PrepareContext(nil, 2, lo, hi)
+	if err != nil {
+		t.Fatalf("PrepareContext(nil ctx) = %v", err)
+	}
+	want, err := g.Prepare(2, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.VCTSize() != want.VCTSize() || p.ECSSize() != want.ECSSize() {
+		t.Errorf("PrepareContext tables differ from Prepare: VCT %d/%d, ECS %d/%d",
+			p.VCTSize(), want.VCTSize(), p.ECSSize(), want.ECSSize())
+	}
+}
+
 // TestCancelMidCoreTime cancels a deliberately huge query while its
 // CoreTime phase is settling and requires a prompt ctx.Err() return,
 // bounded by the poll stride rather than the query size.

@@ -35,6 +35,8 @@ import (
 // answering for the graph as of their construction; windows touching the
 // append frontier may be stale. Use Watch for a view that follows appends
 // incrementally.
+//
+// tkc:mutates
 func (g *Graph) Append(edges ...Edge) (int, error) {
 	raw := make([]tgraph.RawEdge, len(edges))
 	for i, e := range edges {
@@ -360,6 +362,8 @@ func (w *Watcher) Window() (start, end int64, err error) {
 //
 // Deprecated: use the v2 builder, which adds context cancellation and
 // projections: for c, err := range w.Query().Seq(ctx).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (w *Watcher) CoresFunc(fn func(Core) bool) (QueryStats, error) {
 	return w.Query().run(context.Background(), fn)
 }
@@ -367,6 +371,8 @@ func (w *Watcher) CoresFunc(fn func(Core) bool) (QueryStats, error) {
 // Cores materialises every distinct temporal k-core of the current window.
 //
 // Deprecated: use the v2 builder: w.Query().Collect(ctx).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (w *Watcher) Cores() ([]Core, error) {
 	out, err := w.Query().Collect(context.Background())
 	if err != nil {
@@ -379,6 +385,8 @@ func (w *Watcher) Cores() ([]Core, error) {
 // and their total edge size without materialising results.
 //
 // Deprecated: use the v2 builder: w.Query().Count(ctx).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (w *Watcher) CountCores() (QueryStats, error) {
 	return w.Query().Count(context.Background())
 }

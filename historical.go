@@ -96,6 +96,8 @@ type HistoricalIndex struct {
 // Append runs) because pinning reads the mutable graph; the returned index
 // may then be queried from any goroutine, concurrently with further
 // appends. Calling it on a Snapshot pins that snapshot's epoch.
+//
+// tkc:allow-background: tolerates nil ctx from v1 callers
 func (g *Graph) HistoricalIndex(ctx context.Context, start, end int64) (*HistoricalIndex, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -137,6 +139,8 @@ func (g *Graph) HistoricalIndex(ctx context.Context, start, end int64) (*Histori
 // latest epoch or the memoised last pin when either matches the current
 // state (no copying), otherwise a fresh Freeze recorded as the next memo.
 // Writer-side, like Freeze.
+//
+// tkc:frozensource
 func (g *Graph) pinned() *tgraph.Graph {
 	if g.g.Frozen() {
 		return g.g
@@ -190,6 +194,8 @@ func (g *Graph) buildOrPatchPHC(ctx context.Context, at *tgraph.Graph, w tgraph.
 // and serves repeat builds from the epoch-keyed cache (a warm call costs
 // one lookup; after an Append the index is patched incrementally instead
 // of rebuilt). This shim is that path with context.Background().
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (g *Graph) BuildHistoricalIndex(start, end int64) (*HistoricalIndex, error) {
 	return g.HistoricalIndex(context.Background(), start, end)
 }
@@ -241,6 +247,8 @@ func (h *HistoricalIndex) Contains(label int64, k int, start, end int64) (bool, 
 // h.Query(k).Window(start, end).Project(ProjectVertices).First(ctx).
 // Since v2 the returned labels are sorted ascending (pre-v2 they followed
 // internal vertex-id order).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (h *HistoricalIndex) CoreMembers(k int, start, end int64) ([]int64, error) {
 	c, ok, err := h.Query(k).Window(start, end).Project(ProjectVertices).First(context.Background())
 	if err != nil {
@@ -257,6 +265,8 @@ func (h *HistoricalIndex) CoreMembers(k int, start, end int64) ([]int64, error) 
 //
 // Deprecated: use the v2 builder:
 // h.Query(k).Window(start, end).First(ctx).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (h *HistoricalIndex) CoreEdges(k int, start, end int64) ([]Edge, error) {
 	c, ok, err := h.Query(k).Window(start, end).First(context.Background())
 	if err != nil {

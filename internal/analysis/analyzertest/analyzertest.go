@@ -1,0 +1,238 @@
+// Package analyzertest is a minimal in-process replacement for
+// golang.org/x/tools/go/analysis/analysistest, which the Go toolchain's
+// vendored x/tools copy (internal/xtools) does not carry. It loads a
+// testdata package with go/parser + go/types, runs an analyzer and its
+// transitive Requires in dependency order with an in-memory fact store,
+// and matches reported diagnostics against analysistest-style
+//
+//	// want "regexp" `another`
+//
+// comments on the same source line. Testdata packages must import only
+// the standard library (resolved through the compiler's export data).
+package analyzertest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"temporalkcore/internal/xtools/go/analysis"
+)
+
+// Run loads testdata/src/<pkgpath> relative to dir (usually the analyzer
+// package directory) and checks a's diagnostics against // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	pkgdir := filepath.Join(dir, "testdata", "src", pkgpath)
+
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		t.Fatalf("analyzertest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pkgdir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analyzertest: parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analyzertest: no Go files in %s", pkgdir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("analyzertest: typecheck: %v", err)
+	}
+
+	diags := runAnalyzer(t, a, fset, files, pkg, info)
+	checkDiagnostics(t, fset, files, diags)
+}
+
+// runAnalyzer runs a and its transitive Requires in topological order,
+// returning a's diagnostics.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	t.Helper()
+	results := make(map[*analysis.Analyzer]any)
+	objFacts := make(map[types.Object][]analysis.Fact)
+	pkgFacts := make(map[*types.Package][]analysis.Fact)
+	var diags []analysis.Diagnostic
+
+	var runOne func(an *analysis.Analyzer)
+	runOne = func(an *analysis.Analyzer) {
+		if _, done := results[an]; done {
+			return
+		}
+		for _, req := range an.Requires {
+			runOne(req)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			Report: func(d analysis.Diagnostic) {
+				if an == a {
+					diags = append(diags, d)
+				}
+			},
+			ReadFile: os.ReadFile,
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				return importFact(objFacts[obj], fact)
+			},
+			ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+				return importFact(pkgFacts[p], fact)
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				objFacts[obj] = append(objFacts[obj], fact)
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				pkgFacts[pkg] = append(pkgFacts[pkg], fact)
+			},
+			AllObjectFacts:  func() []analysis.ObjectFact { return nil },
+			AllPackageFacts: func() []analysis.PackageFact { return nil },
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzertest: analyzer %s: %v", an.Name, err)
+		}
+		results[an] = res
+	}
+	runOne(a)
+	return diags
+}
+
+// importFact copies the stored fact of fact's concrete type into fact,
+// mirroring the gob round-trip real drivers perform.
+func importFact(stored []analysis.Fact, fact analysis.Fact) bool {
+	want := reflect.TypeOf(fact)
+	for _, s := range stored {
+		if reflect.TypeOf(s) == want {
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(s).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// expectation is one // want pattern with its source position.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkDiagnostics matches diags against // want comments line-by-line.
+func checkDiagnostics(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, text[idx+len("want "):], pos) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("analyzertest: %s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("analyzertest: unexpected diagnostic at %s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("analyzertest: no diagnostic at %s:%d matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// splitPatterns parses the sequence of Go string literals after "want".
+func splitPatterns(t *testing.T, s string, pos token.Position) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				t.Fatalf("analyzertest: %s: unterminated want pattern", pos)
+			}
+			lit, s = s[:end+1], strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("analyzertest: %s: unterminated want pattern", pos)
+			}
+			lit, s = s[:end+2], strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("analyzertest: %s: malformed want clause at %q", pos, s)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("analyzertest: %s: bad want literal %s: %v", pos, lit, err)
+		}
+		out = append(out, unq)
+	}
+	return out
+}

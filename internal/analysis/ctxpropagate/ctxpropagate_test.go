@@ -1,0 +1,21 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/analysis/analyzertest"
+	"temporalkcore/internal/analysis/ctxpropagate"
+)
+
+// TestFlagged proves the analyzer fires on ignored stop hooks, unpolled
+// unbounded loops, unannotated stop-taking engine exports and root
+// contexts minted in library code.
+func TestFlagged(t *testing.T) {
+	analyzertest.Run(t, ".", ctxpropagate.Analyzer, "core")
+}
+
+// TestClean proves delegated hooks, polled loops, named hook parameters,
+// tkc:allow-background roots and non-hook func parameters stay silent.
+func TestClean(t *testing.T) {
+	analyzertest.Run(t, ".", ctxpropagate.Analyzer, "enum")
+}

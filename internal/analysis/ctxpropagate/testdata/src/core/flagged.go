@@ -1,0 +1,37 @@
+// Package core exercises tkcctxpropagate diagnostics in an engine-named
+// package: ignored stop hooks, unpolled unbounded loops, unannotated
+// stop-taking exports, and root contexts minted in library code.
+package core
+
+import "context"
+
+// tkc:cancellable
+func IgnoresHook(stop func() bool) { // want `stop hook stop is never consumed`
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}
+
+// tkc:cancellable
+func UnpolledLoop(stop func() bool) {
+	if stop() {
+		return
+	}
+	n := 0
+	for { // want `unbounded loop does not poll stop hook stop`
+		n++
+		if n > 3 {
+			return
+		}
+	}
+}
+
+func Unannotated(stop func() bool) { // want `takes a stop hook but is not annotated`
+	_ = stop
+}
+
+func mint() context.Context {
+	return context.Background() // want `context.Background in library code`
+}
+
+var _ = mint

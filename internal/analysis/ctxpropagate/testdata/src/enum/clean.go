@@ -1,0 +1,44 @@
+// Package enum exercises tkcctxpropagate's negative space in an
+// engine-named package: hooks delegated into builders, polled loops,
+// named hook parameters, annotated root contexts and non-hook func
+// parameters must produce no diagnostics.
+package enum
+
+import "context"
+
+type runner struct{ stop func() bool }
+
+// tkc:cancellable
+func EnumerateStop(stop func() bool) {
+	r := runner{stop: stop}
+	r.run()
+}
+
+func (r *runner) run() {
+	n := 0
+	for {
+		if r.stop != nil && r.stop() {
+			return
+		}
+		n++
+		if n > 3 {
+			return
+		}
+	}
+}
+
+// tkc:cancellable halt
+func PollLoop(halt func() bool) {
+	for {
+		if halt() {
+			return
+		}
+	}
+}
+
+// tkc:allow-background: deprecated shim keeps the zero-config entry point alive
+func Root() context.Context {
+	return context.Background()
+}
+
+func NotStop(f func() int) { _ = f }

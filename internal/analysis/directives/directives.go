@@ -1,0 +1,105 @@
+// Package directives parses the repository's machine-checked invariant
+// annotations — comment lines of the form
+//
+//	// tkc:<name> <argument words...>[: free-text reason]
+//
+// attached to function declarations and struct fields. The analyzers in
+// internal/analysis read these to know which invariants a declaration
+// participates in:
+//
+//	tkc:guardedby <mu>      field: only accessed while <mu> is held
+//	tkc:guardheld <mu>: why func: accesses <mu>-guarded fields lock-free
+//	tkc:mutates             func: mutates graph state frozen views share
+//	tkc:mutates-frozen-ok: why func: may call mutators on frozen views
+//	tkc:frozensource        func: its result is a frozen/pinned view
+//	tkc:acquires [i]        func: result i is a release fn due on all paths
+//	tkc:pool-get            func: returns a pooled value (ownership moves)
+//	tkc:pool-put            func: returns its argument to a pool
+//	tkc:cancellable [p]     func: p is the stop hook loops must poll
+//	tkc:allow-background: why  func: may call context.Background/TODO
+package directives
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the comment marker every directive starts with.
+const Prefix = "tkc:"
+
+// Directive is one parsed tkc: annotation.
+type Directive struct {
+	Name   string    // the word after "tkc:", e.g. "guardedby"
+	Args   []string  // whitespace-separated arguments before any ": reason"
+	Reason string    // free text after the first ": " separator, if any
+	Pos    token.Pos // position of the comment line
+}
+
+// parseLine parses one comment line, returning ok=false when it carries no
+// directive. Directives must start the line (after the comment marker):
+// prose that merely mentions "tkc:guardedby" does not count.
+func parseLine(text string, pos token.Pos) (Directive, bool) {
+	s := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "//"))
+	if !strings.HasPrefix(s, Prefix) {
+		return Directive{}, false
+	}
+	s = strings.TrimPrefix(s, Prefix)
+	if s == "" || s[0] == ' ' || s[0] == '\t' {
+		return Directive{}, false // "tkc: something" is prose, not a directive
+	}
+	var reason string
+	if i := strings.Index(s, ": "); i >= 0 {
+		reason = strings.TrimSpace(s[i+2:])
+		s = s[:i]
+	} else if strings.HasSuffix(s, ":") {
+		s = strings.TrimSuffix(s, ":")
+	}
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return Directive{}, false
+	}
+	return Directive{Name: fields[0], Args: fields[1:], Reason: reason, Pos: pos}, true
+}
+
+// FromComments returns every directive in the comment groups, in order.
+// Nil groups are allowed.
+func FromComments(groups ...*ast.CommentGroup) []Directive {
+	var out []Directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			// A comment "line" may be a /* */ block; split it.
+			for _, line := range strings.Split(c.Text, "\n") {
+				if d, ok := parseLine(line, c.Pos()); ok {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ForFunc returns the directives attached to a function declaration's doc
+// comment.
+func ForFunc(fn *ast.FuncDecl) []Directive {
+	return FromComments(fn.Doc)
+}
+
+// ForField returns the directives attached to a struct field, from its doc
+// comment and its trailing line comment.
+func ForField(f *ast.Field) []Directive {
+	return FromComments(f.Doc, f.Comment)
+}
+
+// Find returns the first directive named name, if any.
+func Find(ds []Directive, name string) (Directive, bool) {
+	for _, d := range ds {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

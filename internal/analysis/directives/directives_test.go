@@ -1,0 +1,116 @@
+package directives_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"temporalkcore/internal/analysis/directives"
+)
+
+const src = `package p
+
+import "sync"
+
+// tkc:frozensource
+// tkc:acquires 1
+func Acquire() (int, func(), bool) { return 0, nil, false }
+
+// tkc:guardheld mu: single-writer rebuild phase
+func rebuild() {}
+
+// Prose that merely mentions tkc:guardedby must not parse.
+// tkc: this is prose too, not a directive.
+func prose() {}
+
+type S struct {
+	mu sync.Mutex
+	// tkc:guardedby mu
+	doc int
+	line int // tkc:guardedby mu
+	plain int
+}
+
+// tkc:allow-background: deprecated shim
+func shim() {}
+`
+
+func parse(t *testing.T) *ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func funcNamed(f *ast.File, name string) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	return nil
+}
+
+func TestForFunc(t *testing.T) {
+	f := parse(t)
+
+	ds := directives.ForFunc(funcNamed(f, "Acquire"))
+	if len(ds) != 2 {
+		t.Fatalf("Acquire: got %d directives, want 2: %+v", len(ds), ds)
+	}
+	if _, ok := directives.Find(ds, "frozensource"); !ok {
+		t.Error("Acquire: missing frozensource")
+	}
+	if d, ok := directives.Find(ds, "acquires"); !ok || len(d.Args) != 1 || d.Args[0] != "1" {
+		t.Errorf("Acquire: acquires = %+v, want Args [1]", d)
+	}
+
+	ds = directives.ForFunc(funcNamed(f, "rebuild"))
+	d, ok := directives.Find(ds, "guardheld")
+	if !ok || len(d.Args) != 1 || d.Args[0] != "mu" || d.Reason != "single-writer rebuild phase" {
+		t.Errorf("rebuild: guardheld = %+v", d)
+	}
+
+	if ds := directives.ForFunc(funcNamed(f, "prose")); len(ds) != 0 {
+		t.Errorf("prose: parsed %d directives from prose, want 0: %+v", len(ds), ds)
+	}
+
+	ds = directives.ForFunc(funcNamed(f, "shim"))
+	if d, ok := directives.Find(ds, "allow-background"); !ok || d.Reason != "deprecated shim" {
+		t.Errorf("shim: allow-background = %+v", d)
+	}
+}
+
+func TestForField(t *testing.T) {
+	f := parse(t)
+	var st *ast.StructType
+	ast.Inspect(f, func(n ast.Node) bool {
+		if s, ok := n.(*ast.StructType); ok {
+			st = s
+			return false
+		}
+		return true
+	})
+	if st == nil {
+		t.Fatal("no struct in test source")
+	}
+	got := make(map[string]bool)
+	for _, field := range st.Fields.List {
+		if _, ok := directives.Find(directives.ForField(field), "guardedby"); ok {
+			for _, n := range field.Names {
+				got[n.Name] = true
+			}
+		}
+	}
+	for _, want := range []string{"doc", "line"} {
+		if !got[want] {
+			t.Errorf("field %s: guardedby directive not found", want)
+		}
+	}
+	if got["plain"] || got["mu"] {
+		t.Errorf("unannotated fields parsed as guarded: %v", got)
+	}
+}

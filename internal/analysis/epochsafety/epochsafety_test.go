@@ -1,0 +1,22 @@
+package epochsafety_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/analysis/analyzertest"
+	"temporalkcore/internal/analysis/epochsafety"
+)
+
+// TestFlagged proves the analyzer fires on frozen-view mutation (through
+// a local and directly), discarded release closures, and release paths
+// that leak on early return.
+func TestFlagged(t *testing.T) {
+	analyzertest.Run(t, ".", epochsafety.Analyzer, "epochs")
+}
+
+// TestClean proves read-only frozen use, live-value mutation, and every
+// accepted release discipline (defer, per-branch, transfer, ok-false
+// exemption) stay silent.
+func TestClean(t *testing.T) {
+	analyzertest.Run(t, ".", epochsafety.Analyzer, "epochsclean")
+}

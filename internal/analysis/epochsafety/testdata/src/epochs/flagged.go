@@ -1,0 +1,41 @@
+// Package epochs exercises tkcepochsafety diagnostics: frozen views
+// reaching mutators, discarded release closures, and leaky release paths.
+package epochs
+
+type view struct{ n int }
+
+// tkc:frozensource
+func freeze() *view { return &view{} }
+
+// tkc:mutates
+func (v *view) append(x int) { v.n += x }
+
+// tkc:acquires
+func pin() (*view, func(), bool) { return &view{}, func() {}, true }
+
+func MutatesFrozenLocal() {
+	v := freeze()
+	v.append(1) // want `append mutates a frozen epoch view`
+}
+
+func MutatesFrozenDirect() {
+	freeze().append(2) // want `append mutates a frozen epoch view obtained directly`
+}
+
+func DiscardsRelease() bool {
+	v, _, ok := pin() // want `release closure from pin discarded`
+	_ = v
+	return ok
+}
+
+func LeaksOnEarlyReturn(n int) {
+	v, release, ok := pin() // want `release closure release from a tkc:acquires call may reach function exit`
+	if !ok {
+		return
+	}
+	if n > 0 {
+		return
+	}
+	_ = v
+	release()
+}

@@ -1,0 +1,84 @@
+// Package epochsclean exercises tkcepochsafety's negative space:
+// read-only use of frozen views, mutating live values, and every accepted
+// release discipline (defer, per-branch calls, ownership transfer,
+// ok-false exemption) must produce no diagnostics.
+package epochsclean
+
+type view struct{ n int }
+
+// tkc:frozensource
+func freeze() *view { return &view{} }
+
+// tkc:mutates
+func (v *view) append(x int) { v.n += x }
+
+// tkc:acquires
+func pin() (*view, func(), bool) { return &view{}, func() {}, true }
+
+func ReadsFrozen() int {
+	v := freeze()
+	return v.n
+}
+
+func MutatesLive() {
+	v := &view{}
+	v.append(1)
+}
+
+func DeferRelease() int {
+	v, release, ok := pin()
+	if !ok {
+		return 0
+	}
+	defer release()
+	return v.n
+}
+
+func ReleaseBothBranches(b bool) {
+	_, release, ok := pin()
+	if !ok {
+		return
+	}
+	if b {
+		release()
+		return
+	}
+	release()
+}
+
+func TransferRelease() (func(), bool) {
+	_, release, ok := pin()
+	if !ok {
+		return nil, false
+	}
+	return release, true
+}
+
+func PanicPathNotALeak(n int) {
+	_, release, ok := pin()
+	if !ok {
+		return
+	}
+	if n > 0 {
+		panic("invariant broken")
+	}
+	release()
+}
+
+type pinbox struct{ rel func() }
+
+func StoreInLiteral() []pinbox {
+	var out []pinbox
+	_, release, ok := pin()
+	if !ok {
+		return out
+	}
+	out = append(out, pinbox{rel: release})
+	return out
+}
+
+// tkc:mutates-frozen-ok: asserts the mutator rejects frozen receivers
+func DeliberateRejectionProbe() {
+	v := freeze()
+	v.append(1)
+}

@@ -1,0 +1,412 @@
+// Package guardedby implements the tkcguardedby analyzer: struct fields
+// annotated
+//
+//	// tkc:guardedby <mu>
+//
+// may only be accessed while <mu> is held in the accessing function. The
+// guard names either a sibling field of the same struct ("mu", "labelMu")
+// — the access c.field then requires a live c.mu.Lock()/RLock() — or, as
+// "<Type>.<mu>", a mutex on another type whose critical sections cover
+// this field (serve's endpointRec values live entirely inside
+// Recorder.mu, for example).
+//
+// The lock state is tracked flow-sensitively over the control-flow graph:
+// branches meet by intersection, defer'd Unlocks keep the lock held to
+// function exit, and `if x.mu.TryLock()` holds the lock in the then
+// branch only. Functions that access guarded fields without locking —
+// because every caller already holds the mutex, or because the access is
+// structurally race-free (a single-writer phase) — declare it with
+//
+//	// tkc:guardheld <mu>: <reason>
+//
+// which exempts that one function for that one guard, with the reason on
+// record. There are deliberately no file- or package-level suppressions.
+package guardedby
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"temporalkcore/internal/analysis/directives"
+	"temporalkcore/internal/xtools/go/analysis"
+	"temporalkcore/internal/xtools/go/analysis/passes/ctrlflow"
+	"temporalkcore/internal/xtools/go/analysis/passes/inspect"
+	"temporalkcore/internal/xtools/go/ast/inspector"
+	"temporalkcore/internal/xtools/go/cfg"
+)
+
+// GuardedField is the fact exported for every annotated field, so guarded
+// fields of one package are checked in every package that can reach them.
+type GuardedField struct {
+	Guard string // "mu" (sibling field) or "Type.mu"
+}
+
+// AFact marks GuardedField as a serializable analysis fact.
+func (*GuardedField) AFact() {}
+
+func (f *GuardedField) String() string { return "guardedby(" + f.Guard + ")" }
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "tkcguardedby",
+	Doc:       "check that tkc:guardedby-annotated fields are only accessed with their mutex held",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	FactTypes: []analysis.Fact{(*GuardedField)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	// Pass 1: collect and export the field annotations.
+	ins.Preorder([]ast.Node{(*ast.StructType)(nil)}, func(n ast.Node) {
+		st := n.(*ast.StructType)
+		for _, field := range st.Fields.List {
+			d, ok := directives.Find(directives.ForField(field), "guardedby")
+			if !ok {
+				continue
+			}
+			if len(d.Args) != 1 {
+				pass.Reportf(field.Pos(), "malformed tkc:guardedby: want exactly one guard argument")
+				continue
+			}
+			for _, name := range field.Names {
+				if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					fact := &GuardedField{Guard: d.Args[0]}
+					pass.ExportObjectFact(obj, fact)
+				}
+			}
+		}
+	})
+
+	guardOf := func(obj *types.Var) (string, bool) {
+		var fact GuardedField
+		if pass.ImportObjectFact(obj, &fact) {
+			return fact.Guard, true
+		}
+		return "", false
+	}
+
+	// Pass 2: check every function body. FuncLits inherit the exemptions
+	// of the function they appear in.
+	ins.WithStack([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		var g *cfg.CFG
+		var exempt []string
+		for _, outer := range stack {
+			if fd, ok := outer.(*ast.FuncDecl); ok {
+				for _, d := range directives.ForFunc(fd) {
+					if d.Name == "guardheld" && len(d.Args) == 1 {
+						exempt = append(exempt, d.Args[0])
+					}
+				}
+			}
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return true
+			}
+			g = cfgs.FuncDecl(fn)
+		case *ast.FuncLit:
+			g = cfgs.FuncLit(fn)
+		}
+		if g != nil {
+			checkFunc(pass, g, guardOf, exempt)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// tokenSet is a set of held-lock tokens. Each acquisition contributes an
+// expression token ("c.mu") and, when the mutex is a field, a type token
+// ("Cache.mu") used to satisfy Type.mu guards.
+type tokenSet map[string]bool
+
+func (s tokenSet) clone() tokenSet {
+	c := make(tokenSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s tokenSet) intersect(o tokenSet) tokenSet {
+	c := make(tokenSet)
+	for k := range s {
+		if o[k] {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+func (s tokenSet) equal(o tokenSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// mutexCall reports whether call is a Lock/RLock/TryLock/Unlock/RUnlock on
+// a sync.Mutex or sync.RWMutex (possibly behind a pointer), returning the
+// tokens of the mutex expression and the method name.
+func mutexCall(info *types.Info, call *ast.CallExpr) (toks []string, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return nil, "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isSyncLock(recv.Type()) {
+		return nil, "", false
+	}
+	toks = append(toks, types.ExprString(sel.X))
+	// Type token: for g.labelMu, record "Graph.labelMu" so Type.mu guards
+	// can be satisfied regardless of which variable holds the instance.
+	if ms, isMS := sel.X.(*ast.SelectorExpr); isMS {
+		if base := namedTypeName(info.TypeOf(ms.X)); base != "" {
+			toks = append(toks, base+"."+ms.Sel.Name)
+		}
+	} else if id, isID := sel.X.(*ast.Ident); isID {
+		// A mutex reached through the method receiver: r.mu where r is
+		// the receiver of a method on the mutex's owner.
+		_ = id
+	}
+	return toks, sel.Sel.Name, true
+}
+
+// isSyncLock reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// namedTypeName returns the bare name of t's named type (unwrapping one
+// pointer), or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}
+
+// condTryLockTokens returns the mutex tokens when stmt is `if x.TryLock()
+// { ... }` (possibly with an init statement), so the then-branch can be
+// seeded as holding the lock.
+func condTryLockTokens(info *types.Info, stmt ast.Stmt) []string {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := ifs.Cond.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	toks, method, ok := mutexCall(info, call)
+	if ok && (method == "TryLock" || method == "TryRLock") {
+		return toks
+	}
+	return nil
+}
+
+// checkFunc runs the held-lock dataflow over one function's CFG and
+// reports guarded-field accesses made without the guard held.
+func checkFunc(pass *analysis.Pass, g *cfg.CFG, guardOf func(*types.Var) (string, bool), exempt []string) {
+	if len(g.Blocks) == 0 {
+		return
+	}
+	exempted := func(guard string) bool {
+		for _, e := range exempt {
+			if e == guard {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Predecessors, for the meet.
+	preds := make(map[*cfg.Block][]*cfg.Block)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	// transfer applies block b's lock events to state, calling access for
+	// every guarded-field access with the state current at that point.
+	transfer := func(b *cfg.Block, state tokenSet, access func(sel *ast.SelectorExpr, fieldObj *types.Var, guard string, state tokenSet)) tokenSet {
+		for _, node := range b.Nodes {
+			skipUnlock := false
+			if _, isDefer := node.(*ast.DeferStmt); isDefer {
+				// defer mu.Unlock() keeps the lock held to function
+				// exit; a deferred closure body is analyzed separately.
+				skipUnlock = true
+			}
+			ast.Inspect(node, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.FuncLit:
+					return false // analyzed as its own function
+				case *ast.CallExpr:
+					if toks, method, ok := mutexCall(pass.TypesInfo, nn); ok {
+						switch method {
+						case "Lock", "RLock":
+							for _, t := range toks {
+								state[t] = true
+							}
+						case "Unlock", "RUnlock":
+							if !skipUnlock {
+								for _, t := range toks {
+									delete(state, t)
+								}
+							}
+						}
+					}
+				case *ast.SelectorExpr:
+					if sel, ok := pass.TypesInfo.Selections[nn]; ok && sel.Kind() == types.FieldVal {
+						if fv, ok := sel.Obj().(*types.Var); ok {
+							if guard, ok := guardOf(fv); ok && access != nil {
+								access(nn, fv, guard, state)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return state
+	}
+
+	// seed returns the extra tokens a block starts with beyond the meet:
+	// the then-branch of `if x.TryLock()`.
+	seed := func(b *cfg.Block) []string {
+		if b.Kind == cfg.KindIfThen {
+			return condTryLockTokens(pass.TypesInfo, b.Stmt)
+		}
+		return nil
+	}
+
+	// Fixpoint: in(b) = ∩ out(preds) [+ seed], out(b) = transfer(b, in).
+	in := make(map[*cfg.Block]tokenSet)
+	out := make(map[*cfg.Block]tokenSet)
+	for _, b := range g.Blocks {
+		in[b], out[b] = nil, nil // nil = ⊤ (not yet computed)
+	}
+	entry := g.Blocks[0]
+	in[entry] = tokenSet{}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			var st tokenSet
+			if b == entry {
+				st = tokenSet{}
+			} else {
+				for _, p := range preds[b] {
+					if out[p] == nil {
+						continue // ⊤: contributes nothing to the meet
+					}
+					if st == nil {
+						st = out[p].clone()
+					} else {
+						st = st.intersect(out[p])
+					}
+				}
+				if st == nil {
+					continue // unreachable so far
+				}
+			}
+			for _, t := range seed(b) {
+				st[t] = true
+			}
+			if in[b] == nil || !in[b].equal(st) {
+				in[b] = st
+			}
+			o := transfer(b, st.clone(), nil)
+			if out[b] == nil || !out[b].equal(o) {
+				out[b] = o
+				changed = true
+			}
+		}
+	}
+
+	// Report pass with the converged states.
+	reported := make(map[token.Pos]bool)
+	for _, b := range g.Blocks {
+		if in[b] == nil {
+			continue // unreachable
+		}
+		transfer(b, in[b].clone(), func(sel *ast.SelectorExpr, fv *types.Var, guard string, state tokenSet) {
+			if reported[sel.Sel.Pos()] || exempted(guard) {
+				return
+			}
+			if heldFor(state, sel, guard) {
+				return
+			}
+			reported[sel.Sel.Pos()] = true
+			pass.Report(analysis.Diagnostic{
+				Pos: sel.Sel.Pos(),
+				Message: fmt.Sprintf("field %s is guarded by %q (tkc:guardedby) but accessed without holding it; lock it, or annotate the function with // tkc:guardheld %s: <reason>",
+					fv.Name(), guard, guard),
+			})
+		})
+	}
+}
+
+// heldFor reports whether state satisfies the guard for an access x.f:
+// a sibling guard "mu" needs the token "<x>.mu"; a "Type.mu" guard needs
+// any held mutex whose owner type matches.
+func heldFor(state tokenSet, sel *ast.SelectorExpr, guard string) bool {
+	if containsDot(guard) {
+		return state[guard]
+	}
+	return state[types.ExprString(sel.X)+"."+guard]
+}
+
+func containsDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/analysis/analyzertest"
+	"temporalkcore/internal/analysis/guardedby"
+)
+
+// TestFlagged proves the analyzer fires on unlocked accesses, including
+// the flow-sensitive cases (unlock-then-access, one-armed-if meet).
+func TestFlagged(t *testing.T) {
+	analyzertest.Run(t, ".", guardedby.Analyzer, "guarded")
+}
+
+// TestClean proves correctly locked code, TryLock branches, defer'd
+// Unlocks and tkc:guardheld exemptions stay silent.
+func TestClean(t *testing.T) {
+	analyzertest.Run(t, ".", guardedby.Analyzer, "guardedclean")
+}

@@ -1,0 +1,44 @@
+// Package guarded exercises tkcguardedby diagnostics: every access here
+// that touches a guarded field without its mutex must be flagged.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // tkc:guardedby mu
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `field n is guarded by "mu"`
+}
+
+func (c *counter) BadAfterUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want `field n is guarded by "mu"`
+}
+
+func (c *counter) BadBranch(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `field n is guarded by "mu"`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+type rec struct {
+	count int // tkc:guardedby Recorder.mu
+}
+
+type Recorder struct {
+	mu sync.Mutex
+	m  map[string]*rec
+}
+
+func (r *Recorder) Bad(k string) {
+	r.m[k].count++ // want `field count is guarded by "Recorder.mu"`
+}

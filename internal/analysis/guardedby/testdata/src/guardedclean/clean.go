@@ -1,0 +1,52 @@
+// Package guardedclean exercises tkcguardedby's negative space: correctly
+// locked accesses, TryLock branches, defer'd Unlocks and tkc:guardheld
+// exemptions must produce no diagnostics.
+package guardedclean
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // tkc:guardedby mu
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) TryInc() bool {
+	if c.mu.TryLock() {
+		c.n++
+		c.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// tkc:guardheld mu: caller holds c.mu across the whole rebuild phase
+func (c *counter) reset() { c.n = 0 }
+
+var _ = (*counter).reset
+
+type rec struct {
+	count int // tkc:guardedby Recorder.mu
+}
+
+type Recorder struct {
+	mu sync.Mutex
+	m  map[string]*rec
+}
+
+func (r *Recorder) Add(k string) {
+	r.mu.Lock()
+	r.m[k].count++
+	r.mu.Unlock()
+}

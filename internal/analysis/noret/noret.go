@@ -1,0 +1,67 @@
+// Package noret recognises statements that never let control proceed — a
+// panic, os.Exit, runtime.Goexit, log.Fatal*, or a testing Fatal/Skip —
+// so path-sensitive analyzers (release-on-all-paths, Put-on-all-paths)
+// don't report a "leak" on a path that ends the goroutine anyway. The
+// go/cfg builder truncates a block after such a call, leaving a block
+// with no successors that is not a real function exit; this package is
+// how the analyzers tell the two apart.
+package noret
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// terminators maps package path → function/method names that never return.
+var terminators = map[string]map[string]bool{
+	"os":      {"Exit": true},
+	"runtime": {"Goexit": true},
+	"log": {
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+	"testing": {
+		"Fatal": true, "Fatalf": true, "FailNow": true,
+		"Skip": true, "Skipf": true, "SkipNow": true,
+	},
+}
+
+// Terminates reports whether node ends control flow: an expression
+// statement calling panic or a known no-return function. It is
+// deliberately a name-based approximation — false negatives only make the
+// analyzers report a leak on a dead path, never hide a live one.
+func Terminates(info *types.Info, node ast.Node) bool {
+	es, ok := node.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return isTerminator(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return isTerminator(fn)
+		}
+	}
+	return false
+}
+
+func isTerminator(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	names := terminators[pkg.Path()]
+	return names != nil && names[fn.Name()]
+}

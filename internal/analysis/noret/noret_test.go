@@ -1,0 +1,82 @@
+package noret
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const src = `package p
+
+import (
+	"log"
+	"os"
+	"runtime"
+)
+
+func f(n int) int {
+	if n == 0 {
+		panic("zero")
+	}
+	if n == 1 {
+		os.Exit(1)
+	}
+	if n == 2 {
+		log.Fatalf("two: %d", n)
+	}
+	if n == 3 {
+		runtime.Goexit()
+	}
+	if n == 4 {
+		println("alive")
+	}
+	return n
+}
+`
+
+func TestTerminates(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Uses: map[*ast.Ident]types.Object{}}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+
+	// The last statement of each if-body, keyed by the guard constant.
+	want := map[int]bool{
+		0: true,  // panic
+		1: true,  // os.Exit
+		2: true,  // log.Fatalf
+		3: true,  // runtime.Goexit
+		4: false, // println returns
+	}
+	fn := f.Decls[1].(*ast.FuncDecl)
+	seen := 0
+	for _, stmt := range fn.Body.List {
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		cond := ifs.Cond.(*ast.BinaryExpr)
+		n := int(cond.Y.(*ast.BasicLit).Value[0] - '0')
+		last := ifs.Body.List[len(ifs.Body.List)-1]
+		if got := Terminates(info, last); got != want[n] {
+			t.Errorf("Terminates(branch n==%d) = %v, want %v", n, got, want[n])
+		}
+		seen++
+	}
+	if seen != len(want) {
+		t.Fatalf("found %d branches, want %d", seen, len(want))
+	}
+
+	if Terminates(info, fn.Body.List[len(fn.Body.List)-1]) {
+		t.Error("Terminates(return stmt) = true, want false")
+	}
+}

@@ -1,0 +1,391 @@
+// Package poolhygiene implements the tkcpoolhygiene analyzer, the rule
+// behind every "0 allocs warm" benchmark in this repository: a value taken
+// from a sync.Pool must go back, and must not outlive its borrow.
+//
+// Tracked acquisitions are direct (*sync.Pool).Get calls (with or without
+// a type assertion) and calls to functions annotated
+//
+//	// tkc:pool-get
+//
+// (the GetScratch wrappers), whose result is a borrowed pooled value.
+// Releases are (*sync.Pool).Put with the tracked value as the argument,
+// and calls to functions annotated
+//
+//	// tkc:pool-put
+//
+// (the PutScratch wrappers). Two diagnostics:
+//
+//   - leak: a path from the Get to function exit carries no Put and no
+//     defer'd Put — the borrow never ends and the pool stops amortising.
+//   - escape: the borrowed value is returned, sent on a channel, or
+//     stored in a package-level variable by a function that is not itself
+//     annotated tkc:pool-get (which is how ownership legitimately moves
+//     out of a wrapper).
+package poolhygiene
+
+import (
+	"go/ast"
+	"go/types"
+
+	"temporalkcore/internal/analysis/directives"
+	"temporalkcore/internal/analysis/noret"
+	"temporalkcore/internal/xtools/go/analysis"
+	"temporalkcore/internal/xtools/go/analysis/passes/ctrlflow"
+	"temporalkcore/internal/xtools/go/analysis/passes/inspect"
+	"temporalkcore/internal/xtools/go/ast/inspector"
+	"temporalkcore/internal/xtools/go/cfg"
+)
+
+// PoolGet marks a function whose result is a borrowed pooled value.
+type PoolGet struct{}
+
+// AFact marks PoolGet as a serializable analysis fact.
+func (*PoolGet) AFact() {}
+
+func (*PoolGet) String() string { return "pool-get" }
+
+// PoolPut marks a function that returns its argument to a pool.
+type PoolPut struct{}
+
+// AFact marks PoolPut as a serializable analysis fact.
+func (*PoolPut) AFact() {}
+
+func (*PoolPut) String() string { return "pool-put" }
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "tkcpoolhygiene",
+	Doc:       "check that sync.Pool values are Put on every path and never escape their borrow",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	FactTypes: []analysis.Fact{(*PoolGet)(nil), (*PoolPut)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	// Pass 1: export wrapper annotations.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		ds := directives.ForFunc(fd)
+		if _, ok := directives.Find(ds, "pool-get"); ok {
+			pass.ExportObjectFact(fn, &PoolGet{})
+		}
+		if _, ok := directives.Find(ds, "pool-put"); ok {
+			pass.ExportObjectFact(fn, &PoolPut{})
+		}
+	})
+
+	// Pass 2: per-function borrow checking.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var g *cfg.CFG
+		transfers := false // tkc:pool-get functions may move ownership out
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return
+			}
+			g = cfgs.FuncDecl(fn)
+			_, transfers = directives.Find(directives.ForFunc(fn), "pool-get")
+		case *ast.FuncLit:
+			g = cfgs.FuncLit(fn)
+		}
+		if g != nil {
+			checkFunc(pass, g, transfers)
+		}
+	})
+	return nil, nil
+}
+
+// isPoolGet reports whether call borrows a pooled value: (*sync.Pool).Get
+// or a tkc:pool-get function.
+func isPoolGet(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := callee(pass, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Name() == "Get" && isPoolMethod(fn) {
+		return true
+	}
+	var fact PoolGet
+	return pass.ImportObjectFact(fn, &fact)
+}
+
+// putsValue reports whether call releases obj: (*sync.Pool).Put(obj) or a
+// tkc:pool-put function taking obj.
+func putsValue(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	fn := callee(pass, call)
+	if fn == nil {
+		return false
+	}
+	isPut := fn.Name() == "Put" && isPoolMethod(fn)
+	if !isPut {
+		var fact PoolPut
+		isPut = pass.ImportObjectFact(fn, &fact)
+	}
+	if !isPut {
+		return false
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPoolMethod reports whether fn is a method on *sync.Pool.
+func isPoolMethod(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "Pool"
+}
+
+// borrow is one tracked pooled-value acquisition.
+type borrow struct {
+	stmt *ast.AssignStmt
+	obj  types.Object
+}
+
+// checkFunc finds borrows in one function and checks release-on-all-paths
+// plus escape rules.
+func checkFunc(pass *analysis.Pass, g *cfg.CFG, transfers bool) {
+	var borrows []*borrow
+	deferred := make(map[types.Object]bool) // objs with a defer'd Put anywhere
+
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			if as, ok := node.(*ast.AssignStmt); ok && len(as.Rhs) == 1 && len(as.Lhs) >= 1 {
+				rhs := ast.Unparen(as.Rhs[0])
+				// Unwrap x := pool.Get().(*T).
+				if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+					rhs = ast.Unparen(ta.X)
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok && isPoolGet(pass, call) {
+					if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+							borrows = append(borrows, &borrow{stmt: as, obj: obj})
+						}
+					}
+				}
+			}
+			// A defer'd Put anywhere covers every path.
+			if ds, ok := node.(*ast.DeferStmt); ok {
+				for _, br := range borrowsIn(pass, ds.Call, borrows) {
+					deferred[br] = true
+				}
+			}
+		}
+	}
+	if len(borrows) == 0 {
+		return
+	}
+
+	for _, br := range borrows {
+		// Escape checks apply everywhere the object is visible.
+		checkEscapes(pass, g, br, transfers)
+		if deferred[br.obj] || transfers || escapes(pass, g, br) {
+			// Deferred release, or ownership moved out: no path check.
+			continue
+		}
+		checkPutPaths(pass, g, br)
+	}
+}
+
+// borrowsIn returns the borrow objects among call's arguments when call is
+// a Put-like call.
+func borrowsIn(pass *analysis.Pass, call *ast.CallExpr, borrows []*borrow) []types.Object {
+	var out []types.Object
+	for _, br := range borrows {
+		if putsValue(pass, call, br.obj) {
+			out = append(out, br.obj)
+		}
+	}
+	return out
+}
+
+// escapes reports whether the borrowed value's ownership moves out of the
+// function — assigned into other storage, returned, or sent on a channel.
+// A transfer suppresses the Put-on-all-paths check (someone else now owns
+// the value); whether the transfer itself was legal is checkEscapes's job.
+func escapes(pass *analysis.Pass, g *cfg.CFG, br *borrow) bool {
+	usesObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.ObjectOf(id) == br.obj
+	}
+	found := false
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			ast.Inspect(node, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.AssignStmt:
+					if nn == br.stmt {
+						return true
+					}
+					for _, r := range nn.Rhs {
+						if usesObj(r) {
+							found = true
+						}
+					}
+				case *ast.ReturnStmt:
+					for _, r := range nn.Results {
+						if usesObj(r) {
+							found = true
+						}
+					}
+				case *ast.SendStmt:
+					if usesObj(nn.Value) {
+						found = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return found
+}
+
+// checkEscapes reports borrow escapes: returns, channel sends and stores
+// to package-level variables. transfers (a tkc:pool-get wrapper) allows
+// returns — that is how ownership legitimately leaves the wrapper.
+func checkEscapes(pass *analysis.Pass, g *cfg.CFG, br *borrow, transfers bool) {
+	usesObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.ObjectOf(id) == br.obj
+	}
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			ast.Inspect(node, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.ReturnStmt:
+					if transfers {
+						return true
+					}
+					for _, r := range nn.Results {
+						if usesObj(r) {
+							pass.Reportf(nn.Pos(), "pooled value %s escapes via return: a borrowed sync.Pool value must be Put, not returned (annotate the function // tkc:pool-get if it transfers ownership by design)", br.obj.Name())
+						}
+					}
+				case *ast.SendStmt:
+					if usesObj(nn.Value) {
+						pass.Reportf(nn.Pos(), "pooled value %s escapes via channel send: the receiver may use it after it is Put back", br.obj.Name())
+					}
+				case *ast.AssignStmt:
+					if nn == br.stmt {
+						return true
+					}
+					for i, r := range nn.Rhs {
+						if !usesObj(r) || i >= len(nn.Lhs) {
+							continue
+						}
+						if id, ok := ast.Unparen(nn.Lhs[i]).(*ast.Ident); ok {
+							if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+								pass.Reportf(nn.Pos(), "pooled value %s escapes into package-level variable %s: the borrow outlives the function", br.obj.Name(), v.Name())
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkPutPaths verifies a Put on every path from the borrow to exit.
+func checkPutPaths(pass *analysis.Pass, g *cfg.CFG, br *borrow) {
+	var acqBlock *cfg.Block
+	acqIdx := -1
+	for _, b := range g.Blocks {
+		for i, node := range b.Nodes {
+			if node == br.stmt {
+				acqBlock, acqIdx = b, i
+			}
+		}
+	}
+	if acqBlock == nil {
+		return
+	}
+	released := func(node ast.Node) bool {
+		found := false
+		ast.Inspect(node, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && putsValue(pass, call, br.obj) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	scan := func(b *cfg.Block, from int) (rel, reborrow bool) {
+		for _, node := range b.Nodes[from:] {
+			if node == br.stmt {
+				return false, true
+			}
+			if released(node) {
+				return true, false
+			}
+		}
+		return false, false
+	}
+	visited := make(map[*cfg.Block]bool)
+	var walk func(b *cfg.Block, from int) bool
+	walk = func(b *cfg.Block, from int) bool {
+		rel, reborrow := scan(b, from)
+		if rel {
+			return false
+		}
+		if reborrow {
+			return true
+		}
+		if len(b.Succs) == 0 {
+			if b.Kind == cfg.KindUnreachable {
+				return false
+			}
+			if n := len(b.Nodes); n > 0 && noret.Terminates(pass.TypesInfo, b.Nodes[n-1]) {
+				return false // path ends in panic/Fatal/Exit, not a return
+			}
+			return true
+		}
+		for _, s := range b.Succs {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if walk(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	if walk(acqBlock, acqIdx+1) {
+		pass.Reportf(br.stmt.Pos(), "pooled value %s may reach function exit without being Put: an early return leaks the borrow and the pool stops amortising (defer the Put, or Put on every path)", br.obj.Name())
+	}
+}

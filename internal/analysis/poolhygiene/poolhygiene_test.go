@@ -1,0 +1,21 @@
+package poolhygiene_test
+
+import (
+	"testing"
+
+	"temporalkcore/internal/analysis/analyzertest"
+	"temporalkcore/internal/analysis/poolhygiene"
+)
+
+// TestFlagged proves the analyzer fires on borrows leaking through early
+// returns and on pooled values escaping via return, package-level store
+// and channel send.
+func TestFlagged(t *testing.T) {
+	analyzertest.Run(t, ".", poolhygiene.Analyzer, "pools")
+}
+
+// TestClean proves defer'd Puts, Put-on-every-path, closure-deferred Puts
+// and tkc:pool-get ownership transfer stay silent.
+func TestClean(t *testing.T) {
+	analyzertest.Run(t, ".", poolhygiene.Analyzer, "poolsclean")
+}

@@ -1,0 +1,40 @@
+// Package pools exercises tkcpoolhygiene diagnostics: borrows leaking on
+// early returns and pooled values escaping their borrow.
+package pools
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var p = sync.Pool{New: func() interface{} { return new(buf) }}
+
+// tkc:pool-get
+func get() *buf { return p.Get().(*buf) }
+
+// tkc:pool-put
+func put(b *buf) { p.Put(b) }
+
+func LeakOnEarlyReturn(n int) {
+	b := get() // want `pooled value b may reach function exit without being Put`
+	if n > 0 {
+		return
+	}
+	put(b)
+}
+
+func EscapeReturn() *buf {
+	b := p.Get().(*buf)
+	return b // want `pooled value b escapes via return`
+}
+
+var global *buf
+
+func EscapeGlobal() {
+	b := get()
+	global = b // want `pooled value b escapes into package-level variable global`
+}
+
+func EscapeSend(ch chan *buf) {
+	b := get()
+	ch <- b // want `pooled value b escapes via channel send`
+}

@@ -1,0 +1,52 @@
+// Package poolsclean exercises tkcpoolhygiene's negative space: defer'd
+// Puts, Put-on-every-path, closure-deferred Puts and ownership transfer
+// out of tkc:pool-get wrappers must produce no diagnostics.
+package poolsclean
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var p = sync.Pool{New: func() interface{} { return new(buf) }}
+
+// tkc:pool-get
+func get() *buf { return p.Get().(*buf) }
+
+// tkc:pool-put
+func put(b *buf) { p.Put(b) }
+
+func DeferPut() int {
+	b := get()
+	defer put(b)
+	return len(b.b)
+}
+
+func PutAllPaths(n int) int {
+	b := p.Get().(*buf)
+	if n > 0 {
+		p.Put(b)
+		return 1
+	}
+	p.Put(b)
+	return 0
+}
+
+// tkc:pool-get
+func GetWrapped() *buf {
+	b := get()
+	return b
+}
+
+func DeferClosure() {
+	b := get()
+	defer func() { put(b) }()
+	b.b = b.b[:0]
+}
+
+func PanicPathNotALeak(n int) {
+	b := get()
+	if n > 0 {
+		panic("invariant broken")
+	}
+	put(b)
+}

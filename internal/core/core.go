@@ -33,10 +33,14 @@ type Scratch struct {
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
 // GetScratch takes a Scratch from the shared pool.
+//
+// tkc:pool-get
 func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 
 // PutScratch returns a Scratch to the shared pool; the caller must not use
 // it afterwards.
+//
+// tkc:pool-put
 func PutScratch(s *Scratch) { scratchPool.Put(s) }
 
 // Algorithm selects the enumeration strategy.

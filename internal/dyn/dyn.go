@@ -63,8 +63,8 @@ type Index struct {
 	// older epochs are retired with it.
 	cache *qcache.Cache
 
-	mu   sync.Mutex // guards free (drains release arenas on reader goroutines)
-	free []*vct.Scratch
+	mu   sync.Mutex     // guards free (drains release arenas on reader goroutines)
+	free []*vct.Scratch // tkc:guardedby mu
 
 	enumScratch enum.Scratch
 
@@ -152,6 +152,8 @@ func (d *Index) Refresh(w tgraph.Window) error { return d.RefreshAt(d.g, w, nil)
 // with a bounded poll stride: RefreshAt then returns vct.ErrStopped, the
 // current View keeps serving unchanged, and the spare arena returns to the
 // free list — cancelled refreshes leak nothing.
+//
+// tkc:cancellable
 func (d *Index) RefreshAt(at *tgraph.Graph, w tgraph.Window, stop func() bool) error {
 	if at == nil {
 		at = d.g
@@ -215,6 +217,9 @@ func (d *Index) RefreshAt(at *tgraph.Graph, w tgraph.Window, stop func() bool) e
 // Acquire pins the current View for a reader and returns it with the
 // release closure the reader must call exactly once when done. It is
 // lock-free and safe from any goroutine, concurrently with Refresh.
+//
+// tkc:frozensource
+// tkc:acquires
 func (d *Index) Acquire() (*View, func()) {
 	v, release, _ := d.guard.Acquire() // New always publishes; ok cannot be false
 	return v, release
@@ -261,6 +266,8 @@ func (d *Index) Enumerate(sink enum.Sink) bool {
 
 // EnumerateStop is Enumerate with a cancellation hook polled with a
 // bounded stride; see enum.EnumerateStop.
+//
+// tkc:cancellable
 func (d *Index) EnumerateStop(sink enum.Sink, stop func() bool) (done, cancelled bool) {
 	v := d.current()
 	return enum.EnumerateStop(v.G, v.Ecs, sink, &d.enumScratch, stop)

@@ -38,10 +38,14 @@ type Scratch struct {
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
 // GetScratch takes a Scratch from the shared pool.
+//
+// tkc:pool-get
 func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 
 // PutScratch returns a Scratch to the shared pool; the caller must not use
 // it afterwards.
+//
+// tkc:pool-put
 func PutScratch(s *Scratch) { scratchPool.Put(s) }
 
 // Enumerate runs the paper's optimal algorithm (Algorithm 5 with AS-Output,
@@ -72,6 +76,8 @@ const stopStride = 64
 // non-nil) is polled every stopStride start times of the outer sweep.
 // done is false when the sink stopped the enumeration early or stop fired;
 // cancelled reports which of the two it was.
+//
+// tkc:cancellable
 func EnumerateStop(g *tgraph.Graph, ecs *vct.ECS, sink Sink, s *Scratch, stop func() bool) (done, cancelled bool) {
 	w := ecs.Range
 	tlen := int(w.End-w.Start) + 1

@@ -61,6 +61,9 @@ func (g *Guard[T]) Publish(v T, onDrain func(T)) {
 // published yet. The returned value stays valid — never mutated, never
 // reclaimed — until release is called, regardless of how many newer
 // generations are published meanwhile.
+//
+// tkc:frozensource
+// tkc:acquires
 func (g *Guard[T]) Acquire() (v T, release func(), ok bool) {
 	for {
 		gen := g.cur.Load()

@@ -81,6 +81,8 @@ func Build(g *tgraph.Graph, w tgraph.Window) (*Index, error) {
 // When it fires the partial index is abandoned and vct.ErrStopped is
 // returned; callers translate it to their own cancellation error
 // (typically ctx.Err()).
+//
+// tkc:cancellable
 func BuildStop(g *tgraph.Graph, w tgraph.Window, stop func() bool) (*Index, error) {
 	if !w.Valid() || w.End > g.TMax() {
 		return nil, fmt.Errorf("phc: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, g.TMax())
@@ -138,6 +140,8 @@ func (ix *Index) Patch(g *tgraph.Graph, w tgraph.Window, dirtyFrom tgraph.TS) (*
 // which case re-settling nearly everything through the patch machinery
 // would cost more than building. stop follows the BuildStop contract;
 // cancellation returns vct.ErrStopped with ix untouched.
+//
+// tkc:cancellable
 func (ix *Index) PatchStop(g *tgraph.Graph, w tgraph.Window, dirtyFrom tgraph.TS, stop func() bool) (*Index, bool, error) {
 	if !w.Valid() || w.End > g.TMax() {
 		return nil, false, fmt.Errorf("phc: window [%d,%d] outside graph range [1,%d]", w.Start, w.End, g.TMax())

@@ -142,18 +142,19 @@ type flight struct {
 type Cache struct {
 	mu      sync.Mutex
 	max     int64
-	bytes   int64
-	ll      *list.List // front = most recently used; values are *node
-	m       map[Key]*list.Element
-	flights map[Key]*flight
+	bytes   int64                 // tkc:guardedby mu
+	ll      *list.List            // tkc:guardedby mu
+	m       map[Key]*list.Element // tkc:guardedby mu
+	flights map[Key]*flight       // tkc:guardedby mu
 	// oversize remembers keys whose built tables exceeded the whole
 	// budget, so repeat queries on such a key take their zero-alloc
 	// uncached path instead of re-running a fully-allocating build whose
 	// result can never be admitted. Bounded: retired with the floor, and
 	// reset wholesale beyond a hard cap.
-	oversize map[Key]struct{}
-	floor    int64 // highest RetireBelow seq seen (keeps retirement monotone)
-	stats    Stats
+	oversize map[Key]struct{} // tkc:guardedby mu
+	// floor is the highest RetireBelow seq seen (keeps retirement monotone).
+	floor int64 // tkc:guardedby mu
+	stats Stats // tkc:guardedby mu
 }
 
 type node struct {
@@ -346,7 +347,9 @@ func (c *Cache) Stats() Stats {
 }
 
 // insert adds (or replaces) an entry and evicts from the LRU tail until the
-// budget holds. Callers hold c.mu.
+// budget holds.
+//
+// tkc:guardheld mu: callers hold c.mu
 func (c *Cache) insert(key Key, ent *Entry) {
 	if ent.Bytes > c.max {
 		c.stats.Oversize++
@@ -375,7 +378,9 @@ func (c *Cache) insert(key Key, ent *Entry) {
 	}
 }
 
-// remove unlinks an element. Callers hold c.mu.
+// remove unlinks an element.
+//
+// tkc:guardheld mu: callers hold c.mu
 func (c *Cache) remove(el *list.Element) {
 	n := el.Value.(*node)
 	c.ll.Remove(el)

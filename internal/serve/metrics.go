@@ -23,14 +23,16 @@ const histBase = time.Microsecond
 // instrumenting the hot serving path is free of measurable overhead.
 type Recorder struct {
 	mu  sync.Mutex
-	eps map[string]*endpointRec
+	eps map[string]*endpointRec // tkc:guardedby mu
 }
 
+// endpointRec values live entirely inside their Recorder's critical
+// sections: every field is guarded by the owning Recorder's mu.
 type endpointRec struct {
-	codes map[int]int64
-	count int64
-	sum   time.Duration
-	hist  [histBuckets]int64
+	codes map[int]int64      // tkc:guardedby Recorder.mu
+	count int64              // tkc:guardedby Recorder.mu
+	sum   time.Duration      // tkc:guardedby Recorder.mu
+	hist  [histBuckets]int64 // tkc:guardedby Recorder.mu
 }
 
 // NewRecorder returns an empty Recorder.
@@ -108,6 +110,8 @@ func (r *Recorder) Snapshot() []EndpointSnapshot {
 // quantile estimates the q-quantile from the histogram by linear
 // interpolation inside the covering bucket. With no observations it
 // returns 0.
+//
+// tkc:guardheld Recorder.mu: only called from Snapshot inside r.mu
 func (ep *endpointRec) quantile(q float64) time.Duration {
 	if ep.count == 0 {
 		return 0

@@ -122,12 +122,12 @@ type Server struct {
 	// epochs is the ring of recently published snapshots that stay
 	// addressable by sequence number through the "epoch" request field.
 	epochsMu sync.Mutex
-	epochs   []*tkc.Snapshot
+	epochs   []*tkc.Snapshot // tkc:guardedby epochsMu
 
 	started time.Time
 
 	hsMu sync.Mutex
-	hs   *http.Server
+	hs   *http.Server // tkc:guardedby hsMu
 }
 
 // New builds a Server from cfg. When cfg.Graph is set and has never been

@@ -60,6 +60,8 @@ func gapCap(used int32) int32 { return used + used>>2 + 4 }
 // leave the old segment bytes intact — so any number of goroutines may
 // query frozen snapshots while a single goroutine appends. A frozen
 // snapshot itself rejects Append.
+//
+// tkc:mutates
 func (g *Graph) Append(batch []RawEdge) (AppendStats, error) {
 	var st AppendStats
 	if g.frozen {
@@ -252,6 +254,8 @@ func (g *Graph) Append(batch []RawEdge) (AppendStats, error) {
 
 // growVertexTables extends the per-vertex CSR segment tables to the current
 // vertex count; new vertices start with empty zero-capacity segments.
+//
+// tkc:mutates
 func (g *Graph) growVertexTables() {
 	for u := len(g.incCap); u < int(g.n); u++ {
 		it := int32(len(g.incEIDs))
@@ -266,6 +270,8 @@ func (g *Graph) growVertexTables() {
 // growPairSegment relocates pair p's time segment to the tail of pairTimes
 // with capacity for need more entries, grown geometrically so a hot pair
 // relocates only O(log interactions) times.
+//
+// tkc:mutates
 func (g *Graph) growPairSegment(p, need int32, st *AppendStats) {
 	pr := &g.pairs[p]
 	newCap := max(2*g.pairCap[p], gapCap(pr.Len+need))
@@ -279,6 +285,8 @@ func (g *Graph) growPairSegment(p, need int32, st *AppendStats) {
 }
 
 // insertNbr appends nb to u's neighbour segment, relocating it on overflow.
+//
+// tkc:mutates
 func (g *Graph) insertNbr(u VID, nb Nbr, st *AppendStats) {
 	off, end := unpackSeg(g.nbrSeg[u])
 	if end-off == g.nbrCap[u] {
@@ -297,6 +305,8 @@ func (g *Graph) insertNbr(u VID, nb Nbr, st *AppendStats) {
 }
 
 // insertInc appends e to u's incidence segment, relocating it on overflow.
+//
+// tkc:mutates
 func (g *Graph) insertInc(u VID, e EID, st *AppendStats) {
 	off, end := unpackSeg(g.incSeg[u])
 	if end-off == g.incCap[u] {
@@ -317,6 +327,8 @@ func (g *Graph) insertInc(u VID, e EID, st *AppendStats) {
 // maybeCompact rebuilds any CSR array whose relocation holes exceed half
 // its length, re-packing segments in index order with geometric gaps
 // preserved. Amortised against the relocations that created the holes.
+//
+// tkc:mutates
 func (g *Graph) maybeCompact(st *AppendStats) {
 	if int(g.incWaste) > len(g.incEIDs)/2 && len(g.incEIDs) > 1024 {
 		inc := make([]EID, 0, len(g.incEIDs)-int(g.incWaste))
@@ -370,6 +382,8 @@ func (g *Graph) MutSeq() int64 { return atomic.LoadInt64(&g.mutSeq) }
 
 // vidOrAdd returns the dense id of a label, extending the vertex tables on
 // first sight.
+//
+// tkc:mutates
 func (g *Graph) vidOrAdd(label int64) VID {
 	g.labelMu.RLock()
 	v, ok := g.labelOf[label]

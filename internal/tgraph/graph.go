@@ -70,7 +70,7 @@ type Graph struct {
 	// the map per epoch would dominate the freeze cost), so it is the one
 	// structure both writer and readers touch: labelMu guards it. The hot
 	// algorithm paths never take the lock — they speak dense ids.
-	labelOf map[int64]VID
+	labelOf map[int64]VID // tkc:guardedby labelMu
 	labelMu *sync.RWMutex
 
 	mutSeq int64 // incremented by every edge-adding Append; read atomically

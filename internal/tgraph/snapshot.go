@@ -27,6 +27,10 @@ import (
 // synchronisation. Freeze itself reads g's mutable state, so it must be
 // called from the writer goroutine (or while no Append runs). Appending to
 // the returned snapshot is rejected with an error.
+//
+// tkc:frozensource
+// tkc:guardheld labelMu: Freeze runs on the writer goroutine while no Append
+// runs, so aliasing labelOf into the snapshot races with nothing
 func (g *Graph) Freeze() *Graph {
 	fz := &Graph{
 		n: g.n,

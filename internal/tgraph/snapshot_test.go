@@ -68,6 +68,8 @@ func TestFreezeIsolation(t *testing.T) {
 	}
 }
 
+// tkc:mutates-frozen-ok: the test exists to assert that Append on a frozen
+// snapshot is rejected with an error
 func TestFreezeRejectsAppend(t *testing.T) {
 	g := tgraph.MustFromTriples([3]int64{1, 2, 1}, [3]int64{2, 3, 2})
 	fz := g.Freeze()

@@ -32,6 +32,8 @@ func Build(g *tgraph.Graph, k int, w tgraph.Window) (*Index, *ECS, error) {
 // polling contract): the outputs are freshly allocated and self-owned, so
 // callers that retain tables indefinitely — the serving cache — get memory
 // no scratch arena can later reclaim.
+//
+// tkc:cancellable
 func BuildStop(g *tgraph.Graph, k int, w tgraph.Window, stop func() bool) (*Index, *ECS, error) {
 	if err := validate(g, k, w); err != nil {
 		return nil, nil, err
@@ -61,6 +63,8 @@ func BuildScratch(g *tgraph.Graph, k int, w tgraph.Window, s *Scratch) (*Index, 
 // once per start-time transition. When it fires the build abandons its
 // partial state (the Scratch stays reusable) and returns ErrStopped, so a
 // runaway CoreTime phase cancels within one stride of work.
+//
+// tkc:cancellable
 func BuildScratchStop(g *tgraph.Graph, k int, w tgraph.Window, s *Scratch, stop func() bool) (*Index, *ECS, error) {
 	if err := validate(g, k, w); err != nil {
 		return nil, nil, err

@@ -38,6 +38,8 @@ func PatchScratch(g *tgraph.Graph, k int, w tgraph.Window, cached *Index, dirtyF
 // the cached index is untouched — and returns ErrStopped, so even a
 // live-window refresh over a large dirty suffix cancels within one stride
 // of work. The hook also covers the full-rebuild fallback.
+//
+// tkc:cancellable
 func PatchScratchStop(g *tgraph.Graph, k int, w tgraph.Window, cached *Index, dirtyFrom tgraph.TS, s *Scratch, stop func() bool) (ix *Index, ecs *ECS, patched bool, err error) {
 	if err := validate(g, k, w); err != nil {
 		return nil, nil, false, err

@@ -53,10 +53,14 @@ type Scratch struct {
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
 // GetScratch takes a Scratch from the shared pool.
+//
+// tkc:pool-get
 func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 
 // PutScratch returns a Scratch to the shared pool. The caller must not use
 // the Scratch — or any BuildScratch output backed by it — afterwards.
+//
+// tkc:pool-put
 func PutScratch(s *Scratch) { scratchPool.Put(s) }
 
 // prepare sizes the scratch for one build. Buffers that the build fully

@@ -49,6 +49,8 @@ func (r *Request) runSnapshot(ctx context.Context, qs *QueryStats, fn func(Core)
 // projections: g.Query(k).Window(start, end).Snapshot(h).First(ctx).
 // Since v2 the returned labels are sorted ascending (pre-v2 they followed
 // internal vertex-id order).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (g *Graph) KHCore(k, h int, start, end int64) ([]int64, error) {
 	c, ok, err := g.Query(k).Window(start, end).Snapshot(h).Project(ProjectVertices).First(context.Background())
 	if err != nil {
@@ -65,6 +67,8 @@ func (g *Graph) KHCore(k, h int, start, end int64) ([]int64, error) {
 //
 // Deprecated: use the v2 builder:
 // g.Query(k).Window(start, end).Snapshot(h).First(ctx).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (g *Graph) KHCoreEdges(k, h int, start, end int64) ([]Edge, error) {
 	c, ok, err := g.Query(k).Window(start, end).Snapshot(h).First(context.Background())
 	if err != nil {

@@ -2,9 +2,11 @@ package temporalkcore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"temporalkcore/internal/core"
 	"temporalkcore/internal/qcache"
 	"temporalkcore/internal/tgraph"
 	"temporalkcore/internal/vct"
@@ -35,7 +37,25 @@ type PreparedQuery struct {
 // without recomputing anything (PrepareTime then reports ~zero — the cost
 // was paid by whichever execution built the entry), and a miss inserts the
 // freshly built tables so later queries on the same graph state hit.
+//
+// Prepare is not cancellable; a cold prepare on a large window runs its
+// full CoreTime build. Use PrepareContext to bound it with a deadline.
+//
+// tkc:allow-background: ctx-less convenience form of PrepareContext
 func (g *Graph) Prepare(k int, start, end int64) (*PreparedQuery, error) {
+	return g.PrepareContext(context.Background(), k, start, end)
+}
+
+// PrepareContext is Prepare with cancellation: a cold prepare polls ctx
+// inside the CoreTime settle loop with a bounded stride and returns
+// ctx.Err() when it fires, leaving the cache untouched; a cache hit costs
+// one lookup and never blocks on ctx. A nil ctx means context.Background.
+//
+// tkc:allow-background: tolerates nil ctx from v1 callers
+func (g *Graph) PrepareContext(ctx context.Context, k int, start, end int64) (*PreparedQuery, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k < 1 {
 		return nil, fmt.Errorf("temporalkcore: k must be >= 1, got %d", k)
 	}
@@ -43,9 +63,12 @@ func (g *Graph) Prepare(k int, start, end int64) (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if c := g.cache(); c != nil {
-		ent, how, err := c.GetOrBuild(context.Background(), g.cacheKey(k, w, AlgoEnum), func() (*qcache.Entry, error) {
-			return g.buildCacheEntry(context.Background(), k, w)
+		ent, how, err := c.GetOrBuild(ctx, g.cacheKey(k, w, AlgoEnum), func() (*qcache.Entry, error) {
+			return g.buildCacheEntry(ctx, k, w)
 		})
 		if err != nil {
 			return nil, err
@@ -57,8 +80,13 @@ func (g *Graph) Prepare(k int, start, end int64) (*PreparedQuery, error) {
 		return &PreparedQuery{g: g, k: k, w: w, ix: ent.Ix, ecs: ent.Ecs, coreTime: coreTime}, nil
 	}
 	began := time.Now()
-	ix, ecs, err := vct.Build(g.g, k, w)
+	ix, ecs, err := vct.BuildStop(g.g, k, w, core.StopFromCtx(ctx))
 	if err != nil {
+		if errors.Is(err, vct.ErrStopped) {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+			}
+		}
 		return nil, err
 	}
 	return &PreparedQuery{g: g, k: k, w: w, ix: ix, ecs: ecs, coreTime: time.Since(began)}, nil
@@ -89,6 +117,8 @@ func (p *PreparedQuery) PrepareTime() time.Duration { return p.coreTime }
 //
 // Deprecated: use the v2 builder, which adds context cancellation and
 // projections: for c, err := range p.Query().Seq(ctx).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (p *PreparedQuery) CoresFunc(fn func(Core) bool) (QueryStats, error) {
 	return p.Query().run(context.Background(), fn)
 }
@@ -96,6 +126,8 @@ func (p *PreparedQuery) CoresFunc(fn func(Core) bool) (QueryStats, error) {
 // Cores materialises every distinct temporal k-core.
 //
 // Deprecated: use the v2 builder: p.Query().Collect(ctx).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (p *PreparedQuery) Cores() ([]Core, error) {
 	return p.Query().Collect(context.Background())
 }
@@ -103,6 +135,8 @@ func (p *PreparedQuery) Cores() ([]Core, error) {
 // Count counts cores and |R| without materialising anything.
 //
 // Deprecated: use the v2 builder: p.Query().Count(ctx).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (p *PreparedQuery) Count() (QueryStats, error) {
 	return p.Query().Count(context.Background())
 }

@@ -282,6 +282,8 @@ func (r *Request) Count(ctx context.Context) (QueryStats, error) {
 // run compiles the request and executes it on its engine, pushing each
 // result core to fn. The Core passed to fn reuses buffers between calls;
 // public executors copy before handing cores out.
+//
+// tkc:allow-background: tolerates nil ctx from v1 callers
 func (r *Request) run(ctx context.Context, fn func(Core) bool) (QueryStats, error) {
 	var qs QueryStats
 	if r.statsDst != nil {

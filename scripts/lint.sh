@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Lint gate: everything a reviewer would bounce a PR for, in one command.
+#
+#   scripts/lint.sh            # gofmt + go vet + tkcvet over the module
+#
+# tkcvet is the repo's own invariant checker (cmd/tkcvet): epoch-safety,
+# lock-guard, pool-hygiene and ctx-propagation analyzers driven through
+# the `go vet -vettool` protocol so annotation facts flow across
+# packages. See "Static analysis & invariants" in README.md for the
+# tkc: annotation grammar these analyzers enforce.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "gofmt needed on:" $out
+  fail=1
+fi
+
+echo "== go vet"
+go vet ./... || fail=1
+
+echo "== tkcvet (epoch-safety, lock-guard, pool-hygiene, ctx-propagation)"
+tkcvet=$(mktemp -t tkcvet.XXXXXX)
+trap 'rm -f "$tkcvet"' EXIT
+go build -o "$tkcvet" ./cmd/tkcvet
+go vet -vettool="$tkcvet" ./... || fail=1
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAIL"
+  exit 1
+fi
+echo "lint: OK"

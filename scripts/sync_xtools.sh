@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Refreshes internal/xtools from the running toolchain's vendored copy of
+# golang.org/x/tools ($GOROOT/src/cmd/vendor/golang.org/x/tools — the
+# exact sources `go vet` itself is built from), rewriting the import
+# prefix to temporalkcore/internal/xtools. This is the only supported way
+# to change internal/xtools; never edit those files by hand.
+#
+#   scripts/sync_xtools.sh   # re-copy, rewrite imports, build-check
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+src="$(go env GOROOT)/src/cmd/vendor/golang.org/x/tools"
+dst=internal/xtools
+if [ ! -d "$src" ]; then
+  echo "sync_xtools: $src not found (toolchain without vendored x/tools?)" >&2
+  exit 1
+fi
+
+# The transitive closure of the packages cmd/tkcvet and internal/analysis
+# need: analysis + unitchecker + inspect + ctrlflow + inspector + cfg.
+pkgs=(
+  go/analysis
+  go/analysis/internal/analysisflags
+  go/analysis/passes/ctrlflow
+  go/analysis/passes/inspect
+  go/analysis/unitchecker
+  go/ast/inspector
+  go/cfg
+  go/types/objectpath
+  go/types/typeutil
+  internal/aliases
+  internal/analysisinternal
+  internal/facts
+  internal/stdlib
+  internal/typeparams
+  internal/typesinternal
+  internal/versions
+)
+
+for p in "${pkgs[@]}"; do
+  if [ ! -d "$src/$p" ]; then
+    echo "sync_xtools: package $p missing from $src; update the list" >&2
+    exit 1
+  fi
+  rm -rf "$dst/$p"
+  mkdir -p "$dst/$p"
+  # Top-level files only: subpackages are synced by their own list entry,
+  # so a closure change shows up as a build failure, not a silent copy.
+  find "$src/$p" -maxdepth 1 -type f \( -name '*.go' -o -name '*.md' \) \
+    ! -name '*_test.go' -exec cp {} "$dst/$p/" \;
+done
+cp "$src/LICENSE" "$src/PATENTS" "$dst/"
+
+# Rewrite the import prefix; nothing else changes.
+find "$dst" -name '*.go' -exec sed -i \
+  's#"golang.org/x/tools/#"temporalkcore/internal/xtools/#g' {} +
+
+gofmt -l "$dst" >/dev/null
+go build ./cmd/tkcvet ./internal/analysis/...
+echo "sync_xtools: refreshed from $(go env GOROOT) and build-checked"

@@ -44,6 +44,8 @@ func (r *Request) WriteTo(ctx context.Context, w io.Writer) (QueryStats, error) 
 //
 // Deprecated: use the v2 builder, which adds context cancellation and
 // projections: g.Query(k).Window(start, end).WriteTo(ctx, w).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (g *Graph) WriteCores(w io.Writer, k int, start, end int64, opts ...Options) (QueryStats, error) {
 	return g.request(k, start, end, opts).WriteTo(context.Background(), w)
 }

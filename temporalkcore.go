@@ -234,6 +234,8 @@ func (g *Graph) request(k int, start, end int64, opts []Options) *Request {
 //
 // Deprecated: use the v2 builder, which adds context cancellation and owns
 // result copies: for c, err := range g.Query(k).Window(start, end).Seq(ctx).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (g *Graph) CoresFunc(k int, start, end int64, fn func(Core) bool, opts ...Options) (QueryStats, error) {
 	return g.request(k, start, end, opts).run(context.Background(), fn)
 }
@@ -243,6 +245,8 @@ func (g *Graph) CoresFunc(k int, start, end int64, fn func(Core) bool, opts ...O
 //
 // Deprecated: use the v2 builder:
 // g.Query(k).Window(start, end).Collect(ctx).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (g *Graph) Cores(k int, start, end int64, opts ...Options) ([]Core, error) {
 	out, err := g.request(k, start, end, opts).Collect(context.Background())
 	if err != nil {
@@ -256,6 +260,8 @@ func (g *Graph) Cores(k int, start, end int64, opts ...Options) ([]Core, error) 
 //
 // Deprecated: use the v2 builder:
 // g.Query(k).Window(start, end).Count(ctx).
+//
+// tkc:allow-background: deprecated v1 shim; the v2 builder threads ctx
 func (g *Graph) CountCores(k int, start, end int64, opts ...Options) (QueryStats, error) {
 	return g.request(k, start, end, opts).Count(context.Background())
 }
