@@ -2,9 +2,10 @@
 //
 // Subcommands:
 //
-//	tkc query  -graph edges.txt -k 3 [...]   one-shot / batch / follow queries
-//	tkc serve  -graph edges.txt -addr :8177  HTTP serving layer (see below)
-//	tkc help                                 this text
+//	tkc query    -graph edges.txt -k 3 [...]   one-shot / batch / follow queries
+//	tkc serve    -graph edges.txt -addr :8177  HTTP serving layer (see below)
+//	tkc snapshot -data dir [-graph edges.txt]  persist/bootstrap a data directory
+//	tkc help                                   this text
 //
 // For compatibility with pre-subcommand invocations, running tkc with
 // flags directly (tkc -graph ... -k 3, tail -f s | tkc -follow ...) is
@@ -56,6 +57,8 @@ func main() {
 			runQuery(args[1:])
 		case "serve":
 			runServe(args[1:])
+		case "snapshot":
+			runSnapshot(args[1:])
 		case "help", "-h", "--help":
 			usage()
 		default:
@@ -75,9 +78,14 @@ func usageTo(w io.Writer) {
 	fmt.Fprintf(w, `usage:
   tkc query -graph edges.txt -k 3 [...]    run queries (also: bare "tkc -graph ...")
   tkc serve -graph edges.txt -addr :8177   serve queries over HTTP
+  tkc serve -data dir [...]                serve durably: WAL-logged appends,
+                                           snapshots, warm restarts
+  tkc snapshot -data dir [-graph edges]    persist a snapshot / bootstrap a
+                                           data directory from an edge file
   tkc help                                 show this text
 
-Run "tkc query -h" or "tkc serve -h" for the full flag list.
+Run "tkc query -h", "tkc serve -h" or "tkc snapshot -h" for the full flag
+list.
 
 Developing against this repo? scripts/lint.sh runs gofmt, go vet and the
 tkcvet invariant analyzers (cmd/tkcvet) — the same gate CI enforces.

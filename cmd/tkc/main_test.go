@@ -16,9 +16,12 @@ func TestUsageMentions(t *testing.T) {
 	for _, want := range []string{
 		"tkc query",
 		"tkc serve",
+		"tkc snapshot",
 		"tkc help",
 		`"tkc query -h"`,
 		`"tkc serve -h"`,
+		`"tkc snapshot -h"`,
+		"-data",
 		"scripts/lint.sh",
 		"tkcvet",
 		"cmd/tkcvet",

@@ -33,6 +33,8 @@ func runServe(args []string) {
 		batch         = fs.Int("batch", 1024, "append: edges per batch (one epoch published per batch)")
 		epochRetain   = fs.Int("epoch-retain", 8, "recently published epochs kept addressable via the epoch request field")
 		drain         = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight streams")
+		dataDir       = fs.String("data", "", "data directory for durability: WAL-logged appends, snapshots, warm restarts")
+		snapEvery     = fs.Duration("snapshot-every", 0, "background snapshot interval with -data (0: only on shutdown and POST /v1/snapshot)")
 	)
 	fs.Parse(args)
 
@@ -45,7 +47,36 @@ func runServe(args []string) {
 		AppendBatch:     *batch,
 		EpochRetain:     *epochRetain,
 	}
-	if *graphPath != "" {
+	var durable *tkc.DurableGraph
+	if *dataDir != "" {
+		d, err := tkc.OpenDir(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		durable = d
+		cfg.Durable = d
+		switch {
+		case d.Graph() != nil:
+			if *graphPath != "" {
+				log.Printf("serve: %s already holds a graph (seq %d); ignoring -graph", *dataDir, d.Seq())
+			}
+			fmt.Printf("serve: recovered %s at seq %d: %d vertices, %d edges, %d warm cache entries\n",
+				*dataDir, d.Seq(), d.Graph().NumVertices(), d.Graph().NumEdges(), d.WarmEntries())
+		case *graphPath != "":
+			edges, err := loadEdgeFile(*graphPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			g, err := d.Bootstrap(edges)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("serve: bootstrapped %s from %s: %d vertices, %d edges\n",
+				*dataDir, *graphPath, g.NumVertices(), g.NumEdges())
+		default:
+			fmt.Printf("serve: %s is empty; waiting for the first POST /v1/append to bootstrap\n", *dataDir)
+		}
+	} else if *graphPath != "" {
 		g, err := tkc.LoadFile(*graphPath)
 		if err != nil {
 			log.Fatal(err)
@@ -71,6 +102,27 @@ func runServe(args []string) {
 	errc := make(chan error, 1)
 	go func() { errc <- s.Serve(l) }()
 
+	// Background snapshot cadence: the cut is cheap (copy-on-write freeze +
+	// WAL rotation) and the serialization runs off the writer path, so the
+	// timer never stalls appends.
+	stopSnap := make(chan struct{})
+	if durable != nil && *snapEvery > 0 {
+		go func() {
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if seq, err := s.Snapshot(); err == nil {
+						fmt.Printf("serve: snapshot at seq %d\n", seq)
+					}
+				case <-stopSnap:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -86,6 +138,21 @@ func runServe(args []string) {
 			log.Printf("shutdown: %v", err)
 		}
 		<-errc
+	}
+	close(stopSnap)
+	if durable != nil {
+		// Final snapshot so the next start recovers without WAL replay and
+		// with a warm cache spill of the state being served right now.
+		if durable.Graph() != nil {
+			if seq, err := s.Snapshot(); err != nil {
+				log.Printf("final snapshot: %v", err)
+			} else {
+				fmt.Printf("serve: final snapshot at seq %d\n", seq)
+			}
+		}
+		if err := durable.Close(); err != nil {
+			log.Printf("closing %s: %v", *dataDir, err)
+		}
 	}
 	fmt.Println("serve: bye")
 }

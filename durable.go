@@ -1,0 +1,183 @@
+package temporalkcore
+
+import (
+	"fmt"
+	"sync"
+
+	"temporalkcore/internal/phc"
+	"temporalkcore/internal/store"
+	"temporalkcore/internal/tgraph"
+)
+
+// DurableGraph couples a Graph with an on-disk data directory
+// (internal/store): every Bootstrap/Append batch is logged to an append WAL
+// before it is applied, Snapshot persists the whole graph as a flat segment
+// image cut from a copy-on-write freeze — plus a spill of the serving
+// cache's resident entries — and OpenDir recovers all of it. Because WAL
+// replay runs batches through the exact code paths the original writer
+// used, the recovered graph is byte-identical to the pre-crash state up to
+// the last durable record (vertex ids, ranks and the mutation sequence all
+// agree), which is what lets the spilled cache entries — keyed and
+// fingerprinted by that state — be re-admitted instead of rebuilt: the
+// first repeat query after a restart is a cache hit.
+//
+// The crash model is kill -9: batches are flushed to the OS before they are
+// applied, snapshots are written to a temp file, fsynced and renamed. A
+// torn WAL tail truncates cleanly to the last whole record.
+//
+// Concurrency follows Graph: DurableGraph serialises its own writer-side
+// methods (Bootstrap, Append, the snapshot cut, Close) against each other,
+// so any one goroutine may call them while readers query published epochs
+// of Graph(). Snapshot's expensive serialization runs outside the writer
+// lock — appends proceed while the frozen image is written.
+type DurableGraph struct {
+	// mu serialises writer-side operations; queries never take it.
+	mu sync.Mutex
+	// snapMu serialises whole snapshots against each other, so overlapping
+	// timers cannot interleave their commit and compaction phases.
+	snapMu sync.Mutex
+
+	st   *store.Store
+	g    *Graph // nil until bootstrapped; guarded by mu for writes
+	warm int
+}
+
+// OpenDir opens (creating if needed) the data directory at dir and recovers
+// its graph: newest snapshot, then WAL replay to the exact last durable
+// batch. Spilled serving-cache entries whose fingerprint matches the
+// recovered state are re-admitted into the graph's (default-configured)
+// cache — see WarmEntries. An empty directory yields a DurableGraph with a
+// nil Graph awaiting Bootstrap.
+func OpenDir(dir string) (*DurableGraph, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("temporalkcore: %w", err)
+	}
+	d := &DurableGraph{st: st}
+	if tg := st.Graph(); tg != nil {
+		d.g = newGraph(tg)
+		d.warm, _ = d.reloadWarmLocked()
+	}
+	return d, nil
+}
+
+// Graph returns the live graph backing the store, nil while the directory
+// is empty (no Bootstrap yet). The graph supports the full query API; route
+// every mutation through DurableGraph so it is logged.
+func (d *DurableGraph) Graph() *Graph { return d.g }
+
+// Seq returns the current mutation sequence (-1 while empty): the exact
+// state a crash right now would recover to, given the WAL is flushed
+// through this sequence.
+func (d *DurableGraph) Seq() int64 { return d.st.Seq() }
+
+// Dir returns the data directory path.
+func (d *DurableGraph) Dir() string { return d.st.Dir() }
+
+// WarmEntries returns how many spilled cache entries the last open (or
+// ReloadWarm) re-admitted.
+func (d *DurableGraph) WarmEntries() int { return d.warm }
+
+// ReloadWarm re-admits the on-disk cache spill into the graph's current
+// serving cache. OpenDir does this automatically; call it again after
+// SetCacheOptions, which replaces the cache and drops resident entries.
+func (d *DurableGraph) ReloadWarm() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.reloadWarmLocked()
+	d.warm = n
+	return n, err
+}
+
+func (d *DurableGraph) reloadWarmLocked() (int, error) {
+	if d.g == nil {
+		return 0, nil
+	}
+	c := d.g.cache()
+	if c == nil {
+		return 0, nil
+	}
+	// Admitted PHC indexes also seed the historical tier's patch oracle, so
+	// the first post-restart historical build on a moved window patches
+	// instead of rebuilding.
+	return d.st.LoadWarm(c, func(ix *phc.Index) { d.g.hub.lastHist.Store(ix) })
+}
+
+// Bootstrap creates the graph from an initial edge list, WAL-logged first.
+// The store must be empty.
+func (d *DurableGraph) Bootstrap(edges []Edge) (*Graph, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.g != nil {
+		return nil, fmt.Errorf("temporalkcore: data directory %s already holds a graph (seq %d)", d.st.Dir(), d.st.Seq())
+	}
+	tg, err := d.st.Bootstrap(rawEdges(edges))
+	if err != nil {
+		return nil, fmt.Errorf("temporalkcore: %w", err)
+	}
+	d.g = newGraph(tg)
+	return d.g, nil
+}
+
+// Append logs the batch to the WAL, then applies it to the graph; see
+// Graph.Append for batch semantics (atomicity, ordering, deduplication).
+// The WAL write comes first, so a batch that cannot be made durable is
+// never applied. DurableGraph implements AppendSink.
+//
+// tkc:mutates
+func (d *DurableGraph) Append(edges ...Edge) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.g == nil {
+		return 0, fmt.Errorf("temporalkcore: data directory %s is empty: Bootstrap first", d.st.Dir())
+	}
+	st, err := d.st.Append(rawEdges(edges))
+	if err != nil {
+		return 0, fmt.Errorf("temporalkcore: %w", err)
+	}
+	return st.Added, nil
+}
+
+// Snapshot persists the current graph state: it cuts a copy-on-write freeze
+// and rotates the WAL under the writer lock (cheap), then — with appends
+// already proceeding — spills the serving cache's entries for the frozen
+// sequence, writes the segment image atomically and compacts files the
+// snapshot made redundant (older snapshots, fully-covered WALs, stale
+// spills). It returns the persisted sequence number.
+func (d *DurableGraph) Snapshot() (int64, error) {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	d.mu.Lock()
+	p, err := d.st.BeginSnapshot()
+	d.mu.Unlock()
+	if err != nil {
+		return -1, fmt.Errorf("temporalkcore: %w", err)
+	}
+	if c := d.g.cache(); c != nil {
+		p.WriteWarm(c) // advisory: a failed spill costs only cold first queries
+	}
+	if err := p.Commit(); err != nil {
+		return p.Seq(), fmt.Errorf("temporalkcore: %w", err)
+	}
+	return p.Seq(), nil
+}
+
+// Close syncs and closes the WAL. The graph stays queryable in memory;
+// further mutations error. Callers wanting a warm next start should
+// Snapshot first (the serving layer does this on graceful shutdown).
+func (d *DurableGraph) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.st.Close(); err != nil {
+		return fmt.Errorf("temporalkcore: %w", err)
+	}
+	return nil
+}
+
+func rawEdges(edges []Edge) []tgraph.RawEdge {
+	raw := make([]tgraph.RawEdge, len(edges))
+	for i, e := range edges {
+		raw[i] = tgraph.RawEdge{U: e.U, V: e.V, Time: e.Time}
+	}
+	return raw
+}

@@ -49,6 +49,15 @@ func (g *Graph) Append(edges ...Edge) (int, error) {
 	return st.Added, nil
 }
 
+// AppendSink is anything that can absorb an append batch with Graph.Append
+// semantics: *Graph, *Watcher and *DurableGraph all implement it, so stream
+// ingestion (AppendReader) and the serving layer route batches through
+// whichever tier the deployment uses — plain in-memory, live-view
+// publishing, or WAL-logged durable — without caring which.
+type AppendSink interface {
+	Append(edges ...Edge) (int, error)
+}
+
 // AppendReader incrementally parses an edge stream and appends it to a
 // graph in batches. Two line formats are auto-detected per line:
 //
@@ -68,8 +77,13 @@ type AppendReader struct {
 	// Via, when non-nil, routes every batch through Watcher.Append instead
 	// of Graph.Append, so each batch publishes a fresh epoch and refreshes
 	// the watch window — required when concurrent readers serve queries
-	// while the stream is ingested.
+	// while the stream is ingested. Via takes precedence over Sink.
 	Via *Watcher
+
+	// Sink, when non-nil (and Via is nil), receives every batch instead of
+	// the graph — typically a *DurableGraph, so each batch is WAL-logged
+	// before it is applied.
+	Sink AppendSink
 
 	sc     *bufio.Scanner
 	lineNo int
@@ -114,9 +128,12 @@ func (ar *AppendReader) ReadBatch() (int, error) {
 	}
 	var added int
 	var err error
-	if ar.Via != nil {
+	switch {
+	case ar.Via != nil:
 		added, err = ar.Via.Append(ar.buf...)
-	} else {
+	case ar.Sink != nil:
+		added, err = ar.Sink.Append(ar.buf...)
+	default:
 		added, err = ar.g.Append(ar.buf...)
 	}
 	if err != nil {

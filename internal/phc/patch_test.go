@@ -124,7 +124,9 @@ func TestPatchFallback(t *testing.T) {
 		t.Error("fallback result differs from rebuilt")
 	}
 
-	// Oracle over a narrower range than the query window.
+	// Oracle over a narrower range than the query window: the clean
+	// overlap is reused (partial-range patch) and the result still matches
+	// a rebuild exactly.
 	if full.End < 4 {
 		t.Fatalf("stream too short for sub-range test (tmax %d)", full.End)
 	}
@@ -136,8 +138,21 @@ func TestPatchFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !patched {
+		t.Error("sub-range oracle with a large clean overlap fell back to Build")
+	}
+	if !bytes.Equal(encodeBytes(t, nix), encodeBytes(t, rebuilt)) {
+		t.Error("sub-range patch differs from rebuilt")
+	}
+
+	// A sub-range oracle dirty from its own first covered start proves
+	// nothing: fallback.
+	nix, patched, err = sub.Patch(g, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if patched {
-		t.Error("window before indexed range reported patched")
+		t.Error("sub-range oracle with no clean overlap reported patched")
 	}
 	if !bytes.Equal(encodeBytes(t, nix), encodeBytes(t, rebuilt)) {
 		t.Error("sub-range fallback differs from rebuilt")

@@ -133,11 +133,14 @@ func (ix *Index) Patch(g *tgraph.Graph, w tgraph.Window, dirtyFrom tgraph.TS) (*
 // ranks >= the frontier. The receiver is not modified; a fresh, self-owned
 // Index is returned.
 //
-// patched reports whether the oracle was used. PatchStop falls back to a
-// full BuildStop (patched == false) when the cache proves nothing — the
-// window starts before the indexed range, or dirtyFrom precedes the window
-// — and when the clean prefix covers less than a quarter of the window, in
-// which case re-settling nearly everything through the patch machinery
+// patched reports whether the oracle was used. The indexed range need not
+// contain w.Start: a window extended backwards past the indexed start runs
+// its uncovered prefix as a plain build per k and reuses the clean overlap
+// from there (vct.PatchScratchStop's partial-range mode). PatchStop falls
+// back to a full BuildStop (patched == false) when the cache proves
+// nothing — dirtyFrom precedes the first start the oracle covers inside w
+// — and when the clean overlap covers less than a quarter of the window,
+// in which case re-settling nearly everything through the patch machinery
 // would cost more than building. stop follows the BuildStop contract;
 // cancellation returns vct.ErrStopped with ix untouched.
 //
@@ -149,9 +152,16 @@ func (ix *Index) PatchStop(g *tgraph.Graph, w tgraph.Window, dirtyFrom tgraph.TS
 	if dirtyFrom > ix.Range.End+1 {
 		dirtyFrom = ix.Range.End + 1 // beyond its range the oracle proves nothing
 	}
-	clean := int64(dirtyFrom) - int64(w.Start)
+	// The clean region the oracle vouches for starts at the later of
+	// w.Start and the indexed start — an index covering only a suffix of
+	// the window still patches, it just rebuilds the uncovered prefix.
+	cs := w.Start
+	if ix.Range.Start > cs {
+		cs = ix.Range.Start
+	}
+	clean := int64(dirtyFrom) - int64(cs)
 	span := int64(w.End) - int64(w.Start) + 1
-	if ix.Range.Start > w.Start || clean <= 0 || clean*patchMinCleanDen < span*patchMinCleanNum {
+	if clean <= 0 || clean*patchMinCleanDen < span*patchMinCleanNum {
 		nix, err := BuildStop(g, w, stop)
 		return nix, false, err
 	}

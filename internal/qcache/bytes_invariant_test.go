@@ -1,0 +1,129 @@
+package qcache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBytesInvariantUnderSpill drives the cache through the spill
+// lifecycle — insert, Dump, RetireBelow, re-admit the dumped entries under
+// a newer epoch, retire again — and asserts after every step that the
+// Bytes estimate equals the exact sum over resident entries, and that full
+// retirement returns Bytes to zero. Retired-then-re-admitted entries must
+// not double-count their estimated cost.
+func TestBytesInvariantUnderSpill(t *testing.T) {
+	const budget = 1 << 20
+	c := New(budget)
+	rng := rand.New(rand.NewSource(1))
+
+	checkExact := func(step string) {
+		t.Helper()
+		var want int64
+		n := 0
+		c.Dump(func(_ Key, e *Entry) bool {
+			want += e.Bytes
+			n++
+			return true
+		})
+		st := c.Stats()
+		if st.Bytes != want {
+			t.Fatalf("%s: Stats.Bytes=%d, sum over resident entries=%d", step, st.Bytes, want)
+		}
+		if st.Entries != n {
+			t.Fatalf("%s: Stats.Entries=%d, Dump walked %d", step, st.Entries, n)
+		}
+		if st.Bytes > budget {
+			t.Fatalf("%s: Bytes=%d exceeds budget %d", step, st.Bytes, budget)
+		}
+	}
+
+	for seq := int64(1); seq <= 4; seq++ {
+		for k := 1; k <= 40; k++ {
+			c.Add(key(seq, k), entry(1024+int64(rng.Intn(64*1024))))
+			if k%7 == 0 {
+				// Duplicate-key insert: the resident entry is kept and the
+				// estimate must not be added twice.
+				c.Add(key(seq, k), entry(1024+int64(rng.Intn(64*1024))))
+			}
+		}
+		checkExact("after insert wave")
+	}
+
+	// Spill: dump the resident working set, as the snapshot writer does.
+	type spilled struct {
+		k Key
+		e *Entry
+	}
+	var warm []spilled
+	c.Dump(func(k Key, e *Entry) bool {
+		warm = append(warm, spilled{k, e})
+		return true
+	})
+	checkExact("after dump")
+
+	// Retire the older epochs, then re-admit every spilled entry rekeyed to
+	// the surviving epoch (the warm-load path after a restart).
+	c.RetireBelow(4)
+	checkExact("after partial retirement")
+	for _, s := range warm {
+		k := s.k
+		k.Seq = 4
+		c.Add(k, s.e)
+	}
+	checkExact("after warm re-admission")
+
+	// Full retirement must return the estimate to exactly zero.
+	c.RetireBelow(1 << 30)
+	checkExact("after full retirement")
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("after full retirement: Bytes=%d Entries=%d, want 0/0", st.Bytes, st.Entries)
+	}
+
+	// And the cache must still admit fresh entries normally afterwards.
+	c.Add(key(1<<30, 1), entry(2048))
+	if st := c.Stats(); st.Bytes != 2048 || st.Entries != 1 {
+		t.Fatalf("post-retirement insert: Bytes=%d Entries=%d, want 2048/1", st.Bytes, st.Entries)
+	}
+}
+
+// TestDumpOrderAndStop pins Dump's contract: MRU-first order, no recency
+// promotion, early stop.
+func TestDumpOrderAndStop(t *testing.T) {
+	c := New(1 << 20)
+	c.Add(key(1, 1), entry(100))
+	c.Add(key(1, 2), entry(100))
+	c.Add(key(1, 3), entry(100))
+	if _, ok := c.Probe(key(1, 1)); !ok { // promote 1 to MRU
+		t.Fatal("probe failed")
+	}
+	var got []int
+	c.Dump(func(k Key, _ *Entry) bool {
+		got = append(got, k.K)
+		return true
+	})
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 2 {
+		t.Fatalf("dump order = %v, want [1 3 2]", got)
+	}
+	hitsBefore := c.Stats().Hits
+	var first []int
+	c.Dump(func(k Key, _ *Entry) bool {
+		first = append(first, k.K)
+		return false
+	})
+	if len(first) != 1 || first[0] != 1 {
+		t.Fatalf("early stop walked %v, want [1]", first)
+	}
+	if c.Stats().Hits != hitsBefore {
+		t.Fatal("Dump counted hits")
+	}
+	var after []int
+	c.Dump(func(k Key, _ *Entry) bool {
+		after = append(after, k.K)
+		return true
+	})
+	for i := range got {
+		if got[i] != after[i] {
+			t.Fatalf("Dump changed recency order: %v -> %v", got, after)
+		}
+	}
+}

@@ -336,6 +336,22 @@ func (c *Cache) RetireBelow(seq int64) {
 	}
 }
 
+// Dump calls fn for every resident entry in most-recently-used order,
+// without changing recency or counting hits. The snapshot layer uses it to
+// spill the warm working set to disk; fn must not call back into the cache
+// (the cache lock is held) and must treat the entry as immutable (it is
+// shared with concurrent readers). fn returning false stops the walk.
+func (c *Cache) Dump(fn func(Key, *Entry) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		n := el.Value.(*node)
+		if !fn(n.key, n.ent) {
+			return
+		}
+	}
+}
+
 // Stats returns a snapshot of the counters and occupancy.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()

@@ -1,0 +1,204 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	tkc "temporalkcore"
+	"temporalkcore/internal/serve"
+)
+
+// postAppend posts body lines to /v1/append with the given per-request
+// batch size, returning the status code and decoded JSON body (success and
+// the structured append-error contract share the field set).
+func postAppend(t testing.TB, base, body string, batch int) (int, appendBody) {
+	t.Helper()
+	url := base + "/v1/append"
+	if batch > 0 {
+		url = fmt.Sprintf("%s?batch=%d", url, batch)
+	}
+	resp, err := http.Post(url, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/append: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading append response: %v", err)
+	}
+	var ab appendBody
+	if err := json.Unmarshal(raw, &ab); err != nil {
+		t.Fatalf("undecodable append body %q: %v", raw, err)
+	}
+	return resp.StatusCode, ab
+}
+
+type appendBody struct {
+	Error   string `json:"error"`
+	Added   int    `json:"added"`
+	Batches int    `json:"batches"`
+	Epoch   int64  `json:"epoch"`
+	Edges   int    `json:"edges"`
+}
+
+// pathEdges renders a simple path stream: edge i joins (i, i+1) at time
+// i+1, so every batch is valid, distinct and strictly time-ordered.
+func pathEdges(from, to int) string {
+	var b strings.Builder
+	for i := from; i < to; i++ {
+		fmt.Fprintf(&b, "%d %d %d\n", i, i+1, i+1)
+	}
+	return b.String()
+}
+
+// TestDurableServeRestartWarm is the end-to-end warm-restart contract:
+// ingest over HTTP into a data directory, query twice (cold then cached),
+// snapshot, shut the durable tier down, reopen the directory with a fresh
+// server — and the FIRST repeat query after the restart must already be a
+// cache hit, byte-identical to the pre-restart response.
+func TestDurableServeRestartWarm(t *testing.T) {
+	dir := t.TempDir()
+	d, err := tkc.OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	_, ts := newTestServer(t, serve.Config{Durable: d})
+
+	edges := genEdges(t, 21, 300)
+	status, ab := postAppend(t, ts.URL, ndjsonEdges(edges), 100)
+	if status != http.StatusOK || ab.Error != "" {
+		t.Fatalf("append: status %d, error %q", status, ab.Error)
+	}
+
+	const q = `{"k":2}`
+	status, _, coldLines, cold := postQuery(t, ts.URL, q)
+	if status != http.StatusOK || cold.Stats == nil {
+		t.Fatalf("cold query: status %d", status)
+	}
+	if cold.Stats.CacheHit {
+		t.Fatal("first query on a fresh durable server reported a cache hit")
+	}
+	_, _, _, warm := postQuery(t, ts.URL, q)
+	if !warm.Stats.CacheHit {
+		t.Fatal("repeat query did not hit the serving cache")
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Snapshot int64 `json:"snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("snapshot body: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || snap.Snapshot != cold.Stats.Epoch {
+		t.Fatalf("snapshot: status %d seq %d, want 200 at epoch %d", resp.StatusCode, snap.Snapshot, cold.Stats.Epoch)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Restart: a brand-new process image over the same directory.
+	d2, err := tkc.OpenDir(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Seq() != snap.Snapshot {
+		t.Fatalf("recovered seq %d, want %d", d2.Seq(), snap.Snapshot)
+	}
+	if d2.WarmEntries() < 1 {
+		t.Fatalf("warm spill re-admitted %d entries, want >= 1", d2.WarmEntries())
+	}
+	_, ts2 := newTestServer(t, serve.Config{Durable: d2})
+
+	status, _, warmLines, first := postQuery(t, ts2.URL, q)
+	if status != http.StatusOK || first.Stats == nil {
+		t.Fatalf("post-restart query: status %d", status)
+	}
+	if !first.Stats.CacheHit {
+		t.Fatal("first repeat query after restart was not a cache hit (warm spill not admitted)")
+	}
+	if first.Stats.Epoch != cold.Stats.Epoch {
+		t.Fatalf("post-restart epoch %d, want %d", first.Stats.Epoch, cold.Stats.Epoch)
+	}
+	if !bytes.Equal(warmLines, coldLines) {
+		t.Fatal("post-restart response differs from the pre-restart one")
+	}
+
+	// The restarted tier is live: appends continue past the recovered state
+	// (timestamps beyond any the generator produced keep the stream ordered).
+	status, ab = postAppend(t, ts2.URL, "1 2 1000000\n2 3 1000001\n3 4 1000002\n", 0)
+	if status != http.StatusOK || ab.Epoch <= snap.Snapshot {
+		t.Fatalf("append after restart: status %d epoch %d, want 200 past %d", status, ab.Epoch, snap.Snapshot)
+	}
+}
+
+// TestAppendAtomicityContract locks the batch-granular error contract on
+// the durable path: a failing batch is discarded whole — nothing applied,
+// logged or published — earlier batches stay committed, the 400 body pins
+// the committed frontier exactly, and a reopen of the data directory
+// recovers that frontier and nothing more.
+func TestAppendAtomicityContract(t *testing.T) {
+	dir := t.TempDir()
+	d, err := tkc.OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	_, ts := newTestServer(t, serve.Config{Durable: d})
+
+	// Batch 1 bootstraps (5 edges), batch 2 commits (5 edges), batch 3 has
+	// an out-of-order timestamp in its middle: the whole batch must vanish,
+	// including the two valid edges before the bad one.
+	body := pathEdges(0, 10) +
+		"90 91 100\n91 92 101\n92 93 1\n93 94 102\n94 95 103\n"
+	status, ab := postAppend(t, ts.URL, body, 5)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", status)
+	}
+	if ab.Error == "" || !strings.Contains(ab.Error, "time order") {
+		t.Fatalf("error %q does not name the time-order violation", ab.Error)
+	}
+	if ab.Added != 10 || ab.Batches != 2 || ab.Epoch != 1 {
+		t.Fatalf("committed frontier {added:%d batches:%d epoch:%d}, want {10 2 1}", ab.Added, ab.Batches, ab.Epoch)
+	}
+
+	st := fetchStats(t, ts.URL)
+	if st.Epoch != 1 || st.Edges != 10 {
+		t.Fatalf("served state epoch %d edges %d, want 1/10: failed batch leaked", st.Epoch, st.Edges)
+	}
+
+	// A parse error inside a batch discards that batch the same way: the
+	// valid lines before the garbage line are not applied.
+	status, ab = postAppend(t, ts.URL, "10 11 50\n11 12 51\nnot an edge\n", 5)
+	if status != http.StatusBadRequest || ab.Added != 0 || ab.Batches != 0 || ab.Epoch != 1 {
+		t.Fatalf("parse failure: status %d body %+v, want 400 with zero new work at epoch 1", status, ab)
+	}
+	st = fetchStats(t, ts.URL)
+	if st.Epoch != 1 || st.Edges != 10 {
+		t.Fatalf("after parse failure: epoch %d edges %d, want 1/10", st.Epoch, st.Edges)
+	}
+
+	// Durability agrees with the contract: reopening the directory recovers
+	// exactly the committed frontier (the rejected batches were WAL-logged
+	// but replay rejects them identically).
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	d2, err := tkc.OpenDir(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Seq() != 1 || d2.Graph().NumEdges() != 10 {
+		t.Fatalf("recovered seq %d edges %d, want 1/10", d2.Seq(), d2.Graph().NumEdges())
+	}
+}

@@ -84,6 +84,16 @@ func writeJSONError(w http.ResponseWriter, code int, format string, args ...any)
 	fmt.Fprintf(w, "{\"error\":%s}\n", msg)
 }
 
+// writeAppendError answers a failed append with the structured partial-
+// progress body of the batch-atomicity contract: the error, the committed
+// edge/batch counts, and the last published epoch.
+func writeAppendError(w http.ResponseWriter, code, added, batches int, epoch int64, format string, args ...any) {
+	msg, _ := json.Marshal(fmt.Sprintf(format, args...))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%s,\"added\":%d,\"batches\":%d,\"epoch\":%d}\n", msg, added, batches, epoch)
+}
+
 // statusClientClosedRequest is recorded (nginx's 499 convention) when the
 // client disconnected before the response completed; nothing more can be
 // written to the connection.
@@ -185,10 +195,23 @@ func (s *Server) queryError(sw *statusWriter, r *http.Request, epoch int64, err 
 // handleAppend ingests an NDJSON/text edge stream (the AppendReader line
 // formats) in batches, publishing one epoch per appended batch so
 // concurrent readers advance in snapshot-isolated steps. On an empty
-// server the first batch bootstraps the graph. Appends are serialised:
-// the engine is single-writer, and the writer lock is held for the whole
-// body, so concurrent append requests execute one at a time while queries
-// keep streaming from published epochs.
+// server the first batch bootstraps the graph; with a data directory
+// configured, batches are WAL-logged before they are applied. Appends are
+// serialised: the engine is single-writer, and the writer lock is held for
+// the whole body, so concurrent append requests execute one at a time
+// while queries keep streaming from published epochs.
+//
+// Error contract — atomicity is batch-granular, never edge-granular. A
+// batch that fails (parse error, time-order violation) is discarded whole:
+// no edge of it is applied, logged or published. Batches before it are
+// already committed and published and stay that way. The 400 body states
+// exactly where the stream stopped:
+//
+//	{"error":..., "added":N, "batches":B, "epoch":S}
+//
+// added/batches count only fully committed work and epoch is the last
+// published sequence, so a client can resume from the first edge of the
+// failed batch against exactly the state the body names.
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if !s.adm.acquire(r.Context()) {
 		w.Header().Set("Retry-After", "1")
@@ -223,14 +246,18 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if g == nil {
 		boot, err := readEdgeLines(br, batch)
 		if err != nil {
-			writeJSONError(w, http.StatusBadRequest, "%v", err)
+			writeAppendError(w, http.StatusBadRequest, added, batches, lastSeq, "%v", err)
 			return
 		}
 		if len(boot) == 0 {
 			writeJSONError(w, http.StatusBadRequest, "no edges in append body to bootstrap a graph")
 			return
 		}
-		g, err = tkc.NewGraph(boot)
+		if s.durable != nil {
+			g, err = s.durable.Bootstrap(boot)
+		} else {
+			g, err = tkc.NewGraph(boot)
+		}
 		if err != nil {
 			writeJSONError(w, http.StatusBadRequest, "bootstrap graph: %v", err)
 			return
@@ -248,9 +275,12 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 
 	ar := tkc.NewAppendReader(g, br)
 	ar.BatchSize = batch
+	if s.durable != nil {
+		ar.Sink = s.durable // WAL-log each batch before it is applied
+	}
 	for {
 		if err := r.Context().Err(); err != nil {
-			writeJSONError(w, http.StatusBadRequest, "append aborted after %d edges: %v", added, err)
+			writeAppendError(w, http.StatusBadRequest, added, batches, lastSeq, "append aborted: %v", err)
 			return
 		}
 		n, err := ar.ReadBatch()
@@ -258,9 +288,9 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if err != nil {
-			// Earlier batches are already committed and published; the
-			// response says how far the stream got.
-			writeJSONError(w, http.StatusBadRequest, "append failed after %d edges: %v", added, err)
+			// The failing batch was discarded whole; earlier batches are
+			// committed and published. The body pins the committed frontier.
+			writeAppendError(w, http.StatusBadRequest, added, batches, lastSeq, "%v", err)
 			return
 		}
 		if n == 0 {
@@ -276,6 +306,33 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"added\":%d,\"batches\":%d,\"epoch\":%d,\"edges\":%d}\n",
 		added, batches, lastSeq, g.NumEdges())
+}
+
+// handleSnapshot persists the durable graph's current state — segment
+// image plus warm-cache spill — and reports the persisted sequence. 409
+// without a data directory or before the first bootstrap.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.adm.acquire(r.Context()) {
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, http.StatusServiceUnavailable, "server saturated; retry")
+		return
+	}
+	defer s.adm.release()
+	if s.durable == nil {
+		writeJSONError(w, http.StatusConflict, "server has no data directory (start with -data)")
+		return
+	}
+	if s.graphOrNil() == nil {
+		writeJSONError(w, http.StatusConflict, "no graph loaded; POST edges to /v1/append first")
+		return
+	}
+	seq, err := s.Snapshot()
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"snapshot\":%d}\n", seq)
 }
 
 // readEdgeLines reads up to limit edges from br (one per line, AppendReader

@@ -31,6 +31,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"net/http"
 	"runtime"
@@ -45,8 +46,17 @@ import (
 // default.
 type Config struct {
 	// Graph is the graph to serve. Nil starts the server empty: queries
-	// answer 409 until the first append bootstraps a graph.
+	// answer 409 until the first append bootstraps a graph. Ignored when
+	// Durable is set.
 	Graph *tkc.Graph
+
+	// Durable, when non-nil, serves the graph recovered from (and persisted
+	// to) a data directory: every append batch is WAL-logged before it is
+	// applied, POST /v1/snapshot (and Server.Snapshot) persists segment
+	// snapshots with a warm spill of the serving cache, and an empty
+	// directory bootstraps from the first append. Takes precedence over
+	// Graph.
+	Durable *tkc.DurableGraph
 
 	// Cache, when non-nil, reconfigures the graph's serving cache (it is
 	// applied to a bootstrapped graph too). Nil keeps the graph's current
@@ -118,6 +128,7 @@ type Server struct {
 	// and the first-append bootstrap of an empty server.
 	writerMu sync.Mutex
 	graph    atomic.Pointer[tkc.Graph]
+	durable  *tkc.DurableGraph // nil when serving without a data directory
 
 	// epochs is the ring of recently published snapshots that stay
 	// addressable by sequence number through the "epoch" request field.
@@ -140,6 +151,17 @@ func New(cfg Config) *Server {
 		rec:     NewRecorder(),
 		started: time.Now(),
 	}
+	if cfg.Durable != nil {
+		s.durable = cfg.Durable
+		cfg.Graph = cfg.Durable.Graph() // may be nil: empty data directory
+		if cfg.Graph != nil && cfg.Cache != nil {
+			// Reconfiguring the cache drops the entries OpenDir re-admitted
+			// from the warm spill; load them again into the new cache.
+			cfg.Graph.SetCacheOptions(*cfg.Cache)
+			cfg.Durable.ReloadWarm()
+			cfg.Cache = nil
+		}
+	}
 	if cfg.Graph != nil {
 		if cfg.Cache != nil {
 			cfg.Graph.SetCacheOptions(*cfg.Cache)
@@ -154,6 +176,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/query", s.instrument("query", s.handleQuery))
 	mux.Handle("POST /v1/append", s.instrument("append", s.handleAppend))
+	mux.Handle("POST /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
 	mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.Handle("GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
@@ -202,6 +225,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // graphOrNil returns the served graph, nil while the server is empty.
 func (s *Server) graphOrNil() *tkc.Graph { return s.graph.Load() }
+
+// Snapshot persists the durable graph's current state (segment image plus
+// warm-cache spill) and returns the persisted sequence number. It errors
+// when the server has no data directory or no graph yet. Safe from any
+// goroutine — the snapshot timer and the /v1/snapshot endpoint both funnel
+// here — and concurrent appends proceed while the image is written.
+func (s *Server) Snapshot() (int64, error) {
+	if s.durable == nil {
+		return -1, fmt.Errorf("serve: no data directory configured")
+	}
+	if s.graphOrNil() == nil {
+		return -1, fmt.Errorf("serve: no graph loaded yet")
+	}
+	return s.durable.Snapshot()
+}
 
 // retain records ep in the addressable-epoch ring (deduplicating by
 // sequence number) and drops entries beyond the retention bound.

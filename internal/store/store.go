@@ -1,0 +1,377 @@
+// Package store is the on-disk durability tier of the engine: a data
+// directory holding the graph history as flat segment snapshots
+// (internal/tgraph's TKSG1 format, serialized from a Freeze() COW image so
+// the writer never blocks on IO), an append WAL that makes every batch
+// durable before it is applied, and a warm-cache spill of the serving
+// cache's resident entries so a restarted process answers its first repeat
+// query from the warm path.
+//
+// Directory layout:
+//
+//	snapshot-<seq>.tkcs  full segment image of the graph at MutSeq <seq>
+//	wal-<base>.tkcw      append WAL; <base> is the MutSeq it starts from
+//	wal-<base>.tkcw      (older WALs remain until the next snapshot compacts them)
+//	warm-<seq>.tkcc      serving-cache spill taken with snapshot <seq>
+//	*.tmp                in-progress writes; ignored and removed on open
+//
+// Recovery (Open) loads the newest snapshot, replays every WAL in base
+// order — records below the recovered sequence are skipped, a gap above it
+// is corruption — and rotates a fresh WAL for the new process generation.
+// Because bootstrap replays through tgraph.Builder and batches through
+// Graph.Append, exactly like the original writer, the recovered graph is
+// bit-identical to the pre-crash state up to the last durable record:
+// vertex ids, compressed ranks and MutSeq all agree, which is what lets
+// fingerprinted cache entries survive a restart.
+//
+// Store methods are writer-side: the caller serialises Bootstrap, Append,
+// BeginSnapshot and Close against each other (the public DurableGraph
+// wrapper holds that lock). Pending.Commit — the slow snapshot write — may
+// run concurrently with appends; it reads only the frozen image captured
+// by BeginSnapshot.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"temporalkcore/internal/tgraph"
+)
+
+// Store is one open data directory.
+type Store struct {
+	dir     string
+	g       *tgraph.Graph // nil until a bootstrap record or snapshot exists
+	wal     *walWriter
+	snapSeq int64 // seq of the newest on-disk snapshot, -1 when none
+}
+
+// Open opens (creating if needed) the data directory at dir and recovers
+// the graph from its newest snapshot plus the WAL chain. An empty
+// directory yields a store with a nil Graph awaiting Bootstrap.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, snapSeq: -1}
+
+	snaps, wals, _, err := s.scan()
+	if err != nil {
+		return nil, err
+	}
+
+	if len(snaps) > 0 {
+		seq := snaps[len(snaps)-1]
+		f, err := os.Open(s.snapshotPath(seq))
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		g, err := tgraph.ReadSegments(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot %d: %w", seq, err)
+		}
+		if g.MutSeq() != seq {
+			return nil, fmt.Errorf("store: snapshot file %d holds sequence %d", seq, g.MutSeq())
+		}
+		s.g = g
+		s.snapSeq = seq
+	}
+
+	for _, base := range wals {
+		if err := s.replayWAL(s.walPath(base)); err != nil {
+			return nil, err
+		}
+	}
+
+	w, err := createWAL(s.walPath(s.Seq()), s.Seq())
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.wal = w
+	return s, nil
+}
+
+// replayWAL applies the records of one WAL file on top of the current
+// state. Records the state already covers are skipped; a record starting
+// above the current sequence means a hole in the chain and is an error.
+func (s *Store) replayWAL(path string) error {
+	_, recs, err := readWAL(path)
+	if err != nil {
+		return err
+	}
+	for i, rec := range recs {
+		switch rec.kind {
+		case recBootstrap:
+			if s.g != nil {
+				continue // an older generation's bootstrap; the snapshot covers it
+			}
+			g, err := tgraph.FromRawEdges(rec.edges)
+			if err != nil {
+				// The original bootstrap failed identically and applied
+				// nothing; the record is a no-op.
+				continue
+			}
+			s.g = g
+		case recAppend:
+			cur := s.Seq()
+			if rec.seqBefore < cur {
+				continue // already inside the snapshot / an earlier WAL
+			}
+			if rec.seqBefore > cur || s.g == nil {
+				return fmt.Errorf("store: wal %s record %d starts at seq %d but the store is at %d", path, i, rec.seqBefore, cur)
+			}
+			// An invalid batch failed identically before the crash and
+			// changed nothing; replay tolerates it the same way.
+			if _, err := s.g.Append(rec.edges); err != nil {
+				continue
+			}
+		}
+	}
+	return nil
+}
+
+// Graph returns the recovered live graph, or nil when the store is empty
+// (no bootstrap yet).
+func (s *Store) Graph() *tgraph.Graph { return s.g }
+
+// Seq returns the current mutation sequence, -1 when the store is empty.
+// The value is what the next WAL record applies on top of.
+func (s *Store) Seq() int64 {
+	if s.g == nil {
+		return -1
+	}
+	return s.g.MutSeq()
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Bootstrap creates the store's graph from an initial edge list, logging
+// it to the WAL first. The store must be empty.
+func (s *Store) Bootstrap(edges []tgraph.RawEdge) (*tgraph.Graph, error) {
+	if s.g != nil {
+		return nil, fmt.Errorf("store: already bootstrapped (seq %d)", s.Seq())
+	}
+	if s.wal == nil {
+		return nil, errClosed
+	}
+	if err := s.wal.logBatch(recBootstrap, -1, edges); err != nil {
+		return nil, fmt.Errorf("store: wal: %w", err)
+	}
+	g, err := tgraph.FromRawEdges(edges)
+	if err != nil {
+		return nil, err
+	}
+	s.g = g
+	return g, nil
+}
+
+// Append logs the batch, then applies it to the graph. The WAL write comes
+// first: a batch that cannot be made durable is never applied, and a batch
+// the graph rejects is logged but rejected identically on replay.
+//
+// tkc:mutates
+func (s *Store) Append(batch []tgraph.RawEdge) (tgraph.AppendStats, error) {
+	if s.g == nil {
+		return tgraph.AppendStats{}, fmt.Errorf("store: empty store: Bootstrap first")
+	}
+	if s.wal == nil {
+		return tgraph.AppendStats{}, errClosed
+	}
+	if err := s.wal.logBatch(recAppend, s.g.MutSeq(), batch); err != nil {
+		return tgraph.AppendStats{}, fmt.Errorf("store: wal: %w", err)
+	}
+	return s.g.Append(batch)
+}
+
+// Pending is a snapshot in progress: the cheap cut (freeze + WAL rotation)
+// has happened, the expensive serialization has not. Commit it from any
+// goroutine; appends proceed concurrently against the new WAL.
+type Pending struct {
+	s   *Store
+	fz  *tgraph.Graph // frozen image being persisted
+	seq int64
+}
+
+// BeginSnapshot cuts a snapshot point: it freezes the graph (COW, cheap),
+// syncs and closes the active WAL and rotates a fresh one starting at the
+// frozen sequence. Writer-side, like Append.
+func (s *Store) BeginSnapshot() (*Pending, error) {
+	if s.g == nil {
+		return nil, fmt.Errorf("store: empty store: nothing to snapshot")
+	}
+	if s.wal == nil {
+		return nil, errClosed
+	}
+	fz := s.g.Freeze()
+	seq := fz.MutSeq()
+	if err := s.wal.close(); err != nil {
+		return nil, fmt.Errorf("store: rotating wal: %w", err)
+	}
+	w, err := createWAL(s.walPath(seq), seq)
+	if err != nil {
+		return nil, fmt.Errorf("store: rotating wal: %w", err)
+	}
+	s.wal = w
+	return &Pending{s: s, fz: fz, seq: seq}, nil
+}
+
+// Frozen returns the immutable image the snapshot will persist.
+func (p *Pending) Frozen() *tgraph.Graph { return p.fz }
+
+// Seq returns the sequence number the snapshot captures.
+func (p *Pending) Seq() int64 { return p.seq }
+
+// Commit writes the segment snapshot (temp file, fsync, atomic rename) and
+// then compacts: older snapshots, WALs made redundant by the new snapshot,
+// and stale warm spills are deleted. On error the directory still recovers
+// — the previous snapshot and the full WAL chain remain.
+func (p *Pending) Commit() error {
+	s := p.s
+	path := s.snapshotPath(p.seq)
+	if err := writeFileAtomic(path, func(f *os.File) error { return p.fz.WriteSegments(f) }); err != nil {
+		return fmt.Errorf("store: writing snapshot %d: %w", p.seq, err)
+	}
+	s.snapSeq = p.seq
+	s.compact(p.seq)
+	return nil
+}
+
+// compact removes files the snapshot at seq made redundant: earlier
+// snapshots, WALs whose whole record range precedes seq, and warm files of
+// other sequences. Best-effort; leftovers are retried at the next compact.
+func (s *Store) compact(seq int64) {
+	snaps, wals, warms, err := s.scan()
+	if err != nil {
+		return
+	}
+	for _, sq := range snaps {
+		if sq < seq {
+			os.Remove(s.snapshotPath(sq))
+		}
+	}
+	// A WAL with base b covers records up to the next WAL's base; it is
+	// redundant once that entire range is at or below seq. Equivalent test:
+	// delete every WAL whose SUCCESSOR's base is <= seq (the newest WAL is
+	// always kept — it is the active one).
+	for i := 0; i+1 < len(wals); i++ {
+		if wals[i+1] <= seq {
+			os.Remove(s.walPath(wals[i]))
+		}
+	}
+	for _, sq := range warms {
+		if sq != seq {
+			os.Remove(s.warmPath(sq))
+		}
+	}
+	syncDir(s.dir)
+}
+
+// errClosed is returned by mutating methods after Close.
+var errClosed = fmt.Errorf("store: closed")
+
+// Close syncs and closes the active WAL. The graph stays usable in memory;
+// further mutations return an error.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.close()
+	s.wal = nil
+	return err
+}
+
+// ---- file naming, scanning, atomic writes ----
+
+func (s *Store) snapshotPath(seq int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("snapshot-%d.tkcs", seq))
+}
+
+func (s *Store) walPath(base int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("wal-%d.tkcw", base))
+}
+
+func (s *Store) warmPath(seq int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("warm-%d.tkcc", seq))
+}
+
+// scan lists the directory's snapshots, WALs and warm files (each sorted
+// ascending by sequence) and removes leftover temp files.
+func (s *Store) scan() (snaps, wals, warms []int64, err error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("store: %w", err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if seq, ok := parseSeqName(name, "snapshot-", ".tkcs"); ok {
+			snaps = append(snaps, seq)
+		} else if seq, ok := parseSeqName(name, "wal-", ".tkcw"); ok {
+			wals = append(wals, seq)
+		} else if seq, ok := parseSeqName(name, "warm-", ".tkcc"); ok {
+			warms = append(warms, seq)
+		}
+	}
+	for _, v := range [][]int64{snaps, wals, warms} {
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	}
+	return snaps, wals, warms, nil
+}
+
+func parseSeqName(name, prefix, suffix string) (int64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseInt(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// writeFileAtomic writes via a temp file in the same directory, fsyncs,
+// renames into place and fsyncs the directory.
+func writeFileAtomic(path string, fill func(*os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory so renames/creates inside it are durable.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,590 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"temporalkcore/internal/phc"
+	"temporalkcore/internal/qcache"
+	"temporalkcore/internal/tgraph"
+	"temporalkcore/internal/vct"
+)
+
+// bootEdges is a small deterministic bootstrap set: a ring plus chords over
+// 16 vertices at time 1, dense enough for a non-trivial k=2 core.
+func bootEdges() []tgraph.RawEdge {
+	var es []tgraph.RawEdge
+	for i := int64(0); i < 16; i++ {
+		es = append(es, tgraph.RawEdge{U: i, V: (i + 1) % 16, Time: 1})
+		es = append(es, tgraph.RawEdge{U: i, V: (i + 3) % 16, Time: 1})
+	}
+	return es
+}
+
+// batchAt builds append batch i: seven edges, all at time i+2 so every batch
+// adds at least one edge and bumps the sequence by exactly one.
+func batchAt(i int) []tgraph.RawEdge {
+	var es []tgraph.RawEdge
+	for j := 0; j < 7; j++ {
+		u := int64((i*7 + j) % 20)
+		v := (u + 1 + int64(j%11)) % 20
+		es = append(es, tgraph.RawEdge{U: u, V: v, Time: int64(i + 2)})
+	}
+	return es
+}
+
+// refGraph rebuilds the quiesced reference: bootstrap plus the first n
+// batches, through plain tgraph calls with no store involved.
+func refGraph(t testing.TB, n int) *tgraph.Graph {
+	t.Helper()
+	g, err := tgraph.FromRawEdges(bootEdges())
+	if err != nil {
+		t.Fatalf("reference bootstrap: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := g.Append(batchAt(i)); err != nil {
+			t.Fatalf("reference batch %d: %v", i, err)
+		}
+	}
+	return g
+}
+
+func segBytes(t testing.TB, g *tgraph.Graph) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := g.WriteSegments(&b); err != nil {
+		t.Fatalf("WriteSegments: %v", err)
+	}
+	return b.Bytes()
+}
+
+func requireSegEqual(t testing.TB, got, want *tgraph.Graph, what string) {
+	t.Helper()
+	if got.MutSeq() != want.MutSeq() {
+		t.Fatalf("%s: MutSeq %d, want %d", what, got.MutSeq(), want.MutSeq())
+	}
+	if !bytes.Equal(segBytes(t, got), segBytes(t, want)) {
+		t.Fatalf("%s: segment bytes differ", what)
+	}
+}
+
+// fillStore bootstraps and appends n batches into a fresh store at dir.
+func fillStore(t testing.TB, dir string, n int) *Store {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := st.Bootstrap(bootEdges()); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := st.Append(batchAt(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	return st
+}
+
+func TestOpenEmpty(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if st.Graph() != nil || st.Seq() != -1 {
+		t.Fatalf("empty store: Graph=%v Seq=%d, want nil/-1", st.Graph(), st.Seq())
+	}
+	if _, err := st.Append(batchAt(0)); err == nil {
+		t.Fatal("Append on empty store succeeded")
+	}
+	if _, err := st.BeginSnapshot(); err == nil {
+		t.Fatal("BeginSnapshot on empty store succeeded")
+	}
+	g, err := st.Bootstrap(bootEdges())
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if g.MutSeq() != 0 || st.Seq() != 0 {
+		t.Fatalf("after bootstrap: seq %d/%d, want 0", g.MutSeq(), st.Seq())
+	}
+	if _, err := st.Bootstrap(bootEdges()); err == nil {
+		t.Fatal("second Bootstrap succeeded")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := st.Append(batchAt(0)); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestReopenWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	st := fillStore(t, dir, 5)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	requireSegEqual(t, re.Graph(), refGraph(t, 5), "wal-only recovery")
+
+	// The recovered store keeps working: more appends, then another recovery.
+	if _, err := re.Append(batchAt(5)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer re2.Close()
+	requireSegEqual(t, re2.Graph(), refGraph(t, 6), "recovery across generations")
+}
+
+func TestReopenSnapshotAndSuffix(t *testing.T) {
+	dir := t.TempDir()
+	st := fillStore(t, dir, 4)
+	p, err := st.BeginSnapshot()
+	if err != nil {
+		t.Fatalf("BeginSnapshot: %v", err)
+	}
+	if p.Seq() != 4 || p.Frozen().MutSeq() != 4 {
+		t.Fatalf("pending seq %d/%d, want 4", p.Seq(), p.Frozen().MutSeq())
+	}
+	// Appends proceed against the rotated WAL while the snapshot commits.
+	for i := 4; i < 9; i++ {
+		if _, err := st.Append(batchAt(i)); err != nil {
+			t.Fatalf("Append %d during snapshot: %v", i, err)
+		}
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	requireSegEqual(t, re.Graph(), refGraph(t, 9), "snapshot+suffix recovery")
+}
+
+func TestSnapshotCompacts(t *testing.T) {
+	dir := t.TempDir()
+	st := fillStore(t, dir, 3)
+	for round := 0; round < 3; round++ {
+		p, err := st.BeginSnapshot()
+		if err != nil {
+			t.Fatalf("BeginSnapshot: %v", err)
+		}
+		if err := p.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if _, err := st.Append(batchAt(3 + round)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	snaps, wals, _, err := st.scan()
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(snaps) != 1 || snaps[0] != 5 {
+		t.Fatalf("snapshots after compaction: %v, want [5]", snaps)
+	}
+	// Every WAL whose whole record range precedes the snapshot is gone; only
+	// the active one (rotated at the last snapshot) remains.
+	if len(wals) != 1 || wals[0] != 5 {
+		t.Fatalf("WALs after compaction: %v, want [5]", wals)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	requireSegEqual(t, re.Graph(), refGraph(t, 6), "recovery after repeated compaction")
+}
+
+func TestTruncatedWALTailRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	st := fillStore(t, dir, 8)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Tear the tail of the only WAL holding records: chop into the last
+	// frame's body.
+	walFile := filepath.Join(dir, "wal--1.tkcw")
+	fi, err := os.Stat(walFile)
+	if err != nil {
+		t.Fatalf("stat wal: %v", err)
+	}
+	if err := os.Truncate(walFile, fi.Size()-5); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer re.Close()
+	if re.Seq() != 7 {
+		t.Fatalf("recovered seq %d, want 7 (last whole batch)", re.Seq())
+	}
+	requireSegEqual(t, re.Graph(), refGraph(t, 7), "torn-tail prefix recovery")
+}
+
+// TestTornWALHeaderTreatedEmpty pins the mid-rotation crash shape the
+// SIGKILL differential flushed out: a kill between WAL-file creation and
+// the header fsync leaves the newest WAL shorter than its header. No
+// record can ever have followed (rotation holds the writer lock), so the
+// file must read as an empty WAL and recovery must land on the state the
+// rest of the chain proves — not refuse the directory.
+func TestTornWALHeaderTreatedEmpty(t *testing.T) {
+	for _, keep := range []int64{0, 3, 13} {
+		dir := t.TempDir()
+		st := fillStore(t, dir, 5)
+		if err := st.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		// Simulate the torn rotation: a next-generation WAL whose header
+		// write never completed.
+		torn := filepath.Join(dir, "wal-5.tkcw")
+		hdr := []byte(walMagic)
+		hdr = append(hdr, make([]byte, 8)...)
+		if err := os.WriteFile(torn, hdr[:keep], 0o644); err != nil {
+			t.Fatalf("write torn wal: %v", err)
+		}
+
+		re, err := Open(dir)
+		if err != nil {
+			t.Fatalf("keep=%d: reopen with torn wal header: %v", keep, err)
+		}
+		if re.Seq() != 5 {
+			t.Fatalf("keep=%d: recovered seq %d, want 5", keep, re.Seq())
+		}
+		requireSegEqual(t, re.Graph(), refGraph(t, 5), "torn-header recovery")
+		re.Close()
+	}
+
+	// A present-but-wrong magic is corruption, not a torn create: refuse.
+	dir := t.TempDir()
+	st := fillStore(t, dir, 2)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	bogus := filepath.Join(dir, "wal-2.tkcw")
+	if err := os.WriteFile(bogus, []byte("BOGUS!"), 0o644); err != nil {
+		t.Fatalf("write bogus wal: %v", err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open succeeded on a wal with a wrong magic")
+	}
+}
+
+func TestCorruptSnapshotFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	st := fillStore(t, dir, 3)
+	p, err := st.BeginSnapshot()
+	if err != nil {
+		t.Fatalf("BeginSnapshot: %v", err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	snap := filepath.Join(dir, "snapshot-3.tkcs")
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open succeeded on a bit-flipped snapshot")
+	}
+}
+
+// warmStore fills a store, computes one enumeration entry and one PHC entry
+// for the live sequence, and returns store, cache and the two keys.
+func warmStore(t *testing.T, dir string) (*Store, *qcache.Cache, qcache.Key, qcache.Key) {
+	t.Helper()
+	st := fillStore(t, dir, 6)
+	g := st.Graph()
+	w := tgraph.Window{Start: 1, End: g.TMax()}
+
+	ix, ecs, err := vct.Build(g, 2, w)
+	if err != nil {
+		t.Fatalf("vct.Build: %v", err)
+	}
+	hx, err := phc.Build(g, w)
+	if err != nil {
+		t.Fatalf("phc.Build: %v", err)
+	}
+
+	c := qcache.New(64 << 20)
+	ek := qcache.Key{Seq: st.Seq(), K: 2, W: w, Algo: qcache.AlgoEnum}
+	pk := qcache.Key{Seq: st.Seq(), W: w, Algo: qcache.AlgoPHC}
+	c.Add(ek, qcache.NewEntry(ix, ecs, 123*time.Millisecond))
+	c.Add(pk, qcache.NewPHCEntry(hx, 456*time.Millisecond))
+	// An entry of a stale sequence must not be spilled.
+	c.Add(qcache.Key{Seq: st.Seq() - 1, K: 2, W: w, Algo: qcache.AlgoEnum},
+		qcache.NewEntry(ix, ecs, time.Millisecond))
+	return st, c, ek, pk
+}
+
+func TestWarmSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, c, ek, pk := warmStore(t, dir)
+	origIx, _ := c.Probe(ek)
+	origPhc, _ := c.Probe(pk)
+
+	p, err := st.BeginSnapshot()
+	if err != nil {
+		t.Fatalf("BeginSnapshot: %v", err)
+	}
+	n, err := p.WriteWarm(c)
+	if err != nil {
+		t.Fatalf("WriteWarm: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("WriteWarm spilled %d entries, want 2 (stale seq skipped)", n)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	fresh := qcache.New(64 << 20)
+	var oracle *phc.Index
+	admitted, err := re.LoadWarm(fresh, func(ix *phc.Index) { oracle = ix })
+	if err != nil {
+		t.Fatalf("LoadWarm: %v", err)
+	}
+	if admitted != 2 {
+		t.Fatalf("LoadWarm admitted %d, want 2", admitted)
+	}
+
+	ent, ok := fresh.Probe(ek)
+	if !ok {
+		t.Fatal("enumeration entry missing after warm load")
+	}
+	if ent.CoreTime != 123*time.Millisecond {
+		t.Fatalf("enum CoreTime %v, want 123ms", ent.CoreTime)
+	}
+	var a, b bytes.Buffer
+	if err := origIx.Ix.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ent.Ix.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("warm-loaded index bytes differ from the spilled ones")
+	}
+
+	pent, ok := fresh.Probe(pk)
+	if !ok {
+		t.Fatal("PHC entry missing after warm load")
+	}
+	if oracle == nil || oracle != pent.Phc {
+		t.Fatal("onPHC did not deliver the admitted PHC index")
+	}
+	if !pent.Phc.Fp.Matches(re.Graph()) {
+		t.Fatal("admitted PHC entry does not fingerprint-match the recovered graph")
+	}
+	a.Reset()
+	b.Reset()
+	if err := origPhc.Phc.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := pent.Phc.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("warm-loaded PHC bytes differ from the spilled ones")
+	}
+}
+
+func TestWarmStaleAfterFurtherAppends(t *testing.T) {
+	dir := t.TempDir()
+	st, c, _, _ := warmStore(t, dir)
+	p, err := st.BeginSnapshot()
+	if err != nil {
+		t.Fatalf("BeginSnapshot: %v", err)
+	}
+	if _, err := p.WriteWarm(c); err != nil {
+		t.Fatalf("WriteWarm: %v", err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// The graph moves past the spilled sequence before shutdown.
+	if _, err := st.Append(batchAt(6)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	fresh := qcache.New(64 << 20)
+	admitted, err := re.LoadWarm(fresh, nil)
+	if err != nil || admitted != 0 {
+		t.Fatalf("stale warm spill: admitted=%d err=%v, want 0/nil", admitted, err)
+	}
+}
+
+func TestWarmFingerprintMismatchSkipped(t *testing.T) {
+	dirA := t.TempDir()
+	stA, c, _, _ := warmStore(t, dirA)
+	p, err := stA.BeginSnapshot()
+	if err != nil {
+		t.Fatalf("BeginSnapshot: %v", err)
+	}
+	if _, err := p.WriteWarm(c); err != nil {
+		t.Fatalf("WriteWarm: %v", err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	seq := stA.Seq()
+	if err := stA.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A different store, steered to the same sequence number but different
+	// contents (extra vertices, different edges).
+	dirB := t.TempDir()
+	stB, err := Open(dirB)
+	if err != nil {
+		t.Fatalf("Open B: %v", err)
+	}
+	var boot []tgraph.RawEdge
+	for i := int64(0); i < 40; i++ {
+		boot = append(boot, tgraph.RawEdge{U: i, V: (i + 5) % 40, Time: 1})
+	}
+	if _, err := stB.Bootstrap(boot); err != nil {
+		t.Fatalf("Bootstrap B: %v", err)
+	}
+	for i := int64(0); stB.Seq() < seq; i++ {
+		if _, err := stB.Append([]tgraph.RawEdge{{U: i % 40, V: (i + 7) % 40, Time: 2 + i}}); err != nil {
+			t.Fatalf("Append B: %v", err)
+		}
+	}
+	pb, err := stB.BeginSnapshot()
+	if err != nil {
+		t.Fatalf("BeginSnapshot B: %v", err)
+	}
+	if err := pb.Commit(); err != nil {
+		t.Fatalf("Commit B: %v", err)
+	}
+	if err := stB.Close(); err != nil {
+		t.Fatalf("Close B: %v", err)
+	}
+
+	// Graft A's warm spill into B's directory: same sequence, wrong state.
+	raw, err := os.ReadFile(filepath.Join(dirA, warmName(seq)))
+	if err != nil {
+		t.Fatalf("read warm A: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dirB, warmName(seq)), raw, 0o644); err != nil {
+		t.Fatalf("write warm into B: %v", err)
+	}
+
+	re, err := Open(dirB)
+	if err != nil {
+		t.Fatalf("reopen B: %v", err)
+	}
+	defer re.Close()
+	fresh := qcache.New(64 << 20)
+	phcCalls := 0
+	admitted, err := re.LoadWarm(fresh, func(*phc.Index) { phcCalls++ })
+	if err != nil {
+		t.Fatalf("LoadWarm: %v", err)
+	}
+	if admitted != 0 || phcCalls != 0 {
+		t.Fatalf("foreign warm spill: admitted=%d phcCalls=%d, want 0/0", admitted, phcCalls)
+	}
+	if st := fresh.Stats(); st.Entries != 0 {
+		t.Fatalf("foreign warm spill populated the cache: %d entries", st.Entries)
+	}
+}
+
+func TestWarmCorruptFileAdmitsNothing(t *testing.T) {
+	dir := t.TempDir()
+	st, c, _, _ := warmStore(t, dir)
+	p, err := st.BeginSnapshot()
+	if err != nil {
+		t.Fatalf("BeginSnapshot: %v", err)
+	}
+	if _, err := p.WriteWarm(c); err != nil {
+		t.Fatalf("WriteWarm: %v", err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	seq := st.Seq()
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	warm := filepath.Join(dir, warmName(seq))
+	raw, err := os.ReadFile(warm)
+	if err != nil {
+		t.Fatalf("read warm: %v", err)
+	}
+	// Flip a bit inside the first frame's payload: its CRC fails and the
+	// load stops there, admitting nothing — and reporting no error.
+	raw[len(warmMagic)+8+8+10] ^= 0x01
+	if err := os.WriteFile(warm, raw, 0o644); err != nil {
+		t.Fatalf("write warm: %v", err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	fresh := qcache.New(64 << 20)
+	admitted, err := re.LoadWarm(fresh, nil)
+	if err != nil || admitted != 0 {
+		t.Fatalf("corrupt warm spill: admitted=%d err=%v, want 0/nil", admitted, err)
+	}
+}
+
+func warmName(seq int64) string {
+	return filepath.Base((&Store{dir: "."}).warmPath(seq))
+}

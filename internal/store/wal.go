@@ -1,0 +1,215 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"temporalkcore/internal/tgraph"
+)
+
+// The append WAL ("TKCW1" format) makes batches durable before they are
+// applied: every Bootstrap/Append logs one CRC-framed record and flushes it
+// to the OS before the graph mutates, so a crash at any point loses at most
+// the batches whose frames never reached the file — never a half-applied
+// one. Replay applies records through the exact same code paths the live
+// writer used (Builder for bootstrap, Graph.Append for batches), which on
+// an append-only graph reproduces the surviving prefix byte-for-byte,
+// vertex ids, ranks and MutSeq included.
+//
+// File layout:
+//
+//	"TKCW1\n"  magic
+//	baseSeq    int64 LE — the MutSeq the first record applies on top of
+//	           (-1 when the store had no graph yet)
+//	frames     [payloadLen uint32][crc32(payload) uint32][payload]...
+//
+// Frame payload:
+//
+//	kind      uint8  — recBootstrap | recAppend
+//	seqBefore int64  — MutSeq the writer observed before applying
+//	count     int64  — number of edges
+//	edges     count × (u, v, t) int64 — raw labels and raw timestamps
+//
+// A torn tail — a frame whose length, CRC or body is incomplete — ends
+// replay cleanly at the last whole frame; by log-before-apply the dropped
+// suffix was never guaranteed durable.
+const walMagic = "TKCW1\n"
+
+const (
+	recBootstrap = 1
+	recAppend    = 2
+)
+
+// maxWALBatch bounds a single record's edge count (a plausibility check
+// against corrupt length fields, far above any real batch).
+const maxWALBatch = 1 << 26
+
+// walRecord is one replayable unit.
+type walRecord struct {
+	kind      byte
+	seqBefore int64
+	edges     []tgraph.RawEdge
+}
+
+// walWriter appends frames to an open WAL file.
+type walWriter struct {
+	f    *os.File
+	bw   *bufio.Writer
+	path string
+	buf  []byte // frame assembly buffer, reused
+}
+
+// createWAL creates (truncating) the WAL at path with the given base
+// sequence and syncs the header so the file is well-formed on disk before
+// any record lands.
+func createWAL(path string, baseSeq int64) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &walWriter{f: f, bw: bufio.NewWriterSize(f, 1<<16), path: path}
+	if _, err := w.bw.WriteString(walMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(baseSeq))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// logBatch frames and flushes one record. The flush pushes the frame to
+// the OS before the caller mutates the graph, so a killed process never
+// leaves an applied-but-unlogged batch.
+func (w *walWriter) logBatch(kind byte, seqBefore int64, edges []tgraph.RawEdge) error {
+	need := 1 + 8 + 8 + 24*len(edges)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, 0, need+need/2)
+	}
+	p := w.buf[:0]
+	p = append(p, kind)
+	p = binary.LittleEndian.AppendUint64(p, uint64(seqBefore))
+	p = binary.LittleEndian.AppendUint64(p, uint64(len(edges)))
+	for _, e := range edges {
+		p = binary.LittleEndian.AppendUint64(p, uint64(e.U))
+		p = binary.LittleEndian.AppendUint64(p, uint64(e.V))
+		p = binary.LittleEndian.AppendUint64(p, uint64(e.Time))
+	}
+	w.buf = p
+	var fh [8]byte
+	binary.LittleEndian.PutUint32(fh[0:4], uint32(len(p)))
+	binary.LittleEndian.PutUint32(fh[4:8], crc32.ChecksumIEEE(p))
+	if _, err := w.bw.Write(fh[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(p); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// sync flushes buffered frames and fsyncs the file.
+func (w *walWriter) sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// close syncs and closes the file.
+func (w *walWriter) close() error {
+	err := w.sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readWAL reads every whole record of the WAL at path. A torn tail (short
+// frame or CRC mismatch) ends the read cleanly. So does a torn HEADER —
+// a file shorter than magic + base seq whose bytes prefix-match the
+// magic: createWAL fsyncs the header before returning, so a short header
+// means the rotation died mid-create, no record was ever logged to this
+// file, and no batch was acknowledged on top of it (rotation holds the
+// writer lock). The file is an empty WAL. A present-but-wrong magic is
+// an error — the file never was a WAL.
+func readWAL(path string) (baseSeq int64, recs []walRecord, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	magic := make([]byte, len(walMagic))
+	n, err := io.ReadFull(br, magic)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		if string(magic[:n]) == walMagic[:n] {
+			return 0, nil, nil // torn header: died mid-create, nothing logged
+		}
+		return 0, nil, fmt.Errorf("store: %s is not a TKCW1 wal", path)
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: wal %s: reading magic: %w", path, err)
+	}
+	if string(magic) != walMagic {
+		return 0, nil, fmt.Errorf("store: %s is not a TKCW1 wal", path)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, nil // torn base seq: same mid-create death
+		}
+		return 0, nil, fmt.Errorf("store: wal %s: reading header: %w", path, err)
+	}
+	baseSeq = int64(binary.LittleEndian.Uint64(hdr[:]))
+
+	for {
+		var fh [8]byte
+		if _, err := io.ReadFull(br, fh[:]); err != nil {
+			return baseSeq, recs, nil // clean EOF or torn frame header
+		}
+		plen := binary.LittleEndian.Uint32(fh[0:4])
+		want := binary.LittleEndian.Uint32(fh[4:8])
+		if plen < 17 || (plen-17)%24 != 0 || (plen-17)/24 > maxWALBatch {
+			return baseSeq, recs, nil // implausible length: torn/corrupt tail
+		}
+		p := make([]byte, plen)
+		if _, err := io.ReadFull(br, p); err != nil {
+			return baseSeq, recs, nil // torn body
+		}
+		if crc32.ChecksumIEEE(p) != want {
+			return baseSeq, recs, nil // corrupt frame: treat as tail, stop
+		}
+		rec := walRecord{
+			kind:      p[0],
+			seqBefore: int64(binary.LittleEndian.Uint64(p[1:9])),
+		}
+		count := int(binary.LittleEndian.Uint64(p[9:17]))
+		if count != int(plen-17)/24 || (rec.kind != recBootstrap && rec.kind != recAppend) {
+			return baseSeq, recs, nil // frame inconsistent with its own length
+		}
+		rec.edges = make([]tgraph.RawEdge, count)
+		off := 17
+		for i := 0; i < count; i++ {
+			rec.edges[i] = tgraph.RawEdge{
+				U:    int64(binary.LittleEndian.Uint64(p[off : off+8])),
+				V:    int64(binary.LittleEndian.Uint64(p[off+8 : off+16])),
+				Time: int64(binary.LittleEndian.Uint64(p[off+16 : off+24])),
+			}
+			off += 24
+		}
+		recs = append(recs, rec)
+	}
+}

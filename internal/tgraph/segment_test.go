@@ -1,0 +1,372 @@
+package tgraph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// segGraph builds a graph with a builder prefix plus several append
+// batches, so the snapshot covers both construction paths (exact-packed
+// builder segments and gap-relocated append segments).
+func segGraph(t *testing.T, seed int64, batches int) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var b Builder
+	tm := int64(0)
+	for i := 0; i < 200; i++ {
+		if rng.Intn(3) == 0 {
+			tm++
+		}
+		b.Add(rng.Int63n(40), rng.Int63n(40), tm)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	for bi := 0; bi < batches; bi++ {
+		batch := make([]RawEdge, 0, 30)
+		for i := 0; i < 30; i++ {
+			if rng.Intn(3) == 0 {
+				tm++
+			}
+			batch = append(batch, RawEdge{U: rng.Int63n(50), V: rng.Int63n(50), Time: tm})
+		}
+		if _, err := g.Append(batch); err != nil {
+			t.Fatalf("append batch %d: %v", bi, err)
+		}
+	}
+	return g
+}
+
+// requireSameGraph asserts that two graphs are operationally identical:
+// same ids, same history, same adjacency content, same mutation sequence.
+func requireSameGraph(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() ||
+		got.NumPairs() != want.NumPairs() || got.TMax() != want.TMax() || got.MutSeq() != want.MutSeq() {
+		t.Fatalf("shape mismatch: got (%d v, %d e, %d p, %d t, seq %d), want (%d, %d, %d, %d, %d)",
+			got.NumVertices(), got.NumEdges(), got.NumPairs(), got.TMax(), got.MutSeq(),
+			want.NumVertices(), want.NumEdges(), want.NumPairs(), want.TMax(), want.MutSeq())
+	}
+	for e := 0; e < want.NumEdges(); e++ {
+		if want.Edge(EID(e)) != got.Edge(EID(e)) || want.EdgePair(EID(e)) != got.EdgePair(EID(e)) {
+			t.Fatalf("edge %d mismatch", e)
+		}
+	}
+	for tr := TS(1); tr <= want.TMax(); tr++ {
+		if want.RawTime(tr) != got.RawTime(tr) {
+			t.Fatalf("raw time of rank %d mismatch", tr)
+		}
+		wl, wh := want.EdgesAt(tr)
+		gl, gh := got.EdgesAt(tr)
+		if wl != gl || wh != gh {
+			t.Fatalf("time group %d mismatch", tr)
+		}
+	}
+	for u := VID(0); u < VID(want.NumVertices()); u++ {
+		if want.Label(u) != got.Label(u) {
+			t.Fatalf("label of %d mismatch", u)
+		}
+		wn, gn := want.Neighbours(u), got.Neighbours(u)
+		if len(wn) != len(gn) {
+			t.Fatalf("neighbour count of %d mismatch", u)
+		}
+		for i := range wn {
+			if wn[i] != gn[i] {
+				t.Fatalf("neighbour %d of %d mismatch", i, u)
+			}
+		}
+		wi, gi := want.Incident(u), got.Incident(u)
+		if len(wi) != len(gi) {
+			t.Fatalf("incidence count of %d mismatch", u)
+		}
+		for i := range wi {
+			if wi[i] != gi[i] {
+				t.Fatalf("incident edge %d of %d mismatch", i, u)
+			}
+		}
+	}
+	for p := int32(0); p < int32(want.NumPairs()); p++ {
+		wp, gp := want.Pair(p), got.Pair(p)
+		if wp.U != gp.U || wp.V != gp.V || wp.Len != gp.Len {
+			t.Fatalf("pair %d mismatch", p)
+		}
+		wt, gt := want.PairTimes(p), got.PairTimes(p)
+		for i := range wt {
+			if wt[i] != gt[i] {
+				t.Fatalf("pair %d times mismatch", p)
+			}
+		}
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	for _, batches := range []int{0, 1, 7} {
+		g := segGraph(t, int64(42+batches), batches)
+		var buf bytes.Buffer
+		if err := g.WriteSegments(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := ReadSegments(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		requireSameGraph(t, g, got)
+
+		// The loaded graph is live: appending to both must stay identical.
+		last := g.RawTime(g.TMax())
+		batch := []RawEdge{{U: 1, V: 2, Time: last + 1}, {U: 2, V: 3, Time: last + 2}, {U: 1, V: 99, Time: last + 2}}
+		if _, err := g.Append(batch); err != nil {
+			t.Fatalf("append original: %v", err)
+		}
+		if _, err := got.Append(batch); err != nil {
+			t.Fatalf("append loaded: %v", err)
+		}
+		requireSameGraph(t, g, got)
+	}
+}
+
+func TestSegmentRoundTripFrozen(t *testing.T) {
+	g := segGraph(t, 7, 3)
+	fz := g.Freeze()
+	last := g.RawTime(g.TMax())
+	if _, err := g.Append([]RawEdge{{U: 5, V: 6, Time: last + 1}}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// Serialising the frozen image while the live graph moved on must
+	// still capture the frozen state.
+	var buf bytes.Buffer
+	if err := fz.WriteSegments(&buf); err != nil {
+		t.Fatalf("write frozen: %v", err)
+	}
+	got, err := ReadSegments(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	requireSameGraph(t, fz, got)
+	if got.Frozen() {
+		t.Fatalf("loaded graph must be live, not frozen")
+	}
+}
+
+// segLayout computes the byte offset of every section of g's TKSG1 image,
+// mirroring the write order, so corruption tests can patch exact fields.
+type segLayout struct {
+	hdr, rawTimes, labels, flatE, edgePair, timeOff        int
+	flatP, pairTimes, nbrCnt, flatN, incCnt, incEIDs, tail int
+}
+
+func layoutOf(g *Graph) segLayout {
+	n, nEdges, nPairs := int(g.n), len(g.edges), len(g.pairs)
+	tmax := len(g.rawTimes)
+	var ptTotal, nbrTotal, incTotal int
+	for pi := range g.pairs {
+		ptTotal += int(g.pairs[pi].Len)
+	}
+	for u := 0; u < n; u++ {
+		no, ne := unpackSeg(g.nbrSeg[u])
+		io_, ie := unpackSeg(g.incSeg[u])
+		nbrTotal += int(ne - no)
+		incTotal += int(ie - io_)
+	}
+	var l segLayout
+	l.hdr = len(segmentMagic)
+	l.rawTimes = l.hdr + 8*8
+	l.labels = l.rawTimes + 8*tmax
+	l.flatE = l.labels + 8*n
+	l.edgePair = l.flatE + 4*3*nEdges
+	l.timeOff = l.edgePair + 4*nEdges
+	l.flatP = l.timeOff + 4*(tmax+2)
+	l.pairTimes = l.flatP + 4*3*nPairs
+	l.nbrCnt = l.pairTimes + 4*ptTotal
+	l.flatN = l.nbrCnt + 4*n
+	l.incCnt = l.flatN + 4*2*nbrTotal
+	l.incEIDs = l.incCnt + 4*n
+	l.tail = l.incEIDs + 4*incTotal
+	return l
+}
+
+// TestSegmentStructuralValidation patches one specific field per case and
+// asserts ReadSegments reports that exact structural complaint — every
+// validation branch, not just "some error".
+func TestSegmentStructuralValidation(t *testing.T) {
+	g := segGraph(t, 13, 3)
+	var buf bytes.Buffer
+	if err := g.WriteSegments(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	raw := buf.Bytes()
+	l := layoutOf(g)
+	if l.tail+4 != len(raw) {
+		t.Fatalf("layout computes size %d, stream is %d bytes", l.tail+4, len(raw))
+	}
+	le := binary.LittleEndian
+	n, nEdges, nPairs := int64(g.n), int64(len(g.edges)), int64(len(g.pairs))
+
+	put64 := func(raw []byte, off int, v int64) { le.PutUint64(raw[off:], uint64(v)) }
+	put32 := func(raw []byte, off int, v int32) { le.PutUint32(raw[off:], uint32(v)) }
+	// firstPositive finds the first index of an int32 array section holding
+	// a value > 0.
+	firstPositive := func(raw []byte, off, count int) int {
+		for i := 0; i < count; i++ {
+			if int32(le.Uint32(raw[off+4*i:])) > 0 {
+				return i
+			}
+		}
+		t.Fatalf("no positive count in section at %d", off)
+		return -1
+	}
+
+	cases := []struct {
+		name  string
+		patch func(raw []byte)
+		want  string
+	}{
+		{"negative-mutseq", func(r []byte) { put64(r, l.hdr, -2) }, "negative mutation sequence"},
+		{"implausible-count", func(r []byte) { put64(r, l.hdr+8, 1<<40) }, "implausible header count"},
+		{"inconsistent-header", func(r []byte) { put64(r, l.hdr+4*8, 0) }, "inconsistent with"},
+		{"rank-table-not-ascending", func(r []byte) { put64(r, l.rawTimes+8, int64(le.Uint64(r[l.rawTimes:]))) }, "not strictly ascending at rank"},
+		{"duplicate-label", func(r []byte) { copy(r[l.labels+8:l.labels+16], r[l.labels:l.labels+8]) }, "duplicate vertex label"},
+		{"edge-out-of-range", func(r []byte) { put32(r, l.flatE, int32(n)) }, "out of range"},
+		{"edge-pair-out-of-range", func(r []byte) { put32(r, l.edgePair, int32(nPairs)) }, "pair " + itoa(nPairs) + " out of range"},
+		{"timeoff-bounds", func(r []byte) { put32(r, l.timeOff, 1) }, "corrupt time offset bounds"},
+		{"timeoff-not-monotone", func(r []byte) { put32(r, l.timeOff+8, -1) }, "not monotone"},
+		{"pair-out-of-range", func(r []byte) { put32(r, l.flatP, int32(n)) }, "pair 0 ("},
+		{"pair-len-sum", func(r []byte) { put32(r, l.flatP+8, int32(le.Uint32(r[l.flatP+8:]))+1) }, "pair lengths sum"},
+		{"pair-times-out-of-range", func(r []byte) { put32(r, l.pairTimes, 0) }, "times not strictly ascending in range"},
+		{"nbr-count-overflow", func(r []byte) { put32(r, l.nbrCnt, int32((l.incCnt-l.flatN)/8)+1) }, "neighbour counts overflow"},
+		{"nbr-entry-out-of-range", func(r []byte) { put32(r, l.flatN, int32(n)) }, "neighbour entry of vertex"},
+		{"nbr-count-sum", func(r []byte) {
+			i := firstPositive(r, l.nbrCnt, int(n))
+			put32(r, l.nbrCnt+4*i, int32(le.Uint32(r[l.nbrCnt+4*i:]))-1)
+		}, "neighbour counts sum"},
+		{"inc-count-overflow", func(r []byte) { put32(r, l.incCnt, int32((l.tail-l.incEIDs)/4)+1) }, "incidence counts overflow"},
+		{"inc-entry-out-of-range", func(r []byte) { put32(r, l.incEIDs, int32(nEdges)) }, "incident edge of vertex"},
+		{"inc-count-sum", func(r []byte) {
+			i := firstPositive(r, l.incCnt, int(n))
+			put32(r, l.incCnt+4*i, int32(le.Uint32(r[l.incCnt+4*i:]))-1)
+		}, "incidence counts sum"},
+		// A value change that passes every structural check must still be
+		// caught by the trailing CRC: push the last raw timestamp far above
+		// its predecessor (still strictly ascending).
+		{"checksum-only", func(r []byte) {
+			off := l.labels - 8
+			put64(r, off, int64(le.Uint64(r[off:]))+(1<<40))
+		}, "checksum mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := append([]byte(nil), raw...)
+			tc.patch(mut)
+			_, err := ReadSegments(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("corruption not detected")
+			}
+			if !bytes.Contains([]byte(err.Error()), []byte(tc.want)) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// One byte into every section: each read loop must surface a clean
+	// error, never a panic or a zero graph.
+	t.Run("truncated-each-section", func(t *testing.T) {
+		for _, off := range []int{l.hdr, l.rawTimes, l.labels, l.flatE, l.edgePair,
+			l.timeOff, l.flatP, l.pairTimes, l.nbrCnt, l.flatN, l.incCnt, l.incEIDs, l.tail} {
+			if _, err := ReadSegments(bytes.NewReader(raw[:off+1])); err == nil {
+				t.Fatalf("truncation inside section at %d not detected", off)
+			}
+		}
+	})
+}
+
+func itoa(v int64) string { return fmt.Sprintf("%d", v) }
+
+// failAfterWriter errors once more than limit bytes have been written —
+// the disk-full / dying-device model for WriteSegments' error paths.
+type failAfterWriter struct {
+	limit int
+	n     int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		return 0, errShortDisk
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+var errShortDisk = errors.New("short disk")
+
+// TestSegmentWriteErrors drives WriteSegments against a writer that fails
+// at a sweep of byte limits over a snapshot large enough that every big
+// section spans a bufio flush boundary: each failure must surface as an
+// error, never a silent short snapshot.
+func TestSegmentWriteErrors(t *testing.T) {
+	var b Builder
+	for i := 0; i < 30000; i++ {
+		b.Add(int64(i%180), int64((i+1+i%90)%180), int64(i/2+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteSegments(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	size := buf.Len()
+	step := size/41 + 1
+	for limit := 0; limit < size; limit += step {
+		if err := g.WriteSegments(&failAfterWriter{limit: limit}); err == nil {
+			t.Fatalf("write into %d-byte device succeeded (need %d)", limit, size)
+		}
+	}
+	if err := g.WriteSegments(&failAfterWriter{limit: size}); err != nil {
+		t.Fatalf("write into exact-size device: %v", err)
+	}
+}
+
+func TestSegmentCorruption(t *testing.T) {
+	g := segGraph(t, 11, 2)
+	var buf bytes.Buffer
+	if err := g.WriteSegments(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{3, 10, len(raw) / 2, len(raw) - 1} {
+			if _, err := ReadSegments(bytes.NewReader(raw[:cut])); err == nil {
+				t.Fatalf("truncation at %d not detected", cut)
+			}
+		}
+	})
+	t.Run("bitflip", func(t *testing.T) {
+		for _, pos := range []int{8, 80, len(raw) / 2, len(raw) - 2} {
+			mut := append([]byte(nil), raw...)
+			mut[pos] ^= 0x40
+			if _, err := ReadSegments(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("bit flip at %d not detected", pos)
+			}
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		mut := append(append([]byte(nil), raw...), 0xAA)
+		if _, err := ReadSegments(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("trailing garbage not detected")
+		}
+	})
+	t.Run("wrong-magic", func(t *testing.T) {
+		mut := append([]byte(nil), raw...)
+		copy(mut, "TKCG1\n")
+		if _, err := ReadSegments(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("wrong magic not detected")
+		}
+	})
+}

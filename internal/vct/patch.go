@@ -12,8 +12,8 @@ import (
 // have changed, so the fixed-point work concentrates on the dirty
 // time-suffix instead of the whole window.
 //
-// cached must be a correct index for the same k whose range starts at or
-// before w.Start, built against an earlier (or identical) state of g, and
+// cached must be a correct index for the same k whose range overlaps
+// [w.Start, w.End], built against an earlier (or identical) state of g, and
 // dirtyFrom must be a rank such that every snapshot [ts, te] with
 // te < dirtyFrom is unchanged since cached was built. For pure appends that
 // is the first rank that received a new edge (tgraph.AppendStats
@@ -22,6 +22,12 @@ import (
 // (a shrunk window invalidates core times that overshoot it). Cached
 // entries with CT < dirtyFrom are then exact for the current graph and are
 // pinned; everything else re-settles from valid lower bounds.
+//
+// The cached range need not contain w.Start: when it starts later, the
+// prefix [w.Start, cached.Range.Start) runs as a plain build and the oracle
+// takes over at the first start time it can vouch for, so a window extended
+// backwards past the indexed start still reuses the clean overlap instead
+// of rebuilding everything.
 //
 // cached must not be backed by s (ping-pong two Scratch values to patch an
 // index in a loop). The returned Index and ECS are backed by s exactly as
@@ -52,15 +58,22 @@ func PatchScratchStop(g *tgraph.Graph, k int, w tgraph.Window, cached *Index, di
 			dirtyFrom = w.End + 1
 		}
 	}
-	if cached == nil || cached.K != k || cached.Range.Start > w.Start || dirtyFrom <= w.Start {
+	// cs is the first start time the oracle can vouch for inside the
+	// window; no clean prefix past it means nothing to reuse.
+	cs := w.Start
+	if cached != nil && cached.Range.Start > cs {
+		cs = cached.Range.Start
+	}
+	if cached == nil || cached.K != k || dirtyFrom <= cs {
 		ix, ecs, err := BuildScratchStop(g, k, w, s, stop)
 		return ix, ecs, false, err
 	}
 
 	p := patcher{
-		builder:   newBuilder(g, k, w, s),
-		cached:    cached,
-		dirtyFrom: dirtyFrom,
+		builder:     newBuilder(g, k, w, s),
+		cached:      cached,
+		dirtyFrom:   dirtyFrom,
+		cachedStart: cs,
 	}
 	p.stop = stop
 	p.cachedEnd = cached.Range.End
@@ -78,10 +91,11 @@ func PatchScratchStop(g *tgraph.Graph, k int, w tgraph.Window, cached *Index, di
 
 type patcher struct {
 	builder
-	cached     *Index
-	dirtyFrom  tgraph.TS
-	cachedEnd  tgraph.TS // last start time the cache can vouch for
-	frozenLive bool      // some vertex may still be pinned
+	cached      *Index
+	dirtyFrom   tgraph.TS
+	cachedStart tgraph.TS // first start time the cache can vouch for
+	cachedEnd   tgraph.TS // last start time the cache can vouch for
+	frozenLive  bool      // some vertex may still be pinned
 }
 
 func (p *patcher) run() {
@@ -98,35 +112,47 @@ func (p *patcher) run() {
 
 	p.frozen = ds.GrowZero(p.frozen, n)
 	p.entIdx = ds.Grow(p.entIdx, n)
-	p.frozenLive = true
 	p.buildBuckets()
 
-	// First start time: pin vertices whose cached value is still exact;
-	// settle the rest from lower bounds (which the dirty threshold
-	// tightens — no unchanged snapshot below dirtyFrom holds a core for a
-	// dirty vertex, so its new core time is at least dirtyFrom).
-	cachedN := len(p.cached.off) - 1 // vertices appended since the cache was built have no entries
-	for u := 0; u < n; u++ {
-		uu := tgraph.VID(u)
-		c := inf
-		if u < cachedN {
-			ents := p.cached.Entries(uu)
-			i := sort.Search(len(ents), func(i int) bool { return ents[i].Start > w.Start }) - 1
-			p.entIdx[u] = p.cached.off[uu] + int32(i)
-			if i >= 0 {
-				c = ents[i].CT
+	if p.cachedStart == w.Start {
+		// First start time: pin vertices whose cached value is still
+		// exact; settle the rest from lower bounds (which the dirty
+		// threshold tightens — no unchanged snapshot below dirtyFrom holds
+		// a core for a dirty vertex, so its new core time is at least
+		// dirtyFrom).
+		p.frozenLive = true
+		cachedN := len(p.cached.off) - 1 // vertices appended since the cache was built have no entries
+		for u := 0; u < n; u++ {
+			uu := tgraph.VID(u)
+			c := inf
+			if u < cachedN {
+				ents := p.cached.Entries(uu)
+				i := sort.Search(len(ents), func(i int) bool { return ents[i].Start > w.Start }) - 1
+				p.entIdx[u] = p.cached.off[uu] + int32(i)
+				if i >= 0 {
+					c = ents[i].CT
+				}
 			}
+			if c < p.dirtyFrom {
+				p.ct[u] = c
+				p.frozen[u] = true
+				continue
+			}
+			lb := p.lowerBound(uu)
+			if lb != inf && lb < p.dirtyFrom {
+				lb = p.dirtyFrom
+			}
+			p.ct[u] = lb
 		}
-		if c < p.dirtyFrom {
-			p.ct[u] = c
-			p.frozen[u] = true
-			continue
+	} else {
+		// The cached range starts inside the window: the prefix up to
+		// cachedStart has no oracle, so the first start time initialises
+		// exactly like a plain build (the dirty threshold says nothing
+		// about starts the cache never covered). enterOracle pins what it
+		// can once the loop reaches cachedStart.
+		for u := 0; u < n; u++ {
+			p.ct[u] = p.lowerBound(tgraph.VID(u))
 		}
-		lb := p.lowerBound(uu)
-		if lb != inf && lb < p.dirtyFrom {
-			lb = p.dirtyFrom
-		}
-		p.ct[u] = lb
 	}
 	for u := 0; u < n; u++ {
 		if !p.frozen[u] && p.ct[u] != inf {
@@ -161,7 +187,11 @@ func (p *patcher) run() {
 			p.frozenLive = false
 		}
 		p.expire(s)
-		p.applyCache(s + 1)
+		if s+1 == p.cachedStart {
+			p.enterOracle()
+		} else {
+			p.applyCache(s + 1)
+		}
 		p.settle(true)
 		if p.stopped {
 			return
@@ -179,8 +209,11 @@ func (p *patcher) run() {
 }
 
 // buildBuckets groups the cached entries with start times in
-// (w.Start, cachedEnd] by start, so each transition applies its start's
-// cached changes in O(changes) instead of scanning the index.
+// (cachedStart, cachedEnd] by start, so each transition applies its start's
+// cached changes in O(changes) instead of scanning the index. Entries at or
+// before cachedStart are consumed wholesale by the initialisation (or by
+// enterOracle when the cached range starts inside the window). Buckets stay
+// based at w.Start so applyCache's arithmetic is uniform.
 func (p *patcher) buildBuckets() {
 	span := int(p.cachedEnd) - int(p.w.Start)
 	if span < 0 {
@@ -189,7 +222,7 @@ func (p *patcher) buildBuckets() {
 	p.bktOff = ds.GrowZero(p.bktOff, span+1)
 	total := 0
 	for _, e := range p.cached.entries {
-		if e.Start > p.w.Start && e.Start <= p.cachedEnd {
+		if e.Start > p.cachedStart && e.Start <= p.cachedEnd {
 			p.bktOff[e.Start-p.w.Start]++
 			total++
 		}
@@ -203,7 +236,7 @@ func (p *patcher) buildBuckets() {
 	cachedN := len(p.cached.off) - 1
 	for u := 0; u < cachedN; u++ {
 		for _, e := range p.cached.Entries(tgraph.VID(u)) {
-			if e.Start > p.w.Start && e.Start <= p.cachedEnd {
+			if e.Start > p.cachedStart && e.Start <= p.cachedEnd {
 				b := e.Start - p.w.Start - 1
 				p.bktU[cur[b]] = tgraph.VID(u)
 				cur[b]++
@@ -213,13 +246,61 @@ func (p *patcher) buildBuckets() {
 	p.cur = cur
 }
 
+// enterOracle runs on the transition whose new start time is cachedStart,
+// the first start the cached index covers: from here on the oracle is
+// live. Each vertex's entry pointer is positioned at its last entry with
+// Start <= cachedStart; clean cached values (CT < dirtyFrom) are adopted as
+// exact and pinned — the current ct is CT(cachedStart-1) <= CT(cachedStart),
+// so adoption only ever raises — and dirty vertices tighten to dirtyFrom
+// (an unchanged snapshot below dirtyFrom cannot hold a core for them).
+func (p *patcher) enterOracle() {
+	g := p.g
+	n := g.NumVertices()
+	cachedN := len(p.cached.off) - 1
+	p.frozenLive = true
+	for u := 0; u < n; u++ {
+		uu := tgraph.VID(u)
+		c := inf
+		if u < cachedN {
+			ents := p.cached.Entries(uu)
+			i := sort.Search(len(ents), func(i int) bool { return ents[i].Start > p.cachedStart }) - 1
+			p.entIdx[u] = p.cached.off[uu] + int32(i)
+			if i >= 0 {
+				c = ents[i].CT
+			}
+		}
+		if c < p.dirtyFrom {
+			if c > p.ct[u] {
+				p.ct[u] = c
+				p.markChanged(uu)
+				for _, nb := range g.Neighbours(uu) {
+					p.push(nb.V)
+				}
+			}
+			p.frozen[u] = true
+			continue
+		}
+		// Dirty: the running ct (exact for the previous start) is already a
+		// valid lower bound; only a tightening to dirtyFrom needs pushes.
+		if p.dirtyFrom > p.ct[u] {
+			p.ct[u] = p.dirtyFrom
+			p.markChanged(uu)
+			for _, nb := range g.Neighbours(uu) {
+				p.push(nb.V)
+			}
+			p.push(uu)
+		}
+	}
+}
+
 // applyCache replays the cached core-time changes of start time target:
 // pinned vertices take their new exact value directly (no F evaluation),
 // and vertices whose cached value crosses the dirty threshold unpin into
 // the worklist with a tightened lower bound.
 func (p *patcher) applyCache(target tgraph.TS) {
-	if target > p.cachedEnd {
-		return // no oracle beyond the cached range; run() unpinned already
+	if target <= p.cachedStart || target > p.cachedEnd {
+		return // no oracle outside (cachedStart, cachedEnd]; run() and
+		// enterOracle own the boundaries
 	}
 	g := p.g
 	b := int(target - p.w.Start - 1)

@@ -204,6 +204,75 @@ func TestPatchCleanWindowMoves(t *testing.T) {
 	}
 }
 
+// TestPatchPartialRange extends query windows backwards past the cached
+// range start — the case that used to force a full rebuild — and requires
+// the partial-range patch to reproduce the scratch build exactly, both
+// with and without appended dirty suffixes.
+func TestPatchPartialRange(t *testing.T) {
+	var scratch vct.Scratch
+	patchedRuns := 0
+	for seed := int64(200); seed < 230; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		prefix, suffix := randomStream(r)
+		if len(prefix) == 0 {
+			continue
+		}
+		g, err := tgraph.FromRawEdges(prefix)
+		if err != nil {
+			continue
+		}
+		oldTMax := g.TMax()
+		if oldTMax < 6 {
+			continue
+		}
+		k := 2
+		// Cache covers only a suffix of the eventual query window.
+		cs := tgraph.TS(2 + r.Intn(int(oldTMax)/3))
+		cached, _, err := vct.Build(g, k, tgraph.Window{Start: cs, End: oldTMax})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirtyFrom := tgraph.InfTime
+		if len(suffix) > 0 && r.Intn(2) == 0 {
+			st, err := g.Append(suffix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Added > 0 {
+				dirtyFrom = st.FirstNewRank
+			}
+		}
+		for _, w := range []tgraph.Window{
+			{Start: 1, End: g.TMax()},      // extend past the cached start
+			{Start: cs - 1, End: g.TMax()}, // one step before it
+			{Start: 1, End: oldTMax},       // old frontier end
+			{Start: cs + 1, End: g.TMax()}, // still inside (regression guard)
+		} {
+			if !w.Valid() || w.End > g.TMax() {
+				continue
+			}
+			wantIx, wantEcs, err := vct.Build(g, k, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotIx, gotEcs, patched, err := vct.PatchScratch(g, k, w, cached, dirtyFrom, &scratch)
+			if err != nil {
+				t.Fatalf("seed %d w %v: %v", seed, w, err)
+			}
+			if patched && w.Start < cs {
+				patchedRuns++
+			}
+			if !indexesEqual(t, g, gotIx, wantIx) || !ecsEqual(t, gotEcs, wantEcs) {
+				t.Fatalf("seed %d w %v (cached [%d,%d], dirtyFrom %d, patched %v): partial-range patch differs from build",
+					seed, w, cs, oldTMax, dirtyFrom, patched)
+			}
+		}
+	}
+	if patchedRuns == 0 {
+		t.Fatal("no run exercised the partial-range patched path; the test is vacuous")
+	}
+}
+
 // TestPatchFallsBack covers the conditions under which the cache is
 // unusable and a full build must run.
 func TestPatchFallsBack(t *testing.T) {
@@ -224,13 +293,27 @@ func TestPatchFallsBack(t *testing.T) {
 	if _, _, patched, err := vct.PatchScratch(g, 3, full, cached, tgraph.InfTime, &s); err != nil || patched {
 		t.Fatalf("k mismatch: patched=%v err=%v", patched, err)
 	}
-	// Cached range starts after the requested window.
+	// Cached range starts after the requested window: the overlap is
+	// still usable (partial-range mode), so this patches.
 	late, _, err := vct.Build(g, 2, tgraph.Window{Start: 2, End: g.TMax()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, patched, err := vct.PatchScratch(g, 2, full, late, tgraph.InfTime, &s); err != nil || patched {
-		t.Fatalf("late cache: patched=%v err=%v", patched, err)
+	wantIx, wantEcs, err := vct.Build(g, 2, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIx, gotEcs, patched, err := vct.PatchScratch(g, 2, full, late, tgraph.InfTime, &s)
+	if err != nil || !patched {
+		t.Fatalf("late cache with clean overlap: patched=%v err=%v", patched, err)
+	}
+	if !indexesEqual(t, g, gotIx, wantIx) || !ecsEqual(t, gotEcs, wantEcs) {
+		t.Fatal("late-cache patch differs from build")
+	}
+	// Late cache that is dirty from its very first covered start proves
+	// nothing and must fall back.
+	if _, _, patched, err := vct.PatchScratch(g, 2, full, late, 2, &s); err != nil || patched {
+		t.Fatalf("late cache, no clean overlap: patched=%v err=%v", patched, err)
 	}
 	// Everything dirty.
 	if _, _, patched, err := vct.PatchScratch(g, 2, full, cached, 1, &s); err != nil || patched {

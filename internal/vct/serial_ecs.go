@@ -1,0 +1,91 @@
+package vct
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"temporalkcore/internal/tgraph"
+)
+
+const ecsMagic = "ECSX1\n"
+
+// Encode writes a compact binary form of the edge core skyline. The
+// encoding is self-contained and versioned; DecodeECS reads it back.
+func (e *ECS) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ecsMagic); err != nil {
+		return err
+	}
+	hdr := []int32{
+		int32(e.K),
+		int32(e.Range.Start), int32(e.Range.End),
+		int32(e.lo), int32(e.hi),
+		int32(len(e.wins)),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, e.off); err != nil {
+		return err
+	}
+	flat := make([]int32, 0, 2*len(e.wins))
+	for _, win := range e.wins {
+		flat = append(flat, int32(win.Start), int32(win.End))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, flat); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeECS reads a skyline written by Encode.
+func DecodeECS(r io.Reader) (*ECS, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(ecsMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("vct: reading magic: %w", err)
+	}
+	if string(magic) != ecsMagic {
+		return nil, errors.New("vct: not an ECSX1 stream")
+	}
+	hdr := make([]int32, 6)
+	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("vct: reading header: %w", err)
+	}
+	lo, hi, nWins := int(hdr[3]), int(hdr[4]), int(hdr[5])
+	const limit = 1 << 31
+	if lo < 0 || hi < lo || hi-lo >= limit || nWins < 0 || nWins > limit {
+		return nil, fmt.Errorf("vct: implausible sizes lo=%d hi=%d wins=%d", lo, hi, nWins)
+	}
+	e := &ECS{
+		K:     int(hdr[0]),
+		Range: tgraph.Window{Start: tgraph.TS(hdr[1]), End: tgraph.TS(hdr[2])},
+		lo:    tgraph.EID(lo),
+		hi:    tgraph.EID(hi),
+		off:   make([]int32, hi-lo+1),
+		wins:  make([]tgraph.Window, nWins),
+	}
+	if err := binary.Read(br, binary.LittleEndian, e.off); err != nil {
+		return nil, fmt.Errorf("vct: reading offsets: %w", err)
+	}
+	flat := make([]int32, 2*nWins)
+	if err := binary.Read(br, binary.LittleEndian, flat); err != nil {
+		return nil, fmt.Errorf("vct: reading windows: %w", err)
+	}
+	for i := range e.wins {
+		e.wins[i] = tgraph.Window{Start: tgraph.TS(flat[2*i]), End: tgraph.TS(flat[2*i+1])}
+	}
+	// Structural validation so a corrupted stream cannot cause panics.
+	if e.off[0] != 0 || int(e.off[len(e.off)-1]) != nWins {
+		return nil, errors.New("vct: corrupt skyline offset table")
+	}
+	for i := 1; i < len(e.off); i++ {
+		if e.off[i] < e.off[i-1] {
+			return nil, errors.New("vct: skyline offset table not monotone")
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,75 @@
+package vct_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"temporalkcore/internal/paperex"
+	"temporalkcore/internal/vct"
+)
+
+func TestECSEncodeDecode(t *testing.T) {
+	g := paperex.Graph()
+	_, ecs, err := vct.Build(g, 2, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ecs.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := vct.DecodeECS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != ecs.K || back.Range != ecs.Range || back.Size() != ecs.Size() {
+		t.Fatalf("shape changed: %+v vs %+v", back, ecs)
+	}
+	blo, bhi := back.EdgeRange()
+	lo, hi := ecs.EdgeRange()
+	if blo != lo || bhi != hi {
+		t.Fatalf("edge range changed: [%d,%d) vs [%d,%d)", blo, bhi, lo, hi)
+	}
+	for e := lo; e < hi; e++ {
+		ww, gw := ecs.Windows(e), back.Windows(e)
+		if len(ww) != len(gw) {
+			t.Fatalf("window count of edge %d changed", e)
+		}
+		for i := range ww {
+			if ww[i] != gw[i] {
+				t.Fatalf("window %d of edge %d changed", i, e)
+			}
+		}
+	}
+}
+
+func TestDecodeECSRejectsGarbage(t *testing.T) {
+	for _, c := range []string{"", "NOPE", "ECSX1\n"} {
+		if _, err := vct.DecodeECS(strings.NewReader(c)); err == nil {
+			t.Errorf("garbage %q accepted", c)
+		}
+	}
+	g := paperex.Graph()
+	_, ecs, err := vct.Build(g, 2, g.FullWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ecs.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Break the offset table monotonicity / totals.
+	mut := append([]byte(nil), data...)
+	mut[ecsMagicLen()+6*4] ^= 0xFF
+	if _, err := vct.DecodeECS(bytes.NewReader(mut)); err == nil {
+		t.Errorf("corrupt offset table accepted")
+	}
+	// Truncated stream.
+	if _, err := vct.DecodeECS(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Errorf("truncated stream accepted")
+	}
+}
+
+func ecsMagicLen() int { return len("ECSX1\n") }

@@ -1,0 +1,165 @@
+package temporalkcore_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	tkc "temporalkcore"
+)
+
+// BenchmarkOpenWarm measures what the durability tier buys a restart on
+// the CM replica: open a data directory and answer the first full-range
+// historical query.
+//
+//   - warm: the directory holds a snapshot plus the warm cache spill, so
+//     the open re-admits the persisted PHC entry and the first
+//     HistoricalIndex call is a cache hit.
+//   - cold: the same directory with the warm spill stripped — the open
+//     recovers the graph identically but the first query pays a full PHC
+//     build.
+//
+// Both subtests time OpenDir + HistoricalIndex; the ratio is the PR's
+// ≥5x warm-restart acceptance criterion, gated in bench_gate.sh.
+func BenchmarkOpenWarm(b *testing.B) {
+	ctx := context.Background()
+	base, tail := cmStream(b)
+	full := append(append([]tkc.Edge(nil), base...), tail...)
+
+	// prep builds a data directory holding the CM replica, a resident
+	// full-range PHC index, and a snapshot (which spills the index).
+	prep := func(b *testing.B) (dir string, lo, hi int64) {
+		b.Helper()
+		dir = b.TempDir()
+		d, err := tkc.OpenDir(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Bootstrap(full); err != nil {
+			b.Fatal(err)
+		}
+		lo, hi = d.Graph().TimeSpan()
+		if _, err := d.Graph().HistoricalIndex(ctx, lo, hi); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir, lo, hi
+	}
+
+	b.Run("warm", func(b *testing.B) {
+		dir, lo, hi := prep(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d, err := tkc.OpenDir(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Graph().HistoricalIndex(ctx, lo, hi); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if d.WarmEntries() < 1 {
+				b.Fatal("warm open re-admitted no cache entries")
+			}
+			d.Close()
+			b.StartTimer()
+		}
+	})
+
+	b.Run("cold", func(b *testing.B) {
+		dir, lo, hi := prep(b)
+		warm, err := filepath.Glob(filepath.Join(dir, "*.tkcc"))
+		if err != nil || len(warm) == 0 {
+			b.Fatalf("no warm spill to strip (%v, %v)", warm, err)
+		}
+		for _, f := range warm {
+			if err := os.Remove(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d, err := tkc.OpenDir(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Graph().HistoricalIndex(ctx, lo, hi); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if d.WarmEntries() != 0 {
+				b.Fatal("cold open unexpectedly found warm entries")
+			}
+			d.Close()
+			b.StartTimer()
+		}
+	})
+}
+
+// BenchmarkPHCPartialRangePatch is the regression benchmark for the
+// partial-range patch fix: an index covering only a time-suffix of the
+// requested window must still serve as a patch oracle — rebuilding the
+// uncovered prefix and reusing the clean overlap — instead of silently
+// producing labels derived from out-of-range state.
+//
+// Setup builds the oracle on the ~90% time-suffix of the CM replica;
+// the timed call asks for the full range, which extends backwards past
+// the indexed start. patch times that call with the oracle in place,
+// rebuild times the identical call on a lineage with no oracle. The
+// ratio is the fix's ≥2x acceptance criterion, gated in bench_gate.sh.
+func BenchmarkPHCPartialRangePatch(b *testing.B) {
+	ctx := context.Background()
+	base, tail := cmStream(b)
+	full := append(append([]tkc.Edge(nil), base...), tail...)
+	subLo := full[len(full)/10].Time // oracle range starts ~10% in
+
+	probe, err := tkc.NewGraph(full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := probe.TimeSpan()
+	if subLo <= lo || subLo >= hi {
+		b.Fatalf("degenerate sub-range start %d for span [%d, %d]", subLo, lo, hi)
+	}
+
+	b.Run("patch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g, err := tkc.NewGraph(full)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := g.HistoricalIndex(ctx, subLo, hi); err != nil { // the sub-range oracle
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := g.HistoricalIndex(ctx, lo, hi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g, err := tkc.NewGraph(full)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := g.HistoricalIndex(ctx, lo, hi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

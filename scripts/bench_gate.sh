@@ -22,9 +22,11 @@ tol=${BENCH_GATE_TOLERANCE:-30}
 # amortised O(1) single-edge appends (PR 3), the lock-free concurrent read
 # path and lock-free append latency under analytical load (PR 4),
 # O(lookup) warm serving-cache hits (PR 5), incremental historical
-# index maintenance plus O(lookup) historical cache hits (PR 6), and the
-# HTTP serving layer's warm point-query round-trip (PR 7). Fixed
-# iteration counts keep run-to-run variance inside the tolerance.
+# index maintenance plus O(lookup) historical cache hits (PR 6), the
+# HTTP serving layer's warm point-query round-trip (PR 7), and the
+# durability tier's warm restart plus the PHC partial-range patch fix
+# (PR 9). Fixed iteration counts keep run-to-run variance inside the
+# tolerance.
 raw=$(
   go test -run=NONE -bench='BenchmarkBuildScratchReuse$' -benchtime=3x -benchmem ./internal/vct/
   go test -run=NONE -bench='BenchmarkAppendOneByOne$' -benchtime=20000x -benchmem ./internal/tgraph/
@@ -34,6 +36,8 @@ raw=$(
   go test -run=NONE -bench='BenchmarkHistoricalPatchVsRebuild$' -benchtime=5x -benchmem .
   go test -run=NONE -bench='BenchmarkHistoricalCacheHit$' -benchtime=100x -benchmem .
   go test -run=NONE -bench='BenchmarkServeQueryWarm$' -benchtime=200x -benchmem ./internal/serve/
+  go test -run=NONE -bench='BenchmarkOpenWarm$' -benchtime=3x -benchmem .
+  go test -run=NONE -bench='BenchmarkPHCPartialRangePatch$' -benchtime=3x -benchmem .
 )
 echo "$raw"
 
@@ -110,10 +114,13 @@ while read -r name bns bal; do
   # is recorded informationally.
   # BenchmarkServeQueryWarm is a full loopback HTTP round-trip — kernel
   # scheduling and the network stack dominate, so it too is alloc-gated
-  # with ns/op recorded informationally.
+  # with ns/op recorded informationally. BenchmarkOpenWarm/warm is
+  # fsync-bound (the open rotates a WAL with a durability barrier), so
+  # shared-runner disk latency dominates its few-ms ns/op; the cold
+  # subtest is a compute-bound PHC rebuild and stays ns-gated.
   nscheck=1
   case "$name" in
-  BenchmarkConcurrentServe/* | BenchmarkAppendUnderAnalytics/* | BenchmarkServeQueryWarm) nscheck=0 ;;
+  BenchmarkConcurrentServe/* | BenchmarkAppendUnderAnalytics/* | BenchmarkServeQueryWarm | BenchmarkOpenWarm/warm) nscheck=0 ;;
   esac
   if [[ $nscheck == 1 ]] && ! awk -v c="$cns" -v b="$bns" -v t="$tol" 'BEGIN { exit !(c <= b * (1 + t / 100)) }'; then
     echo "BENCH GATE FAIL: $name ns/op ${cns} is more than ${tol}% above the ${bns} baseline" >&2

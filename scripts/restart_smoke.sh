@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Restart smoke: end-to-end durability check on the real `tkc serve`
+# binary, across three process generations of one -data directory.
+#
+#   gen 1: bootstrap + append over HTTP, then SIGKILL before any snapshot
+#          — recovery must replay the acknowledged batches from the WAL.
+#   gen 2: verify the recovered epoch, run a query (populating the
+#          cache), snapshot via POST /v1/snapshot, SIGKILL again.
+#   gen 3: the FIRST repeat of that query must already be a cache hit
+#          served from the persisted warm spill; then a SIGINT shutdown
+#          must write a final snapshot.
+#
+# CI runs this as the durability tier's end-to-end check outside the Go
+# test harness.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [[ -n "$server_pid" ]] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# start_server LOGFILE: boots `tkc serve -data` and sets $server_pid and
+# $base (parsed from the listening line, so -addr :0 works).
+start_server() {
+  "$workdir/tkc" serve -data "$workdir/data" -addr 127.0.0.1:0 >"$1" 2>&1 &
+  server_pid=$!
+  base=""
+  for _ in $(seq 1 50); do
+    base=$(sed -n 's/^serve: listening on //p' "$1" | head -1)
+    [[ -n "$base" ]] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$1"; echo "server died"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$base" ]] || { cat "$1"; echo "no listening line"; exit 1; }
+  echo "   serving at $base"
+}
+
+hard_kill() {
+  kill -9 "$server_pid"
+  wait "$server_pid" 2>/dev/null || true
+  server_pid=""
+}
+
+stat_field() { # stat_field NAME -> value from /v1/stats
+  curl -sS "$base/v1/stats" | sed -n "s/.*\"$1\":\\([0-9-]*\\).*/\\1/p"
+}
+
+echo "== build"
+go build -o "$workdir/tkc" ./cmd/tkc
+go build -o "$workdir/tkcgen" ./cmd/tkcgen
+
+echo "== generate graph"
+"$workdir/tkcgen" -dataset FB -edges 2000 -seed 7 -out "$workdir/edges.txt"
+
+echo "== generation 1: bootstrap + append, then SIGKILL (WAL only)"
+start_server "$workdir/serve1.log"
+curl -sS --fail-with-body -X POST "$base/v1/append" \
+  --data-binary @"$workdir/edges.txt" | grep -q '"added":' ||
+  { echo "bootstrap append failed"; exit 1; }
+frontier=$(stat_field end)
+printf '{"u":9001,"v":9002,"t":%d}\n{"u":9002,"v":9003,"t":%d}\n' \
+  "$((frontier + 1))" "$((frontier + 1))" |
+  curl -sS --fail-with-body -X POST "$base/v1/append" --data-binary @- |
+  grep -q '"added":2' || { echo "post-bootstrap append failed"; exit 1; }
+epoch=$(stat_field epoch)
+edges=$(stat_field edges)
+hard_kill
+
+echo "== generation 2: WAL replay recovered every acknowledged batch"
+start_server "$workdir/serve2.log"
+grep -q "serve: recovered" "$workdir/serve2.log" ||
+  { cat "$workdir/serve2.log"; echo "no recovery line"; exit 1; }
+[[ "$(stat_field epoch)" == "$epoch" && "$(stat_field edges)" == "$edges" ]] ||
+  { echo "recovered epoch/edges $(stat_field epoch)/$(stat_field edges), want $epoch/$edges"; exit 1; }
+
+echo "== query (cold) + snapshot, then SIGKILL"
+query='{"k":3,"project":"count"}'
+cold=$(curl -sS --fail-with-body -X POST "$base/v1/query" \
+  -H 'Content-Type: application/json' -d "$query" | tail -1)
+grep -q '"stats"' <<<"$cold" || { echo "no stats trailer: $cold"; exit 1; }
+snap=$(curl -sS --fail-with-body -X POST "$base/v1/snapshot")
+seq=$(sed -n 's/.*"snapshot":\([0-9]*\).*/\1/p' <<<"$snap")
+[[ "$seq" == "$epoch" ]] || { echo "snapshot seq $seq, want epoch $epoch: $snap"; exit 1; }
+hard_kill
+
+echo "== generation 3: first repeat query is served from the warm spill"
+start_server "$workdir/serve3.log"
+grep -q "warm cache entries" "$workdir/serve3.log" ||
+  { cat "$workdir/serve3.log"; echo "no warm-entries recovery line"; exit 1; }
+warm=$(curl -sS --fail-with-body -X POST "$base/v1/query" \
+  -H 'Content-Type: application/json' -d "$query" | tail -1)
+grep -q '"cacheHit":true' <<<"$warm" ||
+  { echo "first post-restart query was not a warm hit: $warm"; exit 1; }
+
+echo "== graceful shutdown writes a final snapshot"
+kill -INT "$server_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  echo "server ignored SIGINT"
+  exit 1
+fi
+wait "$server_pid" || { echo "server exited non-zero"; cat "$workdir/serve3.log"; exit 1; }
+server_pid=""
+grep -q "serve: final snapshot" "$workdir/serve3.log" ||
+  { cat "$workdir/serve3.log"; echo "no final snapshot on shutdown"; exit 1; }
+
+echo "restart smoke OK"
