@@ -35,6 +35,9 @@ func runServe(args []string) {
 		drain         = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight streams")
 		dataDir       = fs.String("data", "", "data directory for durability: WAL-logged appends, snapshots, warm restarts")
 		snapEvery     = fs.Duration("snapshot-every", 0, "background snapshot interval with -data (0: only on shutdown and POST /v1/snapshot)")
+		shards        = fs.Int("shards", 0, "serve time-range shards: initial partition count (0: unsharded; requires -graph or a sharded -data dir)")
+		shardReplicas = fs.Int("shard-replicas", 0, "reader replicas per shard (0: default)")
+		maxShardEdges = fs.Int("max-shard-edges", 0, "auto-seal the frontier shard once it holds this many edges (0: manual/initial partition only)")
 	)
 	fs.Parse(args)
 
@@ -48,7 +51,52 @@ func runServe(args []string) {
 		EpochRetain:     *epochRetain,
 	}
 	var durable *tkc.DurableGraph
-	if *dataDir != "" {
+	var sharded *tkc.ShardedGraph
+	if *shards > 0 {
+		so := tkc.ShardOptions{Shards: *shards, Replicas: *shardReplicas, MaxShardEdges: *maxShardEdges}
+		switch {
+		case *dataDir != "":
+			sg, err := tkc.OpenShardedDir(*dataDir, so)
+			if err != nil && *graphPath != "" {
+				// Not an openable sharded directory; bootstrap it from the
+				// edge file (fails loudly when the directory is non-empty).
+				edges, lerr := loadEdgeFile(*graphPath)
+				if lerr != nil {
+					log.Fatal(lerr)
+				}
+				sg, lerr = tkc.BootstrapShardedDir(*dataDir, edges, so)
+				if lerr != nil {
+					log.Fatalf("open sharded %s: %v; bootstrap from %s: %v", *dataDir, err, *graphPath, lerr)
+				}
+				fmt.Printf("serve: bootstrapped sharded %s from %s: %d shards, %d edges\n",
+					*dataDir, *graphPath, sg.NumShards(), sg.Spine().NumEdges())
+			} else if err != nil {
+				log.Fatalf("open sharded %s: %v (an empty directory needs -graph to bootstrap)", *dataDir, err)
+			} else {
+				if *graphPath != "" {
+					log.Printf("serve: %s already holds a graph; ignoring -graph", *dataDir)
+				}
+				fmt.Printf("serve: recovered sharded %s at seq %d: %d shards, %d edges\n",
+					*dataDir, sg.Latest().Seq(), sg.NumShards(), sg.Spine().NumEdges())
+			}
+			sharded = sg
+		case *graphPath != "":
+			g, err := tkc.LoadFile(*graphPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sg, err := tkc.ShardGraph(g, so)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("serve: graph %s in %d time-range shards: %d vertices, %d edges\n",
+				*graphPath, sg.NumShards(), g.NumVertices(), g.NumEdges())
+			sharded = sg
+		default:
+			log.Fatal("serve: -shards needs -graph or a sharded -data directory")
+		}
+		cfg.Sharded = sharded
+	} else if *dataDir != "" {
 		d, err := tkc.OpenDir(*dataDir)
 		if err != nil {
 			log.Fatal(err)
@@ -106,7 +154,7 @@ func runServe(args []string) {
 	// WAL rotation) and the serialization runs off the writer path, so the
 	// timer never stalls appends.
 	stopSnap := make(chan struct{})
-	if durable != nil && *snapEvery > 0 {
+	if (durable != nil || (sharded != nil && sharded.Durable())) && *snapEvery > 0 {
 		go func() {
 			t := time.NewTicker(*snapEvery)
 			defer t.Stop()
@@ -140,6 +188,20 @@ func runServe(args []string) {
 		<-errc
 	}
 	close(stopSnap)
+	if sharded != nil {
+		if sharded.Durable() {
+			// Final snapshot (spine only — sealed shard segments are already
+			// durable) so the next start recovers without WAL replay.
+			if seq, err := s.Snapshot(); err != nil {
+				log.Printf("final snapshot: %v", err)
+			} else {
+				fmt.Printf("serve: final snapshot at seq %d\n", seq)
+			}
+		}
+		if err := sharded.Close(); err != nil {
+			log.Printf("closing sharded graph: %v", err)
+		}
+	}
 	if durable != nil {
 		// Final snapshot so the next start recovers without WAL replay and
 		// with a warm cache spill of the state being served right now.

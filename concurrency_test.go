@@ -39,14 +39,22 @@ func cmEdges(t testing.TB, edges int) []tkc.Edge {
 // over the whole history plus every materialised core of the trailing
 // window — into one canonical, byte-comparable string.
 func coreFingerprint(g *tkc.Graph, k int) (string, error) {
+	return fingerprintFrom(g, g, k)
+}
+
+// fingerprintFrom is coreFingerprint with the execution source decoupled
+// from the graph whose state it describes, so the sharded differential can
+// fingerprint a ShardedView's scatter-gather results in exactly the format
+// an unsharded rebuild produces.
+func fingerprintFrom(g *tkc.Graph, src tkc.Querier, k int) (string, error) {
 	ctx := context.Background()
 	lo, hi := g.TimeSpan()
-	qs, err := g.Query(k).Window(lo, hi).Count(ctx)
+	qs, err := src.Query(k).Window(lo, hi).Count(ctx)
 	if err != nil {
 		return "", err
 	}
 	ws := hi - (hi-lo)/10 // trailing tenth: small enough to materialise
-	cores, err := g.Query(k).Window(ws, hi).Collect(ctx)
+	cores, err := src.Query(k).Window(ws, hi).Collect(ctx)
 	if err != nil {
 		return "", err
 	}

@@ -79,8 +79,30 @@ const stopStride = 64
 //
 // tkc:cancellable
 func EnumerateStop(g *tgraph.Graph, ecs *vct.ECS, sink Sink, s *Scratch, stop func() bool) (done, cancelled bool) {
+	return EnumerateRangeStop(g, ecs, sink, s, ecs.Range.End, stop)
+}
+
+// EnumerateRangeStop is EnumerateStop bounded to cores whose tightest start
+// is at most lastStart: the outer sweep ends after lastStart instead of the
+// skyline range end, so a caller that only wants a prefix of the start axis
+// — a time-range shard emitting its slice of a scatter-gather query — pays
+// nothing for the starts beyond it. Cores are emitted in the same canonical
+// order Enumerate uses; lastStart at or beyond ecs.Range.End is the full
+// enumeration.
+//
+// tkc:cancellable
+func EnumerateRangeStop(g *tgraph.Graph, ecs *vct.ECS, sink Sink, s *Scratch, lastStart tgraph.TS, stop func() bool) (done, cancelled bool) {
 	w := ecs.Range
 	tlen := int(w.End-w.Start) + 1
+	// The buckets below are sized for the full skyline range — window ends
+	// past lastStart still index them — so only the outer sweep is bounded.
+	sweep := tlen
+	if lastStart < w.End {
+		if lastStart < w.Start {
+			return true, false
+		}
+		sweep = int(lastStart-w.Start) + 1
+	}
 	lo, hi := ecs.EdgeRange()
 
 	// Materialise window nodes with their active times (Definition 6:
@@ -155,7 +177,7 @@ func EnumerateStop(g *tgraph.Graph, ecs *vct.ECS, sink Sink, s *Scratch, stop fu
 	edgeBuf := s.edgeBuf[:0]
 	defer func() { s.edgeBuf = edgeBuf }()
 
-	for off := 0; off < tlen; off++ {
+	for off := 0; off < sweep; off++ {
 		if stop != nil && off&(stopStride-1) == 0 && stop() {
 			return false, true
 		}
@@ -173,11 +195,19 @@ func EnumerateStop(g *tgraph.Graph, ecs *vct.ECS, sink Sink, s *Scratch, stop fu
 		}
 
 		// Insert newly active windows with a single merge scan (lines
-		// 17-22); the Ba bucket ascends by end, so h never moves backwards.
+		// 17-22); the Ba bucket ascends by (end, eid) — equal ends within a
+		// bucket are distinct edges in node-index order — so h never moves
+		// backwards. Breaking end ties by eid keeps the whole list in
+		// canonical (end, eid) order: the emitted edge order then depends
+		// only on the skyline content, not on activation history, which is
+		// what lets a restricted-range enumeration (a shard's slice of a
+		// scatter-gather query) byte-match the full-window one.
 		h := head
 		for _, ni := range baIdx[baOff[off]:baOff[off+1]] {
-			for nodes[h].next != nilNode && nodes[nodes[h].next].end < nodes[ni].end {
-				h = nodes[h].next
+			for nx := nodes[h].next; nx != nilNode &&
+				(nodes[nx].end < nodes[ni].end ||
+					(nodes[nx].end == nodes[ni].end && nodes[nx].eid < nodes[ni].eid)); nx = nodes[h].next {
+				h = nx
 			}
 			nx := nodes[h].next
 			nodes[ni].prev = h

@@ -125,15 +125,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusConflict, "no graph loaded; POST edges to /v1/append first")
 		return
 	}
-	snap := g.Latest()
-	if q.Epoch != nil {
-		if snap = s.epochAt(*q.Epoch); snap == nil {
-			writeJSONError(w, http.StatusGone, "epoch %d is not retained (latest is %d)", *q.Epoch, g.Latest().Seq())
-			return
+	// Resolve the query source: in sharded mode a pinned epoch must carry
+	// the shard directory that was current at publish time, so the ring
+	// holds ShardedViews; otherwise it is a plain pinned snapshot.
+	var src tkc.Querier
+	var seq int64
+	if s.sharded != nil {
+		v := s.sharded.Latest()
+		if q.Epoch != nil {
+			if v = s.viewAt(*q.Epoch); v == nil {
+				writeJSONError(w, http.StatusGone, "epoch %d is not retained (latest is %d)", *q.Epoch, s.sharded.Latest().Seq())
+				return
+			}
 		}
+		src, seq = v, v.Seq()
+	} else {
+		snap := g.Latest()
+		if q.Epoch != nil {
+			if snap = s.epochAt(*q.Epoch); snap == nil {
+				writeJSONError(w, http.StatusGone, "epoch %d is not retained (latest is %d)", *q.Epoch, g.Latest().Seq())
+				return
+			}
+		}
+		src, seq = snap.Graph, snap.Seq()
 	}
 
-	req, err := q.Request(snap.Graph)
+	req, err := q.RequestFrom(src)
 	if err != nil {
 		writeJSONError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -151,18 +168,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	sw := w.(*statusWriter)
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Tkc-Epoch", strconv.FormatInt(snap.Seq(), 10))
+	w.Header().Set("X-Tkc-Epoch", strconv.FormatInt(seq, 10))
 
 	qs, err := req.WriteTo(ctx, w)
 	if err != nil {
-		s.queryError(sw, r, snap.Seq(), err)
+		s.queryError(sw, r, seq, err)
 		return
 	}
 	// The stats trailer: one deterministic NDJSON line after the core
 	// stream (timings live in /metrics, not here, so golden tests can
-	// byte-lock the full body).
+	// byte-lock the full body). Sharded requests add the shard-span count,
+	// which is a deterministic property of the pinned view.
+	if qs.Shards > 0 {
+		fmt.Fprintf(w, "{\"stats\":{\"cores\":%d,\"resultEdges\":%d,\"epoch\":%d,\"cacheHit\":%v,\"shards\":%d}}\n",
+			qs.Cores, qs.Edges, seq, qs.CacheHit, qs.Shards)
+		return
+	}
 	fmt.Fprintf(w, "{\"stats\":{\"cores\":%d,\"resultEdges\":%d,\"epoch\":%d,\"cacheHit\":%v}}\n",
-		qs.Cores, qs.Edges, snap.Seq(), qs.CacheHit)
+		qs.Cores, qs.Edges, seq, qs.CacheHit)
 }
 
 // queryError maps an execution error onto the wire. Before the first body
@@ -275,8 +298,24 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 
 	ar := tkc.NewAppendReader(g, br)
 	ar.BatchSize = batch
-	if s.durable != nil {
+	switch {
+	case s.sharded != nil:
+		// Batches route through the frontier shard: WAL-logged when the
+		// sharded graph is durable, auto-sealing per its ShardOptions, and
+		// published internally — the publish below just retains the view.
+		ar.Sink = s.sharded
+	case s.durable != nil:
 		ar.Sink = s.durable // WAL-log each batch before it is applied
+	}
+	publish := func() int64 {
+		if s.sharded != nil {
+			v := s.sharded.Latest()
+			s.retainView(v)
+			return v.Seq()
+		}
+		ep := g.Publish()
+		s.retain(ep)
+		return ep.Seq()
 	}
 	for {
 		if err := r.Context().Err(); err != nil {
@@ -296,11 +335,9 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		if n == 0 {
 			continue // batch fully collapsed into existing edges
 		}
-		ep := g.Publish()
-		s.retain(ep)
 		added += n
 		batches++
-		lastSeq = ep.Seq()
+		lastSeq = publish()
 	}
 
 	w.Header().Set("Content-Type", "application/json")
@@ -318,7 +355,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.adm.release()
-	if s.durable == nil {
+	if s.sharded != nil {
+		if !s.sharded.Durable() {
+			writeJSONError(w, http.StatusConflict, "server has no data directory (start with -data)")
+			return
+		}
+	} else if s.durable == nil {
 		writeJSONError(w, http.StatusConflict, "server has no data directory (start with -data)")
 		return
 	}
@@ -377,6 +419,23 @@ type statsResponse struct {
 
 	Cache     tkc.CacheStats          `json:"cache"`
 	Endpoints map[string]endpointJSON `json:"endpoints"`
+
+	// Shards is present only in sharded mode: one entry per time-range
+	// shard, frontier last.
+	Shards []shardJSON `json:"shards,omitempty"`
+}
+
+type shardJSON struct {
+	ID        int   `json:"id"`
+	Sealed    bool  `json:"sealed"`
+	Start     int64 `json:"start"`
+	End       int64 `json:"end"`
+	Edges     int   `json:"edges"`
+	Seq       int64 `json:"seq"`
+	Replicas  int   `json:"replicas"`
+	Tasks     int64 `json:"tasks"`
+	CacheHits int64 `json:"cacheHits"`
+	Patched   int64 `json:"patched"`
 }
 
 type endpointJSON struct {
@@ -405,6 +464,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.Timestamps = ep.TimestampCount()
 		resp.Start, resp.End = ep.TimeSpan()
 		resp.Cache = g.CacheStats()
+	}
+	if s.sharded != nil {
+		for _, ss := range s.sharded.ShardStats() {
+			resp.Shards = append(resp.Shards, shardJSON{
+				ID: ss.ID, Sealed: ss.Sealed, Start: ss.StartTime, End: ss.EndTime,
+				Edges: ss.Edges, Seq: ss.Seq, Replicas: ss.Replicas,
+				Tasks: ss.Tasks, CacheHits: ss.CacheHits, Patched: ss.Patched,
+			})
+		}
 	}
 	for _, es := range s.rec.Snapshot() {
 		ej := endpointJSON{
@@ -448,6 +516,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	var b strings.Builder
 	s.rec.WritePrometheus(&b, extra)
+	if s.sharded != nil {
+		// Per-shard families carry a shard label, which the flat extra map
+		// cannot express; append them after the recorder's output.
+		writeShardMetrics(&b, s.sharded.ShardStats())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, b.String())
+}
+
+// writeShardMetrics renders the per-shard gauge families, one labelled
+// sample per shard.
+func writeShardMetrics(b *strings.Builder, stats []tkc.ShardStats) {
+	families := []struct {
+		name string
+		val  func(tkc.ShardStats) float64
+	}{
+		{"tkc_shard_sealed", func(s tkc.ShardStats) float64 {
+			if s.Sealed {
+				return 1
+			}
+			return 0
+		}},
+		{"tkc_shard_edges", func(s tkc.ShardStats) float64 { return float64(s.Edges) }},
+		{"tkc_shard_replicas", func(s tkc.ShardStats) float64 { return float64(s.Replicas) }},
+		{"tkc_shard_tasks_total", func(s tkc.ShardStats) float64 { return float64(s.Tasks) }},
+		{"tkc_shard_cache_hits_total", func(s tkc.ShardStats) float64 { return float64(s.CacheHits) }},
+		{"tkc_shard_patched_total", func(s tkc.ShardStats) float64 { return float64(s.Patched) }},
+	}
+	for _, f := range families {
+		fmt.Fprintf(b, "# TYPE %s gauge\n", f.name)
+		for _, s := range stats {
+			fmt.Fprintf(b, "%s{shard=\"%d\"} %g\n", f.name, s.ID, f.val(s))
+		}
+	}
 }

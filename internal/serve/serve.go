@@ -58,6 +58,15 @@ type Config struct {
 	// Graph.
 	Durable *tkc.DurableGraph
 
+	// Sharded, when non-nil, serves a time-range sharded graph: queries
+	// scatter-gather across the shard set on per-shard replica pools,
+	// appends route through the frontier shard (auto-sealing per its
+	// ShardOptions), epoch pinning addresses published ShardedViews, and
+	// /v1/stats + /metrics carry per-shard serving counters. Takes
+	// precedence over Durable and Graph; pair it with a sharded data
+	// directory (BootstrapShardedDir/OpenShardedDir) for durability.
+	Sharded *tkc.ShardedGraph
+
 	// Cache, when non-nil, reconfigures the graph's serving cache (it is
 	// applied to a bootstrapped graph too). Nil keeps the graph's current
 	// configuration (enabled at DefaultCacheMaxBytes for a fresh graph).
@@ -129,11 +138,16 @@ type Server struct {
 	writerMu sync.Mutex
 	graph    atomic.Pointer[tkc.Graph]
 	durable  *tkc.DurableGraph // nil when serving without a data directory
+	sharded  *tkc.ShardedGraph // nil when serving unsharded
 
 	// epochs is the ring of recently published snapshots that stay
 	// addressable by sequence number through the "epoch" request field.
+	// In sharded mode sviews is the ring instead: a pinned entry must
+	// carry the shard directory that was current at publish time, not
+	// just the epoch.
 	epochsMu sync.Mutex
-	epochs   []*tkc.Snapshot // tkc:guardedby epochsMu
+	epochs   []*tkc.Snapshot    // tkc:guardedby epochsMu
+	sviews   []*tkc.ShardedView // tkc:guardedby epochsMu
 
 	started time.Time
 
@@ -150,6 +164,17 @@ func New(cfg Config) *Server {
 		adm:     newAdmission(cfg.MaxInFlight, cfg.AdmissionWait),
 		rec:     NewRecorder(),
 		started: time.Now(),
+	}
+	if cfg.Sharded != nil {
+		s.sharded = cfg.Sharded
+		if cfg.Cache != nil {
+			cfg.Sharded.SetCacheOptions(*cfg.Cache)
+		}
+		v := cfg.Sharded.Latest()
+		s.retainView(v)
+		s.graph.Store(cfg.Sharded.Spine())
+		s.mountMux()
+		return s
 	}
 	if cfg.Durable != nil {
 		s.durable = cfg.Durable
@@ -173,6 +198,11 @@ func New(cfg Config) *Server {
 		s.retain(ep)
 		s.graph.Store(cfg.Graph)
 	}
+	s.mountMux()
+	return s
+}
+
+func (s *Server) mountMux() {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/query", s.instrument("query", s.handleQuery))
 	mux.Handle("POST /v1/append", s.instrument("append", s.handleAppend))
@@ -184,7 +214,6 @@ func New(cfg Config) *Server {
 		w.Write([]byte("ok\n"))
 	}))
 	s.mux = mux
-	return s
 }
 
 // Handler returns the server's HTTP handler, for mounting on an external
@@ -232,6 +261,12 @@ func (s *Server) graphOrNil() *tkc.Graph { return s.graph.Load() }
 // goroutine — the snapshot timer and the /v1/snapshot endpoint both funnel
 // here — and concurrent appends proceed while the image is written.
 func (s *Server) Snapshot() (int64, error) {
+	if s.sharded != nil {
+		if !s.sharded.Durable() {
+			return -1, fmt.Errorf("serve: no data directory configured")
+		}
+		return s.sharded.SnapshotDurable()
+	}
 	if s.durable == nil {
 		return -1, fmt.Errorf("serve: no data directory configured")
 	}
@@ -264,6 +299,35 @@ func (s *Server) epochAt(seq int64) *tkc.Snapshot {
 	for i := len(s.epochs) - 1; i >= 0; i-- {
 		if s.epochs[i].Seq() == seq {
 			return s.epochs[i]
+		}
+	}
+	return nil
+}
+
+// retainView is retain for sharded mode: a pinned sharded epoch must keep
+// the shard directory that was current at publish time, not just the
+// snapshot, so the ring holds ShardedViews.
+func (s *Server) retainView(v *tkc.ShardedView) {
+	s.epochsMu.Lock()
+	defer s.epochsMu.Unlock()
+	if n := len(s.sviews); n > 0 && s.sviews[n-1].Seq() == v.Seq() {
+		s.sviews[n-1] = v
+		return
+	}
+	s.sviews = append(s.sviews, v)
+	if over := len(s.sviews) - s.cfg.EpochRetain; over > 0 {
+		copy(s.sviews, s.sviews[over:])
+		s.sviews = s.sviews[:s.cfg.EpochRetain]
+	}
+}
+
+// viewAt returns the retained sharded view with sequence number seq, or nil.
+func (s *Server) viewAt(seq int64) *tkc.ShardedView {
+	s.epochsMu.Lock()
+	defer s.epochsMu.Unlock()
+	for i := len(s.sviews) - 1; i >= 0; i-- {
+		if s.sviews[i].Seq() == seq {
+			return s.sviews[i]
 		}
 	}
 	return nil

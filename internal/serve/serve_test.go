@@ -66,6 +66,7 @@ type trailerJSON struct {
 		ResultEdges int64 `json:"resultEdges"`
 		Epoch       int64 `json:"epoch"`
 		CacheHit    bool  `json:"cacheHit"`
+		Shards      int   `json:"shards"`
 	} `json:"stats"`
 	Error string `json:"error"`
 	Epoch int64  `json:"epoch"`

@@ -1,0 +1,120 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"temporalkcore/internal/tgraph"
+)
+
+// Sharded durability rides on the same data directory: the spine graph
+// recovers through the usual snapshot + WAL chain (the only path proven
+// byte-identical), while the shard partition persists as
+//
+//	shard-<id>-<seq>.tkcs  standalone segment image of sealed shard <id>
+//	shards.json            the manifest of sealed cuts, rewritten per seal
+//
+// A sealed shard's range is immutable, so its segment file is written
+// exactly once — SyncShards never rewrites an existing file — and the
+// whole shard tier is exempt from snapshot compaction (compact only
+// touches snapshot-/wal-/warm- files). Each shard file is a complete
+// TKSG1 image of just that shard's edges, openable on its own with
+// ReadShard: a sealed shard can be shipped, archived or served elsewhere
+// without the rest of the history.
+
+// ShardCut is the durable record of one sealed shard boundary, mirroring
+// the in-memory directory cut.
+type ShardCut struct {
+	ID     int   `json:"id"`      // 0-based shard id
+	RawEnd int64 `json:"raw_end"` // inclusive raw-time upper bound
+	End    int64 `json:"end"`     // compressed rank of RawEnd at seal time
+	Seq    int64 `json:"seq"`     // spine mutation sequence at seal time
+}
+
+func (s *Store) shardPath(id int, seq int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%d-%d.tkcs", id, seq))
+}
+
+func (s *Store) manifestPath() string {
+	return filepath.Join(s.dir, "shards.json")
+}
+
+// SyncShards makes the sealed-shard tier durable for the given cut list
+// (ascending, cuts[i].ID == i): every cut whose standalone segment image
+// is missing gets one written atomically, then the manifest is rewritten.
+// Existing shard files are never touched — sealed ranges are immutable,
+// so a re-seal of the same cut is a no-op. Writer-side, like Append.
+func (s *Store) SyncShards(cuts []ShardCut) error {
+	if s.g == nil {
+		return fmt.Errorf("store: empty store: nothing to shard")
+	}
+	start := tgraph.TS(1)
+	for _, c := range cuts {
+		end := tgraph.TS(c.End)
+		path := s.shardPath(c.ID, c.Seq)
+		if _, err := os.Stat(path); err == nil {
+			start = end + 1
+			continue // sealed shards snapshot exactly once
+		}
+		slice, err := s.g.SliceWindow(tgraph.Window{Start: start, End: end})
+		if err != nil {
+			return fmt.Errorf("store: slicing shard %d [%d,%d]: %w", c.ID, start, end, err)
+		}
+		if err := writeFileAtomic(path, func(f *os.File) error { return slice.WriteSegments(f) }); err != nil {
+			return fmt.Errorf("store: writing shard %d: %w", c.ID, err)
+		}
+		start = end + 1
+	}
+	data, err := json.MarshalIndent(cuts, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding shard manifest: %w", err)
+	}
+	if err := writeFileAtomic(s.manifestPath(), func(f *os.File) error {
+		_, werr := f.Write(append(data, '\n'))
+		return werr
+	}); err != nil {
+		return fmt.Errorf("store: writing shard manifest: %w", err)
+	}
+	return nil
+}
+
+// ShardManifest loads the sealed-cut manifest, nil (no error) when the
+// directory has no shard tier.
+func (s *Store) ShardManifest() ([]ShardCut, error) {
+	data, err := os.ReadFile(s.manifestPath())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var cuts []ShardCut
+	if err := json.Unmarshal(data, &cuts); err != nil {
+		return nil, fmt.Errorf("store: shard manifest: %w", err)
+	}
+	for i, c := range cuts {
+		if c.ID != i {
+			return nil, fmt.Errorf("store: shard manifest: cut %d has id %d", i, c.ID)
+		}
+		if i > 0 && (c.RawEnd <= cuts[i-1].RawEnd || c.End <= cuts[i-1].End) {
+			return nil, fmt.Errorf("store: shard manifest: cuts not ascending at %d", i)
+		}
+	}
+	return cuts, nil
+}
+
+// ReadShard opens one sealed shard's standalone segment image.
+func (s *Store) ReadShard(id int, seq int64) (*tgraph.Graph, error) {
+	f, err := os.Open(s.shardPath(id, seq))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	g, err := tgraph.ReadSegments(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: shard %d: %w", id, err)
+	}
+	return g, nil
+}

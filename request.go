@@ -12,6 +12,7 @@ import (
 	"temporalkcore/internal/core"
 	"temporalkcore/internal/enum"
 	"temporalkcore/internal/qcache"
+	"temporalkcore/internal/shard"
 	"temporalkcore/internal/tgraph"
 	"temporalkcore/internal/vct"
 )
@@ -73,6 +74,7 @@ type Request struct {
 	hix   *HistoricalIndex
 	prep  *PreparedQuery
 	watch *Watcher
+	sview *ShardedView // non-nil: scatter-gather across the view's shards
 
 	statsDst *QueryStats
 	err      error
@@ -145,7 +147,7 @@ func (r *Request) Project(p Projection) *Request {
 // AlgoOTCD) for one-shot requests. Prepared, watcher, snapshot and
 // historical requests always use their own engine and reject it.
 func (r *Request) Algorithm(a Algorithm) *Request {
-	if r.prep != nil || r.watch != nil || r.hix != nil || r.h > 0 {
+	if r.prep != nil || r.watch != nil || r.hix != nil || r.h > 0 || r.sview != nil {
 		return r.fail("Algorithm applies only to one-shot enumeration requests")
 	}
 	r.algo, r.algoSet = a, true
@@ -172,7 +174,7 @@ func (r *Request) EarlyStop(n int) *Request {
 // pass itself runs to completion (unlike the enumeration engines, it has
 // no per-start-time stride to poll on).
 func (r *Request) Snapshot(h int) *Request {
-	if r.prep != nil || r.watch != nil || r.hix != nil {
+	if r.prep != nil || r.watch != nil || r.hix != nil || r.sview != nil {
 		return r.fail("Snapshot applies only to one-shot requests")
 	}
 	if r.algoSet {
@@ -190,7 +192,7 @@ func (r *Request) Snapshot(h int) *Request {
 // Cancellation is checked before the index walk; the single bounded
 // lookup pass itself runs to completion.
 func (r *Request) Using(h *HistoricalIndex) *Request {
-	if r.prep != nil || r.watch != nil || r.h > 0 {
+	if r.prep != nil || r.watch != nil || r.h > 0 || r.sview != nil {
 		return r.fail("Using applies only to one-shot requests")
 	}
 	if r.algoSet {
@@ -307,6 +309,8 @@ func (r *Request) run(ctx context.Context, fn func(Core) bool) (QueryStats, erro
 		}
 	}
 	switch {
+	case r.sview != nil:
+		return r.runSharded(ctx, &qs, fn)
 	case r.hix != nil:
 		return r.runHistorical(ctx, &qs, fn)
 	case r.h > 0:
@@ -374,6 +378,28 @@ func (s *projSink) Emit(tti tgraph.Window, eids []tgraph.EID) bool {
 		c.Vertices = s.vbuf
 	}
 	return s.fn(c)
+}
+
+// runSharded executes the request as a scatter-gather over the view's
+// shards: the plan pins the view's epoch and directory, each overlapping
+// shard runs its span on its replica pool (cached local CoreTime index +
+// boundary re-settle for sealed shards), and the gathered stream — merged
+// in shard order — is byte-identical to the unsharded enumeration of the
+// same window on the same epoch.
+func (r *Request) runSharded(ctx context.Context, qs *QueryStats, fn func(Core) bool) (QueryStats, error) {
+	v := r.sview
+	w, err := r.g.window(r.start, r.end)
+	if err != nil {
+		return *qs, err
+	}
+	sink := &projSink{g: r.g.g, proj: r.proj, fn: fn, qs: qs}
+	st, err := v.sg.rt.Query(ctx, shard.Params{
+		G: r.g.g, K: r.k, W: w, Dir: v.dir, Cache: r.g.cache(),
+	}, sink.Emit)
+	qs.Shards, qs.Patched = st.Spans, st.Patched
+	qs.CoreTime, qs.EnumTime = st.CoreTime, st.EnumTime
+	qs.CacheHit = st.Spans > 0 && st.CacheHits == st.Spans
+	return *qs, err
 }
 
 // runOneShot executes the request through the core engine: CoreTime phase

@@ -1,0 +1,142 @@
+package temporalkcore_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	tkc "temporalkcore"
+)
+
+func TestShardedDurableLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	edges := randomEdges(77, 14, 1000, 50)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Time < edges[j].Time })
+	base, rest := edges[:400], edges[400:]
+
+	sg, err := tkc.BootstrapShardedDir(dir, base, tkc.ShardOptions{Shards: 3, MaxShardEdges: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tkc.BootstrapShardedDir(dir, base, tkc.ShardOptions{}); err == nil {
+		t.Fatal("second bootstrap of the same directory accepted")
+	}
+	for i := 0; i < len(rest); i += 150 {
+		j := i + 150
+		if j > len(rest) {
+			j = len(rest)
+		}
+		if _, err := sg.Append(rest[i:j]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sg.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	sealedShards := sg.NumShards()
+	if sealedShards < 3 {
+		t.Fatalf("expected initial partition + auto-seals, got %d shards", sealedShards)
+	}
+
+	// Every sealed shard has exactly one on-disk segment image; record
+	// their mtimes to prove later seals never rewrite them.
+	shardFiles, _ := filepath.Glob(filepath.Join(dir, "shard-*.tkcs"))
+	if len(shardFiles) != sealedShards-1 {
+		t.Fatalf("%d shard segment files for %d sealed shards", len(shardFiles), sealedShards-1)
+	}
+	mtimes := map[string]int64{}
+	for _, f := range shardFiles {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mtimes[f] = fi.ModTime().UnixNano()
+	}
+
+	lo, hi := sg.Spine().TimeSpan()
+	want, err := sg.Latest().Query(2).Window(lo, hi).Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeq := sg.Latest().Seq()
+
+	// A spine snapshot compacts the WAL chain but must leave the shard
+	// tier untouched.
+	if _, err := sg.SnapshotDurable(); err != nil {
+		t.Fatal(err)
+	}
+	for f, mt := range mtimes {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("shard segment %s gone after snapshot compaction: %v", f, err)
+		}
+		if fi.ModTime().UnixNano() != mt {
+			t.Fatalf("shard segment %s was rewritten", f)
+		}
+	}
+	if err := sg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	// Reopen: the spine recovers byte-identically, the directory comes
+	// back from the manifest, and the sharded results are unchanged.
+	re, err := tkc.OpenShardedDir(dir, tkc.ShardOptions{MaxShardEdges: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumShards() != sealedShards {
+		t.Fatalf("reopened with %d shards, sealed %d", re.NumShards(), sealedShards)
+	}
+	if re.Latest().Seq() != wantSeq {
+		t.Fatalf("recovered seq %d, want %d", re.Latest().Seq(), wantSeq)
+	}
+	got, err := re.Latest().Query(2).Window(lo, hi).Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("sharded results changed across restart")
+	}
+	shardedMustMatch(t, re.Latest(), 2, lo, hi)
+
+	// And the reopened graph keeps appending + sealing durably.
+	last := edges[len(edges)-1].Time
+	batch := []tkc.Edge{{U: 1, V: 2, Time: last + 1}, {U: 2, V: 3, Time: last + 2}}
+	if _, err := re.Append(batch...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Seal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenShardedDirRejectsForeignManifest(t *testing.T) {
+	dir := t.TempDir()
+	sg, err := tkc.BootstrapShardedDir(dir, randomEdges(9, 10, 300, 20), tkc.ShardOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "shards.json")
+	if err := os.WriteFile(manifest, []byte(`[{"id":0,"raw_end":999999,"end":2,"seq":1}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tkc.OpenShardedDir(dir, tkc.ShardOptions{}); err == nil {
+		t.Fatal("manifest pointing at a different history was accepted")
+	}
+}
+
+func TestOpenShardedDirEmpty(t *testing.T) {
+	if _, err := tkc.OpenShardedDir(t.TempDir(), tkc.ShardOptions{}); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}

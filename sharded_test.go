@@ -1,0 +1,248 @@
+package temporalkcore_test
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	tkc "temporalkcore"
+)
+
+// shardedMustMatch runs the same query sharded (through v) and unsharded
+// (through v's pinned snapshot — the same epoch, so the comparison is
+// exact) and requires identical results under every projection.
+func shardedMustMatch(t *testing.T, v *tkc.ShardedView, k int, start, end int64) tkc.QueryStats {
+	t.Helper()
+	var qs tkc.QueryStats
+	for _, proj := range []tkc.Projection{tkc.ProjectEdges, tkc.ProjectVertices, tkc.ProjectCount} {
+		want, err := v.Snapshot().Query(k).Window(start, end).Project(proj).Collect(context.Background())
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		var st tkc.QueryStats
+		got, err := v.Query(k).Window(start, end).Project(proj).Stats(&st).Collect(context.Background())
+		if err != nil {
+			t.Fatalf("sharded: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sharded/unsharded mismatch (k=%d w=[%d,%d] proj=%d): %d vs %d cores",
+				k, start, end, proj, len(got), len(want))
+		}
+		if st.Shards < 1 {
+			t.Fatalf("sharded query reported %d shard spans", st.Shards)
+		}
+		qs = st
+	}
+	return qs
+}
+
+func TestShardedMatchesUnsharded(t *testing.T) {
+	edges := randomEdges(11, 18, 900, 40)
+	g, err := tkc.NewGraph(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := g.TimeSpan()
+	for _, parts := range []int{1, 3, 5} {
+		sg, err := tkc.ShardGraph(g, tkc.ShardOptions{Shards: parts, Replicas: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parts > 1 && sg.NumShards() < 2 {
+			t.Fatalf("ShardGraph(%d) produced %d shards", parts, sg.NumShards())
+		}
+		v := sg.Latest()
+		for k := 1; k <= 3; k++ {
+			shardedMustMatch(t, v, k, lo, hi)
+			shardedMustMatch(t, v, k, lo+(hi-lo)/4, lo+3*(hi-lo)/4)
+			shardedMustMatch(t, v, k, lo, lo+(hi-lo)/2)
+		}
+		sg.Close()
+	}
+}
+
+// TestShardedBoundarySpanningCores builds a window that crosses every cut
+// and requires the boundary re-settle to have run — the stitched path, not
+// a fresh rebuild — while still matching the oracle.
+func TestShardedBoundarySpanningCores(t *testing.T) {
+	edges := randomEdges(23, 12, 1200, 30) // dense: cores span wide windows
+	sg, err := tkc.NewSharded(edges, tkc.ShardOptions{Shards: 4, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg.Close()
+	v := sg.Latest()
+	lo, hi := sg.Spine().TimeSpan()
+
+	// Warm the shard-local indexes, then query across the cuts.
+	shardedMustMatch(t, v, 2, lo, hi)
+	st := shardedMustMatch(t, v, 2, lo, hi)
+	if !st.CacheHit {
+		t.Fatalf("warm cross-shard query missed the cache: %+v", st)
+	}
+	if st.Patched == 0 {
+		t.Fatalf("cross-shard query ran no boundary re-settle: %+v", st)
+	}
+
+	// At least one result core must itself span a cut.
+	cores, err := v.Query(2).Window(lo, hi).Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := sg.ShardStats()
+	spanning := false
+	for _, c := range cores {
+		for _, s := range stats {
+			if s.Sealed && c.Start <= s.EndTime && c.End > s.EndTime {
+				spanning = true
+			}
+		}
+	}
+	if !spanning {
+		t.Fatal("no result core spans a shard cut; the boundary case is untested")
+	}
+}
+
+func TestShardedAppendSealLifecycle(t *testing.T) {
+	edges := randomEdges(5, 14, 1400, 60)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Time < edges[j].Time })
+	base, rest := edges[:300], edges[300:]
+
+	sg, err := tkc.NewSharded(base, tkc.ShardOptions{MaxShardEdges: 250, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg.Close()
+	var reader *tkc.ShardedGraph = sg
+	var _ tkc.AppendSink = reader // compile-time: streams ingest through it
+
+	before := sg.NumShards()
+	for i := 0; i < len(rest); i += 100 {
+		j := i + 100
+		if j > len(rest) {
+			j = len(rest)
+		}
+		if _, err := sg.Append(rest[i:j]...); err != nil {
+			t.Fatalf("append batch at %d: %v", i, err)
+		}
+		v := sg.Latest()
+		lo, hi := sg.Spine().TimeSpan()
+		shardedMustMatch(t, v, 2, lo, hi)
+	}
+	if sg.NumShards() <= before {
+		t.Fatalf("auto-seal never fired: %d shards before, %d after", before, sg.NumShards())
+	}
+
+	// A manual seal freezes the rest of the frontier (all but the newest
+	// rank) and a second seal with nothing new is a no-op.
+	if _, err := sg.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := sg.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed {
+		t.Fatal("second Seal with no new ranks reported a seal")
+	}
+
+	stats := sg.ShardStats()
+	if len(stats) != sg.NumShards() {
+		t.Fatalf("ShardStats has %d entries for %d shards", len(stats), sg.NumShards())
+	}
+	total := 0
+	for i, s := range stats {
+		if s.ID != i {
+			t.Fatalf("ShardStats[%d].ID = %d", i, s.ID)
+		}
+		if s.Sealed != (i < len(stats)-1) {
+			t.Fatalf("ShardStats[%d].Sealed = %v", i, s.Sealed)
+		}
+		if i > 0 && s.Edges > 0 && stats[i-1].Edges > 0 && s.StartTime <= stats[i-1].EndTime {
+			t.Fatalf("shard %d overlaps its predecessor: %+v then %+v", i, stats[i-1], s)
+		}
+		total += s.Edges
+	}
+	if total != sg.Spine().NumEdges() {
+		t.Fatalf("shard edge counts sum to %d, graph has %d", total, sg.Spine().NumEdges())
+	}
+
+	lo, hi := sg.Spine().TimeSpan()
+	shardedMustMatch(t, sg.Latest(), 2, lo, hi)
+}
+
+func TestShardedBuilderGuards(t *testing.T) {
+	sg, err := tkc.NewSharded(randomEdges(2, 10, 200, 12), tkc.ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg.Close()
+	ctx := context.Background()
+	if _, err := sg.Query(2).Algorithm(tkc.AlgoOTCD).Collect(ctx); err == nil {
+		t.Fatal("Algorithm accepted on a sharded request")
+	}
+	if _, err := sg.Query(2).Snapshot(1).Collect(ctx); err == nil {
+		t.Fatal("Snapshot accepted on a sharded request")
+	}
+	if _, err := sg.Query(0).Collect(ctx); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestShardedEarlyStopAndSeq(t *testing.T) {
+	sg, err := tkc.NewSharded(randomEdges(31, 14, 700, 30), tkc.ShardOptions{Shards: 3, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg.Close()
+	v := sg.Latest()
+	lo, hi := sg.Spine().TimeSpan()
+	ctx := context.Background()
+
+	all, err := v.Query(2).Window(lo, hi).Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 4 {
+		t.Skip("graph too sparse for an early-stop test")
+	}
+	few, err := v.Query(2).Window(lo, hi).EarlyStop(3).Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(few, all[:3]) {
+		t.Fatal("EarlyStop(3) is not the 3-core prefix of the full result")
+	}
+
+	// Seq streaming with a mid-stream break matches the prefix too.
+	var streamed []tkc.Core
+	for c, err := range v.Query(2).Window(lo, hi).Seq(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, c)
+		if len(streamed) == 2 {
+			break
+		}
+	}
+	if !reflect.DeepEqual(streamed, all[:2]) {
+		t.Fatal("broken Seq stream is not the 2-core prefix")
+	}
+
+	// QueryJSON compiles against the view through RequestFrom.
+	req, err := tkc.QueryJSON{K: 2, EarlyStop: 3}.RequestFrom(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := req.Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wire, all[:3]) {
+		t.Fatal("RequestFrom(view) result differs from the builder path")
+	}
+	if _, err := (tkc.QueryJSON{K: 2, Algorithm: "otcd"}).RequestFrom(v); err == nil {
+		t.Fatal("RequestFrom accepted an algorithm override on a sharded source")
+	}
+}

@@ -215,6 +215,16 @@ type QueryStats struct {
 	// tables resident, but shared a concurrent identical build
 	// (singleflight) — a subset of CacheHit.
 	CacheShared bool
+
+	// Shards is the number of shard spans a sharded request scattered to;
+	// zero for unsharded requests. For sharded requests CacheHit reports
+	// that every span was served from resident (or shared) tables, and
+	// CoreTime/EnumTime sum the spans' phase costs (CPU, not wall time —
+	// spans run concurrently).
+	Shards int
+	// Patched counts the spans that extended a cached shard-local index
+	// across its cut with a boundary re-settle instead of rebuilding.
+	Patched int
 }
 
 // request compiles the legacy (k, range, Options) triple into a v2

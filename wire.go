@@ -52,6 +52,12 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	return 0, fmt.Errorf("temporalkcore: unknown algorithm %q (want enum, base or otcd)", s)
 }
 
+// Querier is anything that can start a v2 Request: a live *Graph, a pinned
+// Snapshot's Graph, a *ShardedGraph (latest view) or a *ShardedView.
+type Querier interface {
+	Query(k int) *Request
+}
+
 // Request compiles the wire description into a v2 Request against g (a live
 // graph or a pinned Snapshot's graph), validating eagerly: builder errors
 // that Seq/Collect/WriteTo would normally defer — bad k, an unknown
@@ -59,7 +65,14 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 // reject a bad request with a structured error before committing to a
 // response stream. Window errors that depend on the graph's time span
 // (ErrEmptyRange, ErrNoTimestamps) still surface at execution time.
-func (q QueryJSON) Request(g *Graph) (*Request, error) {
+func (q QueryJSON) Request(g *Graph) (*Request, error) { return q.RequestFrom(g) }
+
+// RequestFrom is Request for any Querier — in particular a *ShardedView,
+// whose requests scatter-gather across the view's shards. Note a sharded
+// request rejects the Algorithm verb (the scatter-gather path has one
+// engine), so a body naming an algorithm fails eagerly here against a
+// sharded source.
+func (q QueryJSON) RequestFrom(g Querier) (*Request, error) {
 	r := g.Query(q.K)
 	start, end := int64(math.MinInt64), int64(math.MaxInt64)
 	if q.Start != nil {
